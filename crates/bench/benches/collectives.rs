@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the SPMD collective layer: real wall-time of the
+//! shared-memory rendezvous (this is the functional substrate's own cost,
+//! distinct from the *modeled* MPI/NCCL times of `chase-perfmodel`).
+
+use chase_comm::{run_grid, GridShape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_threads");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        for &len in &[1024usize, 65_536] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{ranks}ranks_{len}f64")),
+                &(ranks, len),
+                |b, &(ranks, len)| {
+                    b.iter(|| {
+                        run_grid(GridShape::new(1, ranks), move |ctx| {
+                            let mut buf = vec![ctx.world_rank() as f64; len];
+                            ctx.world.allreduce_sum(&mut buf);
+                            buf[0]
+                        })
+                        .results
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bcast_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcast_allgather_threads");
+    group.sample_size(10);
+    group.bench_function("bcast_4ranks_64k", |b| {
+        b.iter(|| {
+            run_grid(GridShape::new(1, 4), |ctx| {
+                let mut buf = vec![1.0f64; 65_536];
+                ctx.world.bcast(&mut buf, 0);
+            })
+        });
+    });
+    group.bench_function("allgather_4ranks_16k_each", |b| {
+        b.iter(|| {
+            run_grid(GridShape::new(1, 4), |ctx| {
+                ctx.world.allgather(&vec![1.0f64; 16_384]).len()
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_grid_spawn(c: &mut Criterion) {
+    // The fixed cost of standing up a thread grid — relevant for anyone
+    // running many small SPMD regions.
+    let mut group = c.benchmark_group("grid_spawn");
+    group.sample_size(10);
+    for &ranks in &[4usize, 9, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            let shape = GridShape::squarest(ranks);
+            b.iter(|| run_grid(shape, |ctx| ctx.world_rank()).results.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_bcast_allgather, bench_grid_spawn);
+criterion_main!(benches);

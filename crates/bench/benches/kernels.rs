@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the dense kernels backing every ChASE
+//! stage: GEMM (the filter's engine), the QR family (Table 2's subject),
+//! the Rayleigh–Ritz eigensolve and the Jacobi SVD used for Fig. 1.
+
+use chase_comm::solo_ctx;
+use chase_core::cholesky_qr;
+use chase_device::{Backend, Device};
+use chase_linalg::{gemm, heevd, householder_qr, singular_values, Matrix, Op, Scalar, C64};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_c64");
+    group.sample_size(10);
+    for &(m, n, k) in &[(128usize, 32usize, 128usize), (256, 64, 256), (512, 64, 512)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::<C64>::random(m, k, &mut rng);
+        let b = Matrix::<C64>::random(k, n, &mut rng);
+        let mut out = Matrix::<C64>::zeros(m, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, _| {
+                bench.iter(|| {
+                    gemm(
+                        Op::None,
+                        Op::None,
+                        C64::from_f64(1.0),
+                        a.as_ref(),
+                        b.as_ref(),
+                        C64::from_f64(0.0),
+                        out.as_mut(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_qr_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr_family");
+    group.sample_size(10);
+    let (m, n) = (512usize, 48usize);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let x = Matrix::<C64>::random(m, n, &mut rng);
+    let ctx = solo_ctx();
+    let dev = Device::new(&ctx, Backend::Nccl);
+
+    group.bench_function("cholesky_qr1_512x48", |b| {
+        b.iter(|| {
+            let mut y = x.clone();
+            cholesky_qr(&dev, &ctx.world, &mut y, 1).unwrap();
+            y
+        })
+    });
+    group.bench_function("cholesky_qr2_512x48", |b| {
+        b.iter(|| {
+            let mut y = x.clone();
+            cholesky_qr(&dev, &ctx.world, &mut y, 2).unwrap();
+            y
+        })
+    });
+    group.bench_function("householder_512x48", |b| b.iter(|| householder_qr(&x)));
+    group.finish();
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolvers");
+    group.sample_size(10);
+    for &n in &[32usize, 96] {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Matrix::<C64>::random(n, n, &mut rng);
+        let xh = x.adjoint();
+        let a = Matrix::from_fn(n, n, |i, j| (x[(i, j)] + xh[(i, j)]).scale(0.5));
+        group.bench_with_input(BenchmarkId::new("heevd", n), &n, |b, _| {
+            b.iter(|| heevd(&a).unwrap())
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let tall = Matrix::<C64>::random(256, 24, &mut rng);
+    group.bench_function("jacobi_svd_256x24", |b| b.iter(|| singular_values(&tall)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_qr_family, bench_eigensolvers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: per-vector Chebyshev degree optimization (Algorithm 1, line
+//! 11) on vs off, over the Table-1 surrogates — the MatVec economics that
+//! motivate the feature, and the conditioning cost it incurs (Fig. 1's
+//! opt-vs-no-opt contrast).
+
+use chase_core::{solve_serial, Params};
+use chase_linalg::C64;
+use chase_matgen::scaled_suite;
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    println!("Ablation: degree optimization (scale 1/{scale})\n");
+    println!(
+        "{:<12} {:>12} {:>8} {:>12} {:>8} {:>10} {:>12}",
+        "problem", "MV (opt)", "it", "MV (fixed)", "it", "saving", "peak kappa"
+    );
+    for problem in &scaled_suite(scale) {
+        let h = problem.matrix::<C64>();
+        let mut results = Vec::new();
+        for optimize in [true, false] {
+            let mut p = Params::new(problem.nev, problem.nex);
+            p.tol = 1e-10;
+            p.optimize_degrees = optimize;
+            p.track_true_cond = true;
+            let r = solve_serial(&h, &p);
+            assert!(r.converged, "{} opt={optimize} failed", problem.name);
+            let peak = r
+                .stats
+                .iter()
+                .filter_map(|s| s.true_cond)
+                .fold(0.0f64, f64::max);
+            results.push((r.matvecs, r.iterations, peak));
+        }
+        let (mv_opt, it_opt, peak_opt) = results[0];
+        let (mv_fix, it_fix, _) = results[1];
+        let saving = 100.0 * (1.0 - mv_opt as f64 / mv_fix as f64);
+        println!(
+            "{:<12} {:>12} {:>8} {:>12} {:>8} {:>9.1}% {:>12.2e}",
+            problem.name, mv_opt, it_opt, mv_fix, it_fix, saving, peak_opt
+        );
+    }
+    println!(
+        "\nExpected: optimization reduces total MatVecs (or at worst matches) while\n\
+         allowing higher per-iteration condition numbers (max degree 36 vs 20) —\n\
+         the trade-off the condition estimator of Algorithm 5 makes safe."
+    );
+}

@@ -1,0 +1,98 @@
+//! Fig. 3a: weak scaling of a single ChASE iteration to the full machine —
+//! node counts 1, 4, 9, ..., 900 (square grids), Uniform real matrices
+//! growing 30k per grid side, nev = 2250, nex = 750.
+//!
+//! Prints the three curves (LMS up to its 144-node memory limit, STD with
+//! its power-of-two allreduce dips, NCCL near-flat) and emits a JSON block
+//! for plotting.
+
+use chase_perfmodel::{
+    iteration_events, price_ledger, profiled_time, CommFlavor, IterationSpec, Layout, Machine,
+    PriceCtx, ScalarKind,
+};
+
+fn main() {
+    let machine = Machine::juwels_booster();
+    let sides: Vec<u64> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16, 20, 25, 30];
+
+    println!("Fig. 3a: weak scaling, 1 ChASE iteration (Uniform f64, ne = 3000, deg = 20)\n");
+    println!(
+        "{:>6} {:>8} {:>9} {:>10} {:>10} {:>10}",
+        "nodes", "GPUs", "N", "LMS (s)", "STD (s)", "NCCL (s)"
+    );
+
+    let mut series: Vec<(u64, Option<f64>, f64, f64)> = Vec::new();
+    for &side in &sides {
+        let nodes = side * side;
+        let n = 30_000 * side;
+        let gpu_grid = 2 * side; // one rank per GPU
+
+        let mk = |layout, flavor, grid| IterationSpec {
+            n,
+            ne: 3000,
+            active: 3000,
+            p: grid,
+            q: grid,
+            deg: 20,
+            layout,
+            flavor,
+            scalar: ScalarKind::F64,
+        };
+        let price = |spec: &IterationSpec, gpus: f64| {
+            let ctx = PriceCtx { scalar: ScalarKind::F64, flavor: spec.flavor, gpus_per_rank: gpus };
+            profiled_time(&price_ledger(&iteration_events(spec), &machine, ctx))
+        };
+
+        // LMS holds two redundant N x ne buffers per rank: at 30k/side x
+        // 3000 x 16 B x 2 this exceeds the A100's 40 GB beyond 144 nodes
+        // (the paper could not run LMS past 144 nodes either).
+        let lms = if nodes <= 144 {
+            Some(price(&mk(Layout::Lms, CommFlavor::MpiHostStaged, side), 4.0))
+        } else {
+            None
+        };
+        let std_t = price(&mk(Layout::New, CommFlavor::MpiHostStaged, gpu_grid), 1.0);
+        let nccl_t = price(&mk(Layout::New, CommFlavor::NcclDeviceDirect, gpu_grid), 1.0);
+
+        println!(
+            "{:>6} {:>8} {:>9} {:>10} {:>10.2} {:>10.2}",
+            nodes,
+            4 * nodes,
+            n,
+            lms.map(|t| format!("{t:.2}")).unwrap_or_else(|| "OOM".into()),
+            std_t,
+            nccl_t
+        );
+        series.push((nodes, lms, std_t, nccl_t));
+    }
+
+    // Shape metrics the paper reports.
+    let first = series.first().unwrap();
+    let last = series.last().unwrap();
+    println!(
+        "\nNCCL growth 1 -> 900 nodes: {:.2}x (paper: 1.8x, 2.3 s -> 3.9 s)",
+        last.3 / first.3
+    );
+    println!("STD growth 1 -> 900 nodes: {:.2}x (paper: 3.1x, 5.1 s -> 16 s)", last.2 / first.2);
+    let at144 = series.iter().find(|s| s.0 == 144).unwrap();
+    println!(
+        "At 144 nodes: LMS/NCCL = {:.1}x (paper 14.1x), LMS/STD = {:.1}x (paper 4.6x)",
+        at144.1.unwrap() / at144.3,
+        at144.1.unwrap() / at144.2
+    );
+
+    println!("\nJSON:");
+    let json: Vec<String> = series
+        .iter()
+        .map(|(nodes, lms, std_t, nccl_t)| {
+            format!(
+                "{{\"nodes\":{},\"lms\":{},\"std\":{:.3},\"nccl\":{:.3}}}",
+                nodes,
+                lms.map(|t| format!("{t:.3}")).unwrap_or_else(|| "null".into()),
+                std_t,
+                nccl_t
+            )
+        })
+        .collect();
+    println!("[{}]", json.join(","));
+}

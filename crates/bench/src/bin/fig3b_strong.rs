@@ -1,0 +1,123 @@
+//! Fig. 3b: strong scaling on the In2O3 115k problem — nev = 1200 (~1% of
+//! the spectrum), nex = 400 — ChASE(LMS/STD/NCCL) vs ELPA1-GPU/ELPA2-GPU,
+//! node counts 4, 9, ..., 144 (square grids).
+//!
+//! Methodology: the BSE surrogate is solved functionally (thread grid) to
+//! obtain the real iteration/degree schedule of this problem class; that
+//! schedule is then priced on the machine model at the full 115459 size for
+//! every node count. ELPA baselines come from the calibrated closed-form
+//! model (`chase-perfmodel::elpa`).
+
+use chase_bench::{fmt_s, price_schedule, run_live, schedule_of};
+use chase_comm::GridShape;
+use chase_core::{Params, QrStrategy};
+use chase_device::Backend;
+use chase_linalg::C64;
+use chase_matgen::scaled_suite;
+use chase_perfmodel::{elpa_time, profiled_time, CommFlavor, ElpaKind, Layout, Machine, ScalarKind};
+
+const N_PAPER: u64 = 115_459;
+const NEV_PAPER: u64 = 1_200;
+const NEX_PAPER: u64 = 400;
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let machine = Machine::juwels_booster();
+
+    // Functional run of the In2O3 115k surrogate to extract the schedule.
+    let problem = scaled_suite(scale)
+        .into_iter()
+        .find(|p| p.name == "In2O3 115k")
+        .expect("suite contains In2O3 115k");
+    println!(
+        "Extracting iteration schedule from a functional run of the {} surrogate (N = {})...",
+        problem.name, problem.n
+    );
+    let h = problem.matrix::<C64>();
+    let mut params = Params::new(problem.nev, problem.nex);
+    params.tol = 1e-10;
+    params.qr = QrStrategy::Auto;
+    let live = run_live(&h, &params, GridShape::new(2, 2), Backend::Nccl);
+    assert!(live.result.converged, "surrogate did not converge");
+    let schedule = schedule_of(&live.result, params.ne());
+    println!(
+        "  {} iterations, {} MatVecs; schedule: {:?}\n",
+        live.result.iterations, live.result.matvecs, schedule
+    );
+
+    // Scale the active counts to the paper's search-space width.
+    let ne_paper = NEV_PAPER + NEX_PAPER;
+    let ratio = ne_paper as f64 / params.ne() as f64;
+    let scaled: Vec<(u64, u64)> =
+        schedule.iter().map(|&(a, d)| (((a as f64 * ratio) as u64).max(1), d)).collect();
+
+    println!(
+        "Fig. 3b: strong scaling, In2O3 115k (N = {N_PAPER}, nev = {NEV_PAPER}, nex = {NEX_PAPER})\n"
+    );
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "nodes", "GPUs", "LMS (s)", "STD (s)", "NCCL (s)", "ELPA1 (s)", "ELPA2 (s)"
+    );
+
+    let mut rows = Vec::new();
+    for node_side in 2u64..=12 {
+        // Paper: square node counts 4, 9, ..., 144.
+        let nodes = node_side * node_side;
+        let gpus = 4 * nodes;
+        let gpu_grid = 2 * node_side;
+
+        let t = |layout, flavor, grid, gpr| {
+            profiled_time(&price_schedule(
+                &machine,
+                &scaled,
+                N_PAPER,
+                ne_paper,
+                grid,
+                layout,
+                flavor,
+                ScalarKind::C64,
+                gpr,
+            ))
+        };
+        let lms = t(Layout::Lms, CommFlavor::MpiHostStaged, node_side, 4.0);
+        let std_t = t(Layout::New, CommFlavor::MpiHostStaged, gpu_grid, 1.0);
+        let nccl = t(Layout::New, CommFlavor::NcclDeviceDirect, gpu_grid, 1.0);
+        let e1 = elpa_time(&machine, ElpaKind::Elpa1, N_PAPER, NEV_PAPER, gpus).total();
+        let e2 = elpa_time(&machine, ElpaKind::Elpa2, N_PAPER, NEV_PAPER, gpus).total();
+        println!(
+            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            nodes,
+            gpus,
+            fmt_s(lms),
+            fmt_s(std_t),
+            fmt_s(nccl),
+            fmt_s(e1),
+            fmt_s(e2)
+        );
+        rows.push((nodes, lms, std_t, nccl, e1, e2));
+    }
+
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    println!("\nShape checks against the paper (Section 4.5.2):");
+    println!(
+        "  ChASE(NCCL) speedup 4 -> 144 nodes: {:.1}x   (paper: 18.6x, 65 s -> 3.5 s)",
+        first.3 / last.3
+    );
+    println!(
+        "  ChASE(STD)  speedup 4 -> 144 nodes: {:.1}x   (paper: 6.6x, 92 s -> 14 s)",
+        first.2 / last.2
+    );
+    println!(
+        "  ChASE(LMS)  speedup 4 -> 144 nodes: {:.1}x   (paper: 2.5x, 135 s -> 55 s)",
+        first.1 / last.1
+    );
+    println!(
+        "  ELPA2 speedup 4 -> 144 nodes:       {:.1}x   (paper: 5.9x, ending at ~98 s)",
+        first.5 / last.5
+    );
+    println!(
+        "  NCCL vs ELPA2 at 144 nodes:         {:.0}x   (paper: 28x)",
+        last.5 / last.3
+    );
+}

@@ -1,0 +1,357 @@
+//! Collective operations over in-process "ranks" (threads).
+//!
+//! Each communicator is a set of ranks sharing a rendezvous slot. Collectives
+//! are SPMD: every member calls the same operation in the same order, exactly
+//! as with MPI/NCCL communicators. The implementation exchanges data through
+//! shared memory; what distinguishes the MPI and NCCL builds of ChASE is not
+//! *whether* the data arrives but what staging and latency costs the paper's
+//! machine charges for it — those are recorded in the [`Ledger`] by callers
+//! and priced by `chase-perfmodel`.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Element types that can participate in a sum-allreduce.
+pub trait Reduce: Clone + Send + Sync + 'static {
+    fn reduce(&mut self, other: &Self);
+}
+
+macro_rules! impl_reduce_add {
+    ($($t:ty),*) => {$(
+        impl Reduce for $t {
+            #[inline]
+            fn reduce(&mut self, other: &Self) {
+                *self += *other;
+            }
+        }
+    )*};
+}
+
+impl_reduce_add!(f32, f64, u32, u64, usize, i64);
+impl_reduce_add!(num_complex::Complex<f32>, num_complex::Complex<f64>);
+
+type Payload = Box<dyn Any + Send>;
+type Result_ = Arc<dyn Any + Send + Sync>;
+
+struct SlotState {
+    /// Index of the collective currently being gathered.
+    epoch: u64,
+    arrived: usize,
+    taken: usize,
+    payloads: Vec<Option<Payload>>,
+    result: Option<Result_>,
+}
+
+/// Shared rendezvous point for one communicator.
+pub struct Slot {
+    members: usize,
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    pub fn new(members: usize) -> Arc<Self> {
+        Arc::new(Self {
+            members,
+            state: Mutex::new(SlotState {
+                epoch: 0,
+                arrived: 0,
+                taken: 0,
+                payloads: (0..members).map(|_| None).collect(),
+                result: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// A rank's handle to a communicator. Cheap to clone the underlying slot;
+/// the handle itself is single-threaded (one per rank).
+pub struct Communicator {
+    slot: Arc<Slot>,
+    my_index: usize,
+    epoch: Cell<u64>,
+}
+
+impl Communicator {
+    pub fn new(slot: Arc<Slot>, my_index: usize) -> Self {
+        assert!(my_index < slot.members);
+        Self { slot, my_index, epoch: Cell::new(0) }
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.slot.members
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Trivial communicator containing only this rank (serial builds).
+    pub fn solo() -> Self {
+        Self::new(Slot::new(1), 0)
+    }
+
+    /// Generic rendezvous: every member contributes `input`; the last to
+    /// arrive runs `combine` over the payloads (ordered by member index) and
+    /// the result is shared with everyone.
+    fn collective<I, O, F>(&self, input: I, combine: F) -> Arc<O>
+    where
+        I: Send + 'static,
+        O: Send + Sync + 'static,
+        F: FnOnce(Vec<I>) -> O,
+    {
+        let my_epoch = self.epoch.get();
+        self.epoch.set(my_epoch + 1);
+        let slot = &*self.slot;
+        let mut st = slot.state.lock();
+
+        // Wait for the previous collective on this slot to fully drain.
+        while st.epoch != my_epoch {
+            slot.cv.wait(&mut st);
+        }
+
+        debug_assert!(st.payloads[self.my_index].is_none(), "double arrival");
+        st.payloads[self.my_index] = Some(Box::new(input));
+        st.arrived += 1;
+
+        if st.arrived == slot.members {
+            let inputs: Vec<I> = st
+                .payloads
+                .iter_mut()
+                .map(|p| *p.take().expect("missing payload").downcast::<I>().unwrap())
+                .collect();
+            st.result = Some(Arc::new(combine(inputs)));
+            slot.cv.notify_all();
+        } else {
+            while st.result.is_none() {
+                slot.cv.wait(&mut st);
+            }
+        }
+
+        let out = st
+            .result
+            .as_ref()
+            .unwrap()
+            .clone()
+            .downcast::<O>()
+            .expect("collective type mismatch across ranks");
+        st.taken += 1;
+        if st.taken == slot.members {
+            st.result = None;
+            st.arrived = 0;
+            st.taken = 0;
+            st.epoch += 1;
+            slot.cv.notify_all();
+        }
+        out
+    }
+
+    /// Element-wise sum-allreduce, in place. All members must pass buffers of
+    /// identical length.
+    pub fn allreduce_sum<T: Reduce>(&self, buf: &mut [T]) {
+        if self.size() == 1 {
+            return;
+        }
+        let mine: Vec<T> = buf.to_vec();
+        let summed = self.collective(mine, |inputs| {
+            let mut acc = inputs[0].clone();
+            for contrib in &inputs[1..] {
+                assert_eq!(contrib.len(), acc.len(), "allreduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(contrib) {
+                    a.reduce(b);
+                }
+            }
+            acc
+        });
+        buf.clone_from_slice(&summed);
+    }
+
+    /// Broadcast `buf` from `root` to every member, in place.
+    pub fn bcast<T: Clone + Send + Sync + 'static>(&self, buf: &mut [T], root: usize) {
+        assert!(root < self.size());
+        if self.size() == 1 {
+            return;
+        }
+        let mine: Option<Vec<T>> =
+            if self.my_index == root { Some(buf.to_vec()) } else { None };
+        let shared = self.collective(mine, move |mut inputs| {
+            inputs[root].take().expect("root did not contribute")
+        });
+        if self.my_index != root {
+            assert_eq!(buf.len(), shared.len(), "bcast length mismatch");
+            buf.clone_from_slice(&shared);
+        }
+    }
+
+    /// Gather every member's contribution, concatenated in member order,
+    /// replicated on all ranks. Contributions may differ in length.
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&self, mine: &[T]) -> Vec<T> {
+        let mine: Vec<T> = mine.to_vec();
+        if self.size() == 1 {
+            return mine;
+        }
+        let all = self.collective(mine, |inputs| {
+            let total: usize = inputs.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            for v in inputs {
+                out.extend(v);
+            }
+            out
+        });
+        (*all).clone()
+    }
+
+    /// Synchronize all members.
+    pub fn barrier(&self) {
+        if self.size() == 1 {
+            return;
+        }
+        let _ = self.collective((), |_| ());
+    }
+
+    /// Sum-allreduce of a single value.
+    pub fn allreduce_scalar<T: Reduce>(&self, v: T) -> T {
+        let mut b = [v];
+        self.allreduce_sum(&mut b);
+        let [out] = b;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_spmd<R: Send + 'static>(
+        n: usize,
+        f: impl Fn(Communicator) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let slot = Slot::new(n);
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let c = Communicator::new(slot.clone(), i);
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let out = run_spmd(n, move |c| {
+                let mut buf = vec![c.rank() as f64, 1.0];
+                c.allreduce_sum(&mut buf);
+                buf
+            });
+            let expect0: f64 = (0..n).map(|i| i as f64).sum();
+            for r in out {
+                assert_eq!(r, vec![expect0, n as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_complex() {
+        use num_complex::Complex;
+        let out = run_spmd(4, |c| {
+            let mut buf = vec![Complex::new(1.0f64, c.rank() as f64)];
+            c.allreduce_sum(&mut buf);
+            buf[0]
+        });
+        for z in out {
+            assert_eq!(z, num_complex::Complex::new(4.0, 6.0));
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_buffer() {
+        let out = run_spmd(4, |c| {
+            let mut buf = if c.rank() == 2 { vec![7.0f64, 8.0] } else { vec![0.0, 0.0] };
+            c.bcast(&mut buf, 2);
+            buf
+        });
+        for r in out {
+            assert_eq!(r, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let out = run_spmd(3, |c| {
+            let mine = vec![c.rank() as u64; c.rank() + 1];
+            c.allgather(&mine)
+        });
+        for r in out {
+            assert_eq!(r, vec![0, 1, 1, 2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_stay_ordered() {
+        // 100 back-to-back collectives: the epoch machinery must never mix
+        // rounds even when threads race.
+        let out = run_spmd(4, |c| {
+            let mut acc = 0.0f64;
+            for round in 0..100 {
+                let mut v = [c.rank() as f64 + round as f64];
+                c.allreduce_sum(&mut v);
+                acc += v[0];
+            }
+            acc
+        });
+        let per_round_base: f64 = (0..4).map(|i| i as f64).sum();
+        let expect: f64 = (0..100).map(|r| per_round_base + 4.0 * r as f64).sum();
+        for r in out {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn barrier_and_scalar() {
+        let out = run_spmd(5, |c| {
+            c.barrier();
+            c.allreduce_scalar(c.rank() as u64)
+        });
+        for r in out {
+            assert_eq!(r, 10);
+        }
+    }
+
+    #[test]
+    fn mixed_collective_sequence() {
+        // A bcast followed by an allgather followed by an allreduce, to make
+        // sure heterogeneous payload types reuse the slot safely.
+        let out = run_spmd(3, |c| {
+            let mut b = vec![if c.rank() == 0 { 42u64 } else { 0 }];
+            c.bcast(&mut b, 0);
+            let g = c.allgather(&[b[0] + c.rank() as u64]);
+            let mut s = vec![g.iter().sum::<u64>()];
+            c.allreduce_sum(&mut s);
+            s[0]
+        });
+        // g = [42,43,44] on everyone, sum = 129, allreduce over 3 = 387
+        for r in out {
+            assert_eq!(r, 387);
+        }
+    }
+
+    #[test]
+    fn solo_communicator_is_noop() {
+        let c = Communicator::solo();
+        let mut v = vec![3.0f64];
+        c.allreduce_sum(&mut v);
+        c.bcast(&mut v, 0);
+        c.barrier();
+        assert_eq!(c.allgather(&v), vec![3.0]);
+        assert_eq!(v, vec![3.0]);
+    }
+}

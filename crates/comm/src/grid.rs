@@ -1,0 +1,283 @@
+//! 2D process grid, rank contexts and the SPMD runner.
+//!
+//! ChASE organizes its MPI processes as a `p x q` grid that is "as square as
+//! possible" (Section 2.2). Each rank owns an `n_r x n_c` block of `H`, talks
+//! to its *column communicator* (ranks sharing its grid column, used for the
+//! 1D-CAQR and the `C`-buffer broadcast) and its *row communicator* (ranks
+//! sharing its grid row, used for the Rayleigh–Ritz and residual
+//! allreduces). Here each rank is an OS thread; the communicators exchange
+//! data through shared-memory rendezvous slots.
+
+use crate::collective::{Communicator, Slot};
+use crate::ledger::{EventKind, Ledger, Region};
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Shape of the 2D rank grid: `p` rows by `q` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridShape {
+    pub p: usize,
+    pub q: usize,
+}
+
+impl GridShape {
+    pub fn new(p: usize, q: usize) -> Self {
+        assert!(p >= 1 && q >= 1);
+        Self { p, q }
+    }
+
+    /// The squarest grid for `n` ranks (the paper's preferred configuration).
+    pub fn squarest(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut p = (n as f64).sqrt() as usize;
+        while p > 1 && !n.is_multiple_of(p) {
+            p -= 1;
+        }
+        Self { p, q: n / p }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.p * self.q
+    }
+
+    pub fn is_square(&self) -> bool {
+        self.p == self.q
+    }
+}
+
+/// Contiguous block partition of `n` items over `parts` owners: the block
+/// data distribution of `H` (Section 2.2). Remainder items go to the lowest
+/// indices, so sizes differ by at most one.
+pub fn block_range(n: usize, parts: usize, idx: usize) -> Range<usize> {
+    assert!(idx < parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let start = idx * base + idx.min(rem);
+    let len = base + usize::from(idx < rem);
+    start..start + len
+}
+
+/// Everything a rank needs during an SPMD region.
+pub struct RankCtx {
+    pub shape: GridShape,
+    /// Grid-row index `i` (0..p).
+    pub row: usize,
+    /// Grid-column index `j` (0..q).
+    pub col: usize,
+    /// Communicator over all `p*q` ranks (row-major rank order).
+    pub world: Communicator,
+    /// Ranks sharing grid row `i`; this rank's index is `col`.
+    pub row_comm: Communicator,
+    /// Ranks sharing grid column `j`; this rank's index is `row`.
+    pub col_comm: Communicator,
+    /// Event log (shared so it can be harvested after the run).
+    pub ledger: Arc<Mutex<Ledger>>,
+}
+
+impl RankCtx {
+    /// Row-major world rank.
+    pub fn world_rank(&self) -> usize {
+        self.row * self.shape.q + self.col
+    }
+
+    /// True for the diagonal ranks `(k, k)` that root the `C -> B2`
+    /// broadcast on square grids (Algorithm 2, line 14).
+    pub fn is_diagonal(&self) -> bool {
+        self.row == self.col
+    }
+
+    pub fn record(&self, kind: EventKind) {
+        self.ledger.lock().record(kind);
+    }
+
+    pub fn record_in(&self, region: Region, kind: EventKind) {
+        self.ledger.lock().record_in(region, kind);
+    }
+
+    pub fn set_region(&self, region: Region) {
+        self.ledger.lock().set_region(region);
+    }
+
+    /// Snapshot of the ledger contents.
+    pub fn ledger_snapshot(&self) -> Ledger {
+        self.ledger.lock().clone()
+    }
+}
+
+/// Output of an SPMD run: per-rank results and ledgers, in world-rank order.
+pub struct SpmdOutput<R> {
+    pub results: Vec<R>,
+    pub ledgers: Vec<Ledger>,
+}
+
+/// Run `f` SPMD on a `p x q` grid of threads and gather results and ledgers.
+///
+/// Panics in any rank propagate (with the rank id) after all threads finish
+/// or unwind.
+pub fn run_grid<R, F>(shape: GridShape, f: F) -> SpmdOutput<R>
+where
+    R: Send,
+    F: Fn(&RankCtx) -> R + Send + Sync,
+{
+    let n = shape.ranks();
+    let world_slot = Slot::new(n);
+    let row_slots: Vec<_> = (0..shape.p).map(|_| Slot::new(shape.q)).collect();
+    let col_slots: Vec<_> = (0..shape.q).map(|_| Slot::new(shape.p)).collect();
+    let ledgers: Vec<Arc<Mutex<Ledger>>> =
+        (0..n).map(|_| Arc::new(Mutex::new(Ledger::new()))).collect();
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (wr, result_slot) in results.iter_mut().enumerate() {
+            let i = wr / shape.q;
+            let j = wr % shape.q;
+            let ctx = RankCtx {
+                shape,
+                row: i,
+                col: j,
+                world: Communicator::new(world_slot.clone(), wr),
+                row_comm: Communicator::new(row_slots[i].clone(), j),
+                col_comm: Communicator::new(col_slots[j].clone(), i),
+                ledger: ledgers[wr].clone(),
+            };
+            let f = &f;
+            handles.push((
+                wr,
+                scope.spawn(move || {
+                    *result_slot = Some(f(&ctx));
+                }),
+            ));
+        }
+        for (wr, h) in handles {
+            if let Err(e) = h.join() {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| e.downcast_ref::<&str>().copied())
+                    .unwrap_or("unknown panic");
+                panic!("rank {wr} panicked: {msg}");
+            }
+        }
+    });
+
+    SpmdOutput {
+        results: results.into_iter().map(|r| r.expect("rank produced no result")).collect(),
+        ledgers: ledgers.iter().map(|l| l.lock().clone()).collect(),
+    }
+}
+
+/// Single-rank context for serial execution paths (no threads involved).
+pub fn solo_ctx() -> RankCtx {
+    RankCtx {
+        shape: GridShape::new(1, 1),
+        row: 0,
+        col: 0,
+        world: Communicator::solo(),
+        row_comm: Communicator::solo(),
+        col_comm: Communicator::solo(),
+        ledger: Arc::new(Mutex::new(Ledger::new())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_covers_everything() {
+        for n in [1usize, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 5] {
+                let mut covered = 0;
+                for idx in 0..parts {
+                    let r = block_range(n, parts, idx);
+                    assert_eq!(r.start, covered, "blocks must be contiguous");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_sizes_balanced() {
+        // 10 items over 4 parts: 3,3,2,2
+        assert_eq!(block_range(10, 4, 0), 0..3);
+        assert_eq!(block_range(10, 4, 1), 3..6);
+        assert_eq!(block_range(10, 4, 2), 6..8);
+        assert_eq!(block_range(10, 4, 3), 8..10);
+    }
+
+    #[test]
+    fn squarest_grids() {
+        assert_eq!(GridShape::squarest(1), GridShape { p: 1, q: 1 });
+        assert_eq!(GridShape::squarest(4), GridShape { p: 2, q: 2 });
+        assert_eq!(GridShape::squarest(6), GridShape { p: 2, q: 3 });
+        assert_eq!(GridShape::squarest(9), GridShape { p: 3, q: 3 });
+        assert_eq!(GridShape::squarest(7), GridShape { p: 1, q: 7 });
+        assert!(GridShape::squarest(16).is_square());
+    }
+
+    #[test]
+    fn grid_communicators_wire_up() {
+        // Each rank sums its row index over the column communicator (all
+        // ranks in a grid column have distinct rows 0..p) and its column
+        // index over the row communicator.
+        let shape = GridShape::new(2, 3);
+        let out = run_grid(shape, |ctx| {
+            let col_sum = ctx.col_comm.allreduce_scalar(ctx.row as u64);
+            let row_sum = ctx.row_comm.allreduce_scalar(ctx.col as u64);
+            (ctx.world_rank(), col_sum, row_sum)
+        });
+        for (wr, (rank, col_sum, row_sum)) in out.results.iter().enumerate() {
+            assert_eq!(*rank, wr);
+            assert_eq!(*col_sum, 1, "sum of rows 0..2");
+            assert_eq!(*row_sum, 3, "sum of cols 0..3");
+        }
+    }
+
+    #[test]
+    fn world_collective_spans_grid() {
+        let out = run_grid(GridShape::new(2, 2), |ctx| {
+            ctx.world.allreduce_scalar(ctx.world_rank() as u64)
+        });
+        for r in out.results {
+            assert_eq!(r, 6);
+        }
+    }
+
+    #[test]
+    fn ledgers_are_per_rank() {
+        let out = run_grid(GridShape::new(2, 2), |ctx| {
+            for _ in 0..=ctx.world_rank() {
+                ctx.record(EventKind::Blas1 { n: 1 });
+            }
+        });
+        for (wr, l) in out.ledgers.iter().enumerate() {
+            assert_eq!(l.events().len(), wr + 1);
+        }
+    }
+
+    #[test]
+    fn diagonal_ranks() {
+        let out = run_grid(GridShape::new(3, 3), |ctx| (ctx.row, ctx.col, ctx.is_diagonal()));
+        let diag_count = out.results.iter().filter(|(_, _, d)| *d).count();
+        assert_eq!(diag_count, 3);
+        for (i, j, d) in out.results {
+            assert_eq!(d, i == j);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panics_are_reported() {
+        // Shape 1x4 so no collective is pending when rank 2 dies.
+        run_grid(GridShape::new(1, 4), |ctx| {
+            if ctx.world_rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,304 @@
+//! Instrumentation ledger: every compute kernel, collective operation and
+//! host↔device transfer performed by a rank is recorded here.
+//!
+//! The ledger is the bridge between the *functional* runtime (threads doing
+//! real math) and the *performance* reproduction: `chase-perfmodel` converts
+//! the recorded events into modeled seconds on the paper's machine
+//! (JUWELS-Booster, 4×A100 per node), split into the computation /
+//! communication / data-movement categories of Fig. 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Which ChASE kernel an event belongs to (the four bars of Fig. 2, plus
+/// Lanczos and a catch-all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    Lanczos,
+    Filter,
+    Qr,
+    RayleighRitz,
+    Residuals,
+    Other,
+}
+
+impl Region {
+    /// The four regions profiled in Fig. 2 of the paper.
+    pub const PROFILED: [Region; 4] =
+        [Region::Filter, Region::Qr, Region::RayleighRitz, Region::Residuals];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Lanczos => "Lanczos",
+            Region::Filter => "Filter",
+            Region::Qr => "QR",
+            Region::RayleighRitz => "Rayleigh-Ritz",
+            Region::Residuals => "Residuals",
+            Region::Other => "Other",
+        }
+    }
+}
+
+/// Cost category, matching the three color groups of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Green bars: local kernel execution.
+    Compute,
+    /// Red bars: collective communication.
+    Comm,
+    /// Blue bars: host↔device staging copies.
+    Transfer,
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// General matrix multiply with `2 m n k` scalar fused multiply-adds.
+    Gemm { m: u64, n: u64, k: u64 },
+    /// Gram/HERK update (`m` rows, `n` columns -> `n x n` output).
+    Herk { m: u64, n: u64 },
+    /// Cholesky factorization of an `n x n` matrix.
+    Potrf { n: u64 },
+    /// Triangular solve of an `m x n` block.
+    Trsm { m: u64, n: u64 },
+    /// Dense Hermitian eigensolve of an `n x n` matrix.
+    Heevd { n: u64 },
+    /// Householder QR of an `m x n` block.
+    HhQr { m: u64, n: u64 },
+    /// BLAS-1 style streaming op over `n` elements.
+    Blas1 { n: u64 },
+    /// Host-to-device copy.
+    H2D { bytes: u64 },
+    /// Device-to-host copy.
+    D2H { bytes: u64 },
+    /// Sum-allreduce over `members` ranks of a `bytes`-sized payload.
+    AllReduce { bytes: u64, members: u64 },
+    /// Broadcast of a `bytes`-sized payload to `members` ranks.
+    Bcast { bytes: u64, members: u64 },
+    /// Allgather contributing `bytes_per_rank` from each of `members` ranks.
+    AllGather { bytes_per_rank: u64, members: u64 },
+    /// Synchronization barrier.
+    Barrier { members: u64 },
+}
+
+impl EventKind {
+    pub fn category(&self) -> Category {
+        match self {
+            EventKind::Gemm { .. }
+            | EventKind::Herk { .. }
+            | EventKind::Potrf { .. }
+            | EventKind::Trsm { .. }
+            | EventKind::Heevd { .. }
+            | EventKind::HhQr { .. }
+            | EventKind::Blas1 { .. } => Category::Compute,
+            EventKind::H2D { .. } | EventKind::D2H { .. } => Category::Transfer,
+            EventKind::AllReduce { .. }
+            | EventKind::Bcast { .. }
+            | EventKind::AllGather { .. }
+            | EventKind::Barrier { .. } => Category::Comm,
+        }
+    }
+
+    /// Floating-point operations for compute events (complex-double flops for
+    /// the scalar-agnostic ledger are counted as real flop *pairs*; the
+    /// machine model applies the per-scalar multiplier).
+    pub fn flops(&self) -> u64 {
+        match *self {
+            EventKind::Gemm { m, n, k } => 2 * m * n * k,
+            EventKind::Herk { m, n } => m * n * (n + 1),
+            EventKind::Potrf { n } => n * n * n / 3,
+            EventKind::Trsm { m, n } => m * n * n,
+            EventKind::Heevd { n } => 9 * n * n * n,
+            EventKind::HhQr { m, n } => 2 * m * n * n,
+            EventKind::Blas1 { n } => 2 * n,
+            _ => 0,
+        }
+    }
+
+    /// Bytes moved for transfer/communication events.
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            EventKind::H2D { bytes } | EventKind::D2H { bytes } => bytes,
+            EventKind::AllReduce { bytes, .. } | EventKind::Bcast { bytes, .. } => bytes,
+            EventKind::AllGather { bytes_per_rank, members } => bytes_per_rank * members,
+            _ => 0,
+        }
+    }
+}
+
+/// A recorded event with its kernel region.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Event {
+    pub kind: EventKind,
+    pub region: Region,
+}
+
+/// Per-rank event log.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Ledger {
+    events: Vec<Event>,
+    #[serde(skip)]
+    region: Option<Region>,
+}
+
+impl Ledger {
+    pub fn new() -> Self {
+        Self { events: Vec::new(), region: None }
+    }
+
+    /// Set the kernel region subsequent events are attributed to.
+    pub fn set_region(&mut self, region: Region) {
+        self.region = Some(region);
+    }
+
+    pub fn clear_region(&mut self) {
+        self.region = None;
+    }
+
+    pub fn record(&mut self, kind: EventKind) {
+        let region = self.region.unwrap_or(Region::Other);
+        self.events.push(Event { kind, region });
+    }
+
+    pub fn record_in(&mut self, region: Region, kind: EventKind) {
+        self.events.push(Event { kind, region });
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Total bytes in a category (Comm counts payload bytes; AllGather counts
+    /// the full gathered volume).
+    pub fn bytes_in(&self, category: Category) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind.category() == category)
+            .map(|e| e.kind.bytes())
+            .sum()
+    }
+
+    /// Total compute flops attributed to a region.
+    pub fn flops_in(&self, region: Region) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.region == region)
+            .map(|e| e.kind.flops())
+            .sum()
+    }
+
+    /// Number of collective calls (message count — the quantity whose growth
+    /// harmed ChASE v1.2's weak scaling, Section 2.3).
+    pub fn collective_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::AllReduce { .. }
+                        | EventKind::Bcast { .. }
+                        | EventKind::AllGather { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Merge another ledger's events (used when aggregating sub-phases).
+    pub fn absorb(&mut self, other: &Ledger) {
+        self.events.extend_from_slice(other.events());
+    }
+}
+
+/// RAII guard restoring the previous region on drop.
+pub struct RegionGuard<'a> {
+    ledger: &'a mut Ledger,
+    prev: Option<Region>,
+}
+
+impl<'a> RegionGuard<'a> {
+    pub fn new(ledger: &'a mut Ledger, region: Region) -> Self {
+        let prev = ledger.region;
+        ledger.region = Some(region);
+        Self { ledger, prev }
+    }
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        self.ledger.region = self.prev;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert_eq!(EventKind::Gemm { m: 1, n: 1, k: 1 }.category(), Category::Compute);
+        assert_eq!(EventKind::H2D { bytes: 8 }.category(), Category::Transfer);
+        assert_eq!(
+            EventKind::AllReduce { bytes: 8, members: 4 }.category(),
+            Category::Comm
+        );
+    }
+
+    #[test]
+    fn flops_and_bytes() {
+        assert_eq!(EventKind::Gemm { m: 2, n: 3, k: 4 }.flops(), 48);
+        assert_eq!(EventKind::AllGather { bytes_per_rank: 10, members: 4 }.bytes(), 40);
+        assert_eq!(EventKind::Barrier { members: 4 }.bytes(), 0);
+    }
+
+    #[test]
+    fn ledger_accounting() {
+        let mut l = Ledger::new();
+        l.set_region(Region::Filter);
+        l.record(EventKind::Gemm { m: 10, n: 10, k: 10 });
+        l.record(EventKind::AllReduce { bytes: 800, members: 2 });
+        l.set_region(Region::Qr);
+        l.record(EventKind::Potrf { n: 6 });
+        assert_eq!(l.events().len(), 3);
+        assert_eq!(l.flops_in(Region::Filter), 2000);
+        assert_eq!(l.flops_in(Region::Qr), 72);
+        assert_eq!(l.bytes_in(Category::Comm), 800);
+        assert_eq!(l.collective_count(), 1);
+    }
+
+    #[test]
+    fn region_guard_restores() {
+        let mut l = Ledger::new();
+        l.set_region(Region::Filter);
+        {
+            let g = RegionGuard::new(&mut l, Region::Qr);
+            g.ledger.record(EventKind::Potrf { n: 2 });
+        }
+        l.record(EventKind::Blas1 { n: 5 });
+        assert_eq!(l.events()[0].region, Region::Qr);
+        assert_eq!(l.events()[1].region, Region::Filter);
+    }
+
+    #[test]
+    fn default_region_is_other() {
+        let mut l = Ledger::new();
+        l.record(EventKind::Barrier { members: 3 });
+        assert_eq!(l.events()[0].region, Region::Other);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut l = Ledger::new();
+        l.record_in(Region::Filter, EventKind::Gemm { m: 4, n: 5, k: 6 });
+        let s = serde_json::to_string(&l).unwrap();
+        let back: Ledger = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.events().len(), 1);
+        assert_eq!(back.flops_in(Region::Filter), 240);
+    }
+}

@@ -1,0 +1,23 @@
+//! # chase-comm
+//!
+//! In-process SPMD runtime standing in for the MPI + NCCL layer of the
+//! distributed ChASE library (see DESIGN.md, substitution table).
+//!
+//! * [`collective`] — rendezvous-based AllReduce / Bcast / AllGather /
+//!   Barrier over thread "ranks", semantically matching the collectives used
+//!   in Algorithm 2 of the paper.
+//! * [`grid`] — the 2D rank grid with row and column communicators, plus the
+//!   [`grid::run_grid`] SPMD runner.
+//! * [`ledger`] — per-rank event log of compute kernels, collectives and
+//!   host↔device transfers, from which `chase-perfmodel` prices the paper's
+//!   Fig. 2 profile.
+
+pub mod collective;
+pub mod grid;
+pub mod ledger;
+pub mod partition;
+
+pub use collective::{Communicator, Reduce, Slot};
+pub use grid::{block_range, run_grid, solo_ctx, GridShape, RankCtx, SpmdOutput};
+pub use partition::{Distribution, IndexSet};
+pub use ledger::{Category, Event, EventKind, Ledger, Region, RegionGuard};

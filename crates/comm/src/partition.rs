@@ -1,0 +1,252 @@
+//! Index partitions: block and block-cyclic data distributions.
+//!
+//! The paper distributes `H` over the 2D grid "following either a block
+//! distribution or a block-cyclic distribution" (Section 2.2). Both are
+//! expressed here as an [`IndexSet`]: the ordered set of global indices a
+//! rank owns along one dimension. All distributed kernels are agnostic to
+//! which distribution produced the set — only the index arithmetic differs.
+
+use std::ops::Range;
+
+/// How a dimension is split across communicator members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// One contiguous block per owner (sizes differ by at most one).
+    Block,
+    /// ScaLAPACK-style block-cyclic with the given block size: blocks are
+    /// dealt round-robin to owners.
+    BlockCyclic { block: usize },
+}
+
+/// The ordered global indices owned by one member along one dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexSet {
+    /// Contiguous `start..end`.
+    Block { start: usize, end: usize },
+    /// Owner `part` of `parts` under block-cyclic dealing over `0..n`.
+    Cyclic { n: usize, block: usize, parts: usize, part: usize },
+}
+
+impl IndexSet {
+    /// The set for `idx` of `parts` owners over `0..n` under `dist`.
+    pub fn new(n: usize, parts: usize, idx: usize, dist: Distribution) -> Self {
+        assert!(idx < parts);
+        match dist {
+            Distribution::Block => {
+                let r = crate::grid::block_range(n, parts, idx);
+                IndexSet::Block { start: r.start, end: r.end }
+            }
+            Distribution::BlockCyclic { block } => {
+                assert!(block >= 1);
+                IndexSet::Cyclic { n, block, parts, part: idx }
+            }
+        }
+    }
+
+    /// Number of indices owned.
+    pub fn len(&self) -> usize {
+        match *self {
+            IndexSet::Block { start, end } => end - start,
+            IndexSet::Cyclic { n, block, parts, part } => {
+                let total_blocks = n.div_ceil(block);
+                // Blocks with global block-index ≡ part (mod parts).
+                let owned_blocks = if total_blocks > part {
+                    (total_blocks - part - 1) / parts + 1
+                } else {
+                    0
+                };
+                if owned_blocks == 0 {
+                    return 0;
+                }
+                // Only the globally last block can be partial.
+                let last_owned_g = part + (owned_blocks - 1) * parts;
+                let last_size = (n - last_owned_g * block).min(block);
+                (owned_blocks - 1) * block + last_size
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global index of local position `local`.
+    pub fn global(&self, local: usize) -> usize {
+        debug_assert!(local < self.len());
+        match *self {
+            IndexSet::Block { start, .. } => start + local,
+            IndexSet::Cyclic { block, parts, part, .. } => {
+                (part + (local / block) * parts) * block + local % block
+            }
+        }
+    }
+
+    /// Local position of `global`, if owned.
+    pub fn local_of(&self, global: usize) -> Option<usize> {
+        match *self {
+            IndexSet::Block { start, end } => {
+                (start..end).contains(&global).then(|| global - start)
+            }
+            IndexSet::Cyclic { n, block, parts, part } => {
+                if global >= n {
+                    return None;
+                }
+                let g = global / block;
+                (g % parts == part).then(|| (g / parts) * block + global % block)
+            }
+        }
+    }
+
+    /// Iterate owned global indices in local order.
+    pub fn iter(&self) -> IndexSetIter<'_> {
+        IndexSetIter { set: self, pos: 0, len: self.len() }
+    }
+
+    /// The contiguous range, when this set is a block.
+    pub fn as_range(&self) -> Option<Range<usize>> {
+        match *self {
+            IndexSet::Block { start, end } => Some(start..end),
+            IndexSet::Cyclic { .. } => None,
+        }
+    }
+
+    /// First owned global index (panics when empty).
+    pub fn first(&self) -> usize {
+        self.global(0)
+    }
+}
+
+impl From<Range<usize>> for IndexSet {
+    fn from(r: Range<usize>) -> Self {
+        IndexSet::Block { start: r.start, end: r.end }
+    }
+}
+
+/// Iterator over an [`IndexSet`]'s global indices.
+pub struct IndexSetIter<'a> {
+    set: &'a IndexSet,
+    pos: usize,
+    len: usize,
+}
+
+impl Iterator for IndexSetIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.pos < self.len {
+            let g = self.set.global(self.pos);
+            self.pos += 1;
+            Some(g)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for IndexSetIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition(n: usize, parts: usize, dist: Distribution) {
+        let sets: Vec<IndexSet> = (0..parts).map(|i| IndexSet::new(n, parts, i, dist)).collect();
+        // Disjoint cover of 0..n.
+        let mut seen = vec![false; n];
+        for s in &sets {
+            for g in s.iter() {
+                assert!(!seen[g], "index {g} owned twice");
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "not all of 0..{n} covered");
+        // local_of inverts global.
+        for s in &sets {
+            for (l, g) in s.iter().enumerate() {
+                assert_eq!(s.global(l), g);
+                assert_eq!(s.local_of(g), Some(l));
+            }
+            assert_eq!(s.iter().len(), s.len());
+        }
+        // Non-owned indices return None.
+        for (i, s) in sets.iter().enumerate() {
+            for (j, other) in sets.iter().enumerate() {
+                if i != j {
+                    for g in other.iter().take(5) {
+                        assert_eq!(s.local_of(g), None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_partitions() {
+        for n in [1usize, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 5] {
+                check_partition(n, parts, Distribution::Block);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_partitions() {
+        for n in [1usize, 7, 16, 100, 101] {
+            for parts in [1usize, 2, 3, 5] {
+                for block in [1usize, 2, 3, 8] {
+                    check_partition(n, parts, Distribution::BlockCyclic { block });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_layout_example() {
+        // n = 10, block = 2, parts = 2: owner 0 gets blocks {0,1} {4,5}
+        // {8,9}; owner 1 gets {2,3} {6,7}.
+        let s0 = IndexSet::new(10, 2, 0, Distribution::BlockCyclic { block: 2 });
+        let s1 = IndexSet::new(10, 2, 1, Distribution::BlockCyclic { block: 2 });
+        assert_eq!(s0.iter().collect::<Vec<_>>(), vec![0, 1, 4, 5, 8, 9]);
+        assert_eq!(s1.iter().collect::<Vec<_>>(), vec![2, 3, 6, 7]);
+        assert_eq!(s0.len(), 6);
+        assert_eq!(s1.len(), 4);
+    }
+
+    #[test]
+    fn cyclic_partial_last_block() {
+        // n = 7, block = 3, parts = 2: blocks [0..3) -> 0, [3..6) -> 1,
+        // [6..7) -> 0 (partial).
+        let s0 = IndexSet::new(7, 2, 0, Distribution::BlockCyclic { block: 3 });
+        assert_eq!(s0.iter().collect::<Vec<_>>(), vec![0, 1, 2, 6]);
+        assert_eq!(s0.len(), 4);
+        assert_eq!(s0.local_of(6), Some(3));
+    }
+
+    #[test]
+    fn block_as_range() {
+        let s = IndexSet::new(10, 2, 1, Distribution::Block);
+        assert_eq!(s.as_range(), Some(5..10));
+        let c = IndexSet::new(10, 2, 1, Distribution::BlockCyclic { block: 2 });
+        assert_eq!(c.as_range(), None);
+    }
+
+    #[test]
+    fn empty_owner() {
+        // More owners than blocks: owner 3 gets nothing.
+        let s = IndexSet::new(4, 4, 3, Distribution::BlockCyclic { block: 2 });
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_range() {
+        let s: IndexSet = (3..8).into();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.first(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Condition-number estimation of the filtered vectors (Algorithm 5).
+//!
+//! The Chebyshev filter amplifies the eigencomponent at `lambda` by roughly
+//! `|rho(t)|^deg`, where `t = (lambda - c)/e` maps the damped interval to
+//! `[-1, 1]` and `rho(t) = t ± sqrt(t^2 - 1)` is the Joukowski growth factor
+//! (`|rho| = 1` inside the interval, `> 1` outside). Comparing the most
+//! amplified retained component against the least amplified active one gives
+//! a cost-free upper bound on `kappa_2` of the filtered block, which drives
+//! the QR switchboard (Algorithm 4).
+
+/// Joukowski growth factor `max |t ± sqrt(t^2 - 1)|` (>= 1 for all real t).
+pub fn growth_factor(t: f64) -> f64 {
+    let d = t * t - 1.0;
+    if d <= 0.0 {
+        // Inside [-1, 1]: |t ± i sqrt(1 - t^2)| = 1 — no amplification.
+        1.0
+    } else {
+        let s = d.sqrt();
+        (t - s).abs().max((t + s).abs())
+    }
+}
+
+/// Algorithm 5: estimate `kappa_2` of the filtered block.
+///
+/// * `ritzv` — current Ritz values (ascending within the active part),
+///   length `ne`; `ritzv[0]` approximates the most-amplified eigenvalue.
+/// * `c`, `e` — center and half-width of the damped interval.
+/// * `degs` — per-column Chebyshev degrees, length `ne` (sorted ascending in
+///   the active part, mirroring the solver's column order).
+/// * `locked` — number of converged, deflated columns.
+pub fn cond_est(ritzv: &[f64], c: f64, e: f64, degs: &[usize], locked: usize) -> f64 {
+    assert_eq!(ritzv.len(), degs.len());
+    assert!(locked < degs.len(), "cond_est needs at least one active column");
+    assert!(e > 0.0, "empty filter interval");
+    let t_prime = (ritzv[0] - c) / e;
+    let t = (ritzv[locked] - c) / e;
+    let rho = growth_factor(t);
+    let rho_prime = growth_factor(t_prime);
+    let d = degs[locked] as f64;
+    let d_max = degs[locked..].iter().copied().max().unwrap() as f64;
+    // cond = |rho|^d * |rho'|^(d_M - d), computed in log space to survive
+    // rho^36 for deep spectra without overflow.
+    let log_cond = d * rho.ln() + (d_max - d) * rho_prime.ln();
+    log_cond.exp().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_inside_interval_is_one() {
+        for t in [-1.0, -0.5, 0.0, 0.7, 1.0] {
+            assert_eq!(growth_factor(t), 1.0);
+        }
+    }
+
+    #[test]
+    fn growth_outside_interval_exceeds_one() {
+        assert!(growth_factor(1.5) > 1.0);
+        assert!(growth_factor(-2.0) > 1.0);
+        // symmetric in t
+        assert!((growth_factor(-2.0) - growth_factor(2.0)).abs() < 1e-15);
+        // monotone in |t|
+        assert!(growth_factor(3.0) > growth_factor(2.0));
+    }
+
+    #[test]
+    fn growth_matches_closed_form() {
+        // rho(2) = 2 + sqrt(3)
+        assert!((growth_factor(2.0) - (2.0 + 3.0f64.sqrt())).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cond_est_uniform_degrees() {
+        // All columns at the same Ritz value and degree: cond = rho^d.
+        let ritzv = vec![-3.0; 4];
+        let degs = vec![20usize; 4];
+        // c = 0, e = 1 -> t = -3, rho = 3 + sqrt(8)
+        let rho = 3.0 + 8.0f64.sqrt();
+        let got = cond_est(&ritzv, 0.0, 1.0, &degs, 0);
+        assert!((got.ln() - 20.0 * rho.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cond_est_mixed_degrees_uses_max() {
+        // First active column has small degree; another has larger.
+        let ritzv = vec![-4.0, -3.0, -2.0];
+        let degs = vec![10usize, 10, 20];
+        let got = cond_est(&ritzv, 0.0, 1.0, &degs, 0);
+        let rho = growth_factor(-4.0); // rho' (most amplified)
+        let rho_act = growth_factor(-4.0); // t uses ritzv[locked] = ritzv[0] here
+        let expect = 10.0 * rho_act.ln() + 10.0 * rho.ln();
+        assert!((got.ln() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cond_est_respects_locked_offset() {
+        let ritzv = vec![-5.0, -4.0, -1.5, -1.2];
+        let degs = vec![0usize, 0, 8, 8];
+        // With 2 locked, t comes from ritzv[2] = -1.5.
+        let got = cond_est(&ritzv, 0.0, 1.0, &degs, 2);
+        let expect = 8.0 * growth_factor(-1.5).ln();
+        assert!((got.ln() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cond_est_no_overflow_at_max_degree() {
+        let ritzv = vec![-1e3, -1.0];
+        let degs = vec![36usize, 36];
+        let got = cond_est(&ritzv, 0.0, 1.0, &degs, 0);
+        assert!(got.is_finite() || got == f64::INFINITY);
+        assert!(got > 1e30, "deep eigenvalue at degree 36 must blow up the bound");
+    }
+
+    #[test]
+    fn cond_est_at_least_one() {
+        // Active Ritz value inside the damped interval -> no growth -> 1.
+        let got = cond_est(&[0.0, 0.5], 0.0, 1.0, &[4, 4], 0);
+        assert_eq!(got, 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-vector Chebyshev degree optimization (Algorithm 1, line 11).
+//!
+//! ChASE's key efficiency feature: instead of filtering every vector with
+//! the same polynomial degree, each unconverged vector gets the smallest
+//! degree expected to push its residual below `tol`, minimizing the total
+//! MatVec count. The residual of the Ritz pair at `lambda` contracts per
+//! filter application by roughly `1 / rho(t)` with
+//! `t = (lambda - c)/e` (see [`crate::condest::growth_factor`]).
+
+use crate::condest::growth_factor;
+
+/// Smallest even degree in `[2, max_deg]` expected to drive `res` below
+/// `tol`, given the vector's Ritz value mapped to `t`.
+pub fn optimal_degree(res: f64, tol: f64, t: f64, max_deg: usize) -> usize {
+    let rho = growth_factor(t);
+    let deg = if res <= tol {
+        // Already converged — one polishing pass.
+        2.0
+    } else if rho <= 1.0 + 1e-12 {
+        // Inside the damped interval: filtering cannot help; use the cap.
+        max_deg as f64
+    } else {
+        (res / tol).ln() / rho.ln()
+    };
+    let mut d = deg.ceil().max(2.0) as usize;
+    // ChASE enforces even degrees so filtered vectors always end in C.
+    d += d % 2;
+    d.clamp(2, if max_deg.is_multiple_of(2) { max_deg } else { max_deg - 1 })
+}
+
+/// Vectorized version over the active columns.
+///
+/// Returns degrees aligned with `ritzv`/`resd` (both length = active count).
+pub fn optimize_degrees(
+    resd: &[f64],
+    ritzv: &[f64],
+    c: f64,
+    e: f64,
+    tol: f64,
+    max_deg: usize,
+) -> Vec<usize> {
+    assert_eq!(resd.len(), ritzv.len());
+    resd.iter()
+        .zip(ritzv)
+        .map(|(&r, &l)| optimal_degree(r, tol, (l - c) / e, max_deg))
+        .collect()
+}
+
+/// Sort permutation by ascending degree (stable), as required by the
+/// filter's shrinking-active-range scheme (Algorithm 1, line 12).
+pub fn degree_sort_permutation(degs: &[usize]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..degs.len()).collect();
+    idx.sort_by_key(|&i| degs[i]);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_are_even_and_clamped() {
+        for res in [1e-2, 1e-6, 1e-9] {
+            let d = optimal_degree(res, 1e-10, -3.0, 36);
+            assert_eq!(d % 2, 0);
+            assert!((2..=36).contains(&d));
+        }
+    }
+
+    #[test]
+    fn farther_eigenvalues_need_lower_degree() {
+        // |t| = 5 decays much faster than |t| = 1.1.
+        let d_far = optimal_degree(1e-2, 1e-10, -5.0, 100);
+        let d_near = optimal_degree(1e-2, 1e-10, -1.1, 100);
+        assert!(d_far < d_near, "{d_far} !< {d_near}");
+    }
+
+    #[test]
+    fn smaller_residual_needs_lower_degree() {
+        let d_big = optimal_degree(1e-1, 1e-10, -2.0, 100);
+        let d_small = optimal_degree(1e-8, 1e-10, -2.0, 100);
+        assert!(d_small < d_big);
+    }
+
+    #[test]
+    fn converged_gets_minimum() {
+        assert_eq!(optimal_degree(1e-12, 1e-10, -2.0, 36), 2);
+    }
+
+    #[test]
+    fn inside_interval_gets_cap() {
+        assert_eq!(optimal_degree(1e-2, 1e-10, 0.5, 36), 36);
+    }
+
+    #[test]
+    fn exact_contraction_count() {
+        // res/tol = 1e8, rho = 10 -> need 8 applications -> even -> 8.
+        // Find t with rho(t) = 10: t = (10 + 1/10)/2 = 5.05.
+        let d = optimal_degree(1e-2, 1e-10, 5.05, 100);
+        assert_eq!(d, 8);
+    }
+
+    #[test]
+    fn sort_permutation_ascending() {
+        let degs = [8usize, 2, 36, 4];
+        let p = degree_sort_permutation(&degs);
+        assert_eq!(p, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn odd_cap_is_rounded_down() {
+        let d = optimal_degree(1.0, 1e-10, 0.0, 35);
+        assert_eq!(d, 34);
+    }
+}

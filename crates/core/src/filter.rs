@@ -1,0 +1,282 @@
+//! The Chebyshev polynomial filter (Algorithm 1 line 4 / Algorithm 2 line 10).
+//!
+//! Implements the scaled three-term recurrence of the ChASE filter:
+//!
+//! ```text
+//! sigma_1 = e / (mu_1 - c);          sigma = sigma_1
+//! X_1 = (sigma_1 / e) (H - c I) X_0
+//! for i = 2..=deg:
+//!     sigma' = 1 / (2/sigma_1 - sigma)
+//!     X_i = 2 (sigma'/e) (H - c I) X_{i-1} - (sigma sigma') X_{i-2}
+//!     sigma = sigma'
+//! ```
+//!
+//! damping `[c - e, c + e] = [mu_ne, b_sup]` while amplifying the wanted end
+//! of the spectrum near `mu_1`. Odd applications land in B-layout, even ones
+//! in C-layout; degrees are even so filtered vectors always finish in `C`
+//! (Section 3.1). Per-vector degrees are honored by keeping the columns
+//! sorted ascending-by-degree and shrinking the active range as steps pass
+//! each column's degree.
+
+use crate::hemm::{hemm_b_to_c, hemm_c_to_b};
+use crate::layout::DistHerm;
+use chase_comm::{RankCtx, Reduce, Region};
+use chase_device::Device;
+use chase_linalg::{Matrix, RealScalar, Scalar};
+
+/// Interval parameters consumed by the filter.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterBounds<R> {
+    /// Center of the damped interval: `(b_sup + mu_ne) / 2`.
+    pub c: R,
+    /// Half-width: `(b_sup - mu_ne) / 2`.
+    pub e: R,
+    /// Estimate of the smallest (most wanted) eigenvalue.
+    pub mu_1: R,
+}
+
+impl<R: RealScalar> FilterBounds<R> {
+    pub fn from_spectrum(mu_1: R, mu_ne: R, b_sup: R) -> Self {
+        let half = R::from_f64_r(0.5);
+        Self { c: (b_sup + mu_ne) * half, e: (b_sup - mu_ne) * half, mu_1 }
+    }
+}
+
+/// Apply the filter to columns `offset..offset + degrees.len()` of `c_buf`.
+///
+/// * `degrees` must be ascending and even (the solver sorts; see
+///   [`crate::degrees::degree_sort_permutation`]).
+/// * `b_buf` is scratch in B-layout (contents destroyed).
+///
+/// Returns the number of MatVec column-applications performed
+/// (`sum(degrees)`) — the quantity Table 2 reports.
+#[allow(clippy::too_many_arguments)]
+pub fn chebyshev_filter<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    ctx: &RankCtx,
+    h: &mut DistHerm<T>,
+    c_buf: &mut Matrix<T>,
+    b_buf: &mut Matrix<T>,
+    offset: usize,
+    degrees: &[usize],
+    bounds: FilterBounds<T::Real>,
+) -> u64 {
+    if degrees.is_empty() {
+        return 0;
+    }
+    dev.set_region(Region::Filter);
+    assert!(degrees.windows(2).all(|w| w[0] <= w[1]), "degrees must be ascending");
+    assert!(degrees.iter().all(|&d| d >= 2 && d % 2 == 0), "degrees must be even >= 2");
+    let dmax = *degrees.last().unwrap();
+    let one = <T::Real as Scalar>::one();
+    assert!(bounds.e > <T::Real as Scalar>::zero(), "empty filter interval");
+
+    h.set_shift(bounds.c);
+
+    let sigma1 = bounds.e / (bounds.mu_1 - bounds.c);
+    let mut sigma = sigma1;
+    let mut matvecs = 0u64;
+
+    // Step 1: all columns are active (degrees >= 2).
+    {
+        let ncols = degrees.len();
+        let alpha = T::from_real(sigma1 / bounds.e);
+        hemm_c_to_b(dev, ctx, h, c_buf, b_buf, offset, ncols, alpha, T::zero());
+        matvecs += ncols as u64;
+    }
+
+    for step in 2..=dmax {
+        // Columns with degree >= step are still active; ascending order means
+        // they form a suffix of the block.
+        let first_active = degrees.partition_point(|&d| d < step);
+        let ncols = degrees.len() - first_active;
+        debug_assert!(ncols > 0);
+        let col0 = offset + first_active;
+
+        let sigma_new = one / ((one + one) / sigma1 - sigma);
+        let alpha = T::from_real((sigma_new + sigma_new) / bounds.e);
+        let beta = T::from_real(-(sigma * sigma_new));
+
+        if step % 2 == 0 {
+            // B-layout -> C-layout; X_{step-2} lives in c_buf.
+            hemm_b_to_c(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta);
+        } else {
+            hemm_c_to_b(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta);
+        }
+        sigma = sigma_new;
+        matvecs += ncols as u64;
+    }
+
+    h.clear_shift();
+    matvecs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_comm::{run_grid, solo_ctx, GridShape};
+    use chase_device::Backend;
+    use chase_linalg::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Diagonal H: filtering acts independently per eigen-coordinate, so the
+    /// amplification ratio is directly observable.
+    fn diag_h(spec: &[f64], ctx: &RankCtx) -> DistHerm<C64> {
+        DistHerm::from_fn(spec.len(), ctx, |i, j| {
+            if i == j {
+                C64::from_f64(spec[i])
+            } else {
+                C64::zero()
+            }
+        })
+    }
+
+    #[test]
+    fn filter_amplifies_wanted_end() {
+        // Spectrum: wanted eigenvalue at -2, damped interval [0, 2].
+        let spec: Vec<f64> = vec![-2.0, 0.2, 0.8, 1.4, 2.0];
+        let n = spec.len();
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let mut h = diag_h(&spec, &ctx);
+        let mut c = Matrix::<C64>::from_fn(n, 1, |_, _| C64::one());
+        let mut b = Matrix::<C64>::zeros(n, 1);
+        let bounds = FilterBounds::from_spectrum(-2.0, 0.0, 2.0);
+        let mv = chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 0, &[8], bounds);
+        assert_eq!(mv, 8);
+        // Wanted coordinate stays O(1) (the sigma scaling normalizes it);
+        // damped coordinates shrink hard.
+        let wanted = c[(0, 0)].abs();
+        assert!(wanted > 0.5, "wanted component {wanted}");
+        for i in 1..n {
+            assert!(
+                c[(i, 0)].abs() < 0.05 * wanted,
+                "coordinate {i} not damped: {}",
+                c[(i, 0)].abs()
+            );
+        }
+        // Shift must be removed afterwards.
+        assert_eq!(h.current_shift(), 0.0);
+    }
+
+    #[test]
+    fn higher_degree_damps_harder() {
+        let spec: Vec<f64> = vec![-2.0, 1.0];
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let bounds = FilterBounds::from_spectrum(-2.0, 0.0, 2.0);
+        let mut ratios = Vec::new();
+        for deg in [4usize, 8, 16] {
+            let mut h = diag_h(&spec, &ctx);
+            let mut c = Matrix::<C64>::from_fn(2, 1, |_, _| C64::one());
+            let mut b = Matrix::<C64>::zeros(2, 1);
+            chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 0, &[deg], bounds);
+            ratios.push(c[(1, 0)].abs() / c[(0, 0)].abs());
+        }
+        assert!(ratios[1] < ratios[0] * 0.1);
+        assert!(ratios[2] < ratios[1] * 0.1);
+    }
+
+    #[test]
+    fn per_column_degrees_respected() {
+        // Two columns with different degrees: the lower-degree column must
+        // match a solo run at that degree exactly.
+        let spec: Vec<f64> = vec![-2.0, -1.5, 0.5, 1.0, 1.8, 2.0];
+        let n = spec.len();
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let bounds = FilterBounds::from_spectrum(-2.0, 0.0, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = Matrix::<C64>::random(n, 2, &mut rng);
+
+        let mut h = diag_h(&spec, &ctx);
+        let mut c = x.clone();
+        let mut b = Matrix::<C64>::zeros(n, 2);
+        let mv = chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 0, &[4, 10], bounds);
+        assert_eq!(mv, 14);
+
+        // Column 0 alone at degree 4.
+        let mut h2 = diag_h(&spec, &ctx);
+        let mut c2 = x.copy_cols(0..1);
+        let mut b2 = Matrix::<C64>::zeros(n, 1);
+        chebyshev_filter(&dev, &ctx, &mut h2, &mut c2, &mut b2, 0, &[4], bounds);
+        for i in 0..n {
+            assert!((c[(i, 0)] - c2[(i, 0)]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn distributed_filter_matches_serial() {
+        let n = 12;
+        let ne = 4;
+        let spec: Vec<f64> = (0..n).map(|i| -3.0 + 6.0 * i as f64 / (n - 1) as f64).collect();
+        let hg = {
+            let s = chase_matgen::Spectrum::from_values(spec.clone());
+            chase_matgen::dense_with_spectrum::<C64>(&s, 11)
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let x = Matrix::<C64>::random(n, ne, &mut rng);
+        let bounds = FilterBounds::from_spectrum(-3.0, 0.0, 3.0);
+        let degrees = vec![2usize, 4, 4, 6];
+
+        // Serial reference.
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let mut h = DistHerm::from_global(&hg, &ctx);
+        let mut c_ref = x.clone();
+        let mut b_ref = Matrix::<C64>::zeros(n, ne);
+        chebyshev_filter(&dev, &ctx, &mut h, &mut c_ref, &mut b_ref, 0, &degrees, bounds);
+
+        for shape in [GridShape::new(2, 2), GridShape::new(3, 2)] {
+            let (hg, x, degrees, c_ref) = (&hg, &x, &degrees, &c_ref);
+            let out = run_grid(shape, move |ctx| {
+                let dev = Device::new(ctx, Backend::Std);
+                let mut h = DistHerm::from_global(hg, ctx);
+                let mut c = x.select_rows(h.row_set.iter());
+                let mut b = Matrix::<C64>::zeros(h.n_c(), ne);
+                chebyshev_filter(&dev, ctx, &mut h, &mut c, &mut b, 0, degrees, bounds);
+                let want = c_ref.select_rows(h.row_set.iter());
+                c.max_abs_diff(&want)
+            });
+            for d in out.results {
+                assert!(d < 1e-11, "shape {shape:?} diff {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_skips_locked_columns() {
+        let spec: Vec<f64> = vec![-2.0, -1.0, 0.5, 2.0];
+        let n = 4;
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let mut h = diag_h(&spec, &ctx);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Matrix::<C64>::random(n, 3, &mut rng);
+        let mut c = x.clone();
+        let mut b = Matrix::<C64>::zeros(n, 3);
+        let bounds = FilterBounds::from_spectrum(-2.0, 0.0, 2.0);
+        chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 1, &[4, 4], bounds);
+        // Column 0 (locked) untouched.
+        for i in 0..n {
+            assert_eq!(c[(i, 0)], x[(i, 0)]);
+        }
+        // Columns 1, 2 filtered (changed).
+        assert!(c.copy_cols(1..3).max_abs_diff(&x.copy_cols(1..3)) > 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_degrees() {
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let mut h = diag_h(&[1.0, 2.0], &ctx);
+        let mut c = Matrix::<C64>::zeros(2, 2);
+        let mut b = Matrix::<C64>::zeros(2, 2);
+        chebyshev_filter(
+            &dev, &ctx, &mut h, &mut c, &mut b, 0, &[6, 4],
+            FilterBounds::from_spectrum(0.0, 1.0, 2.0),
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! The distributed Hermitian matrix-multiply (Section 2.2's "customized MPI
+//! scheme") that underlies the Filter, Rayleigh–Ritz and Residual stages.
+//!
+//! Because `H` is Hermitian, `H X` for a C-layout block can be computed as
+//! `H^H X` using each rank's *stored* block transposed — the result lands in
+//! B-layout after a column-communicator allreduce, and the reverse direction
+//! (`H B`, row-communicator allreduce) returns to C-layout. No vector block
+//! is ever re-distributed.
+
+use crate::layout::DistHerm;
+use chase_comm::{RankCtx, Reduce};
+use chase_linalg::matrix::ColsMut;
+use chase_linalg::{Matrix, Op, Scalar};
+use chase_device::Device;
+
+/// `B[:, range] = alpha * H^H * C[:, range] + beta * B[:, range]`
+/// (C-layout in, B-layout out; allreduce over the column communicator).
+///
+/// The `beta` term is applied on exactly one rank of the reducing
+/// communicator so the allreduce adds it once — this is how the three-term
+/// Chebyshev recurrence reuses the destination buffer as `X_{i-2}` storage.
+#[allow(clippy::too_many_arguments)]
+pub fn hemm_c_to_b<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    ctx: &RankCtx,
+    h: &DistHerm<T>,
+    c_buf: &Matrix<T>,
+    b_buf: &mut Matrix<T>,
+    col0: usize,
+    ncols: usize,
+    alpha: T,
+    beta: T,
+) {
+    debug_assert_eq!(c_buf.rows(), h.n_r());
+    debug_assert_eq!(b_buf.rows(), h.n_c());
+    let on_root = ctx.col_comm.rank() == 0;
+    let eff_beta = if on_root { beta } else { T::zero() };
+    dev.gemm(
+        Op::ConjTrans,
+        Op::None,
+        alpha,
+        h.local.as_ref(),
+        c_buf.cols_ref(col0..col0 + ncols),
+        eff_beta,
+        b_buf.cols_mut(col0..col0 + ncols),
+    );
+    let mut view = b_buf.cols_mut(col0..col0 + ncols);
+    dev.allreduce_sum(&ctx.col_comm, view.as_mut_slice());
+}
+
+/// `C[:, range] = alpha * H * B[:, range] + beta * C[:, range]`
+/// (B-layout in, C-layout out; allreduce over the row communicator).
+#[allow(clippy::too_many_arguments)]
+pub fn hemm_b_to_c<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    ctx: &RankCtx,
+    h: &DistHerm<T>,
+    b_buf: &Matrix<T>,
+    c_buf: &mut Matrix<T>,
+    col0: usize,
+    ncols: usize,
+    alpha: T,
+    beta: T,
+) {
+    debug_assert_eq!(c_buf.rows(), h.n_r());
+    debug_assert_eq!(b_buf.rows(), h.n_c());
+    let on_root = ctx.row_comm.rank() == 0;
+    let eff_beta = if on_root { beta } else { T::zero() };
+    dev.gemm(
+        Op::None,
+        Op::None,
+        alpha,
+        h.local.as_ref(),
+        b_buf.cols_ref(col0..col0 + ncols),
+        eff_beta,
+        c_buf.cols_mut(col0..col0 + ncols),
+    );
+    let mut view = c_buf.cols_mut(col0..col0 + ncols);
+    dev.allreduce_sum(&ctx.row_comm, view.as_mut_slice());
+}
+
+/// Distributed matvec on a *replicated* global vector: `y = H x`.
+///
+/// Used by the Lanczos estimator, where vectors are cheap (`O(N)`) and
+/// keeping them replicated avoids a second layout. The result is identical
+/// (bitwise) on every rank.
+pub fn matvec_replicated<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    ctx: &RankCtx,
+    h: &DistHerm<T>,
+    x: &[T],
+    y: &mut [T],
+) {
+    debug_assert_eq!(x.len(), h.n);
+    debug_assert_eq!(y.len(), h.n);
+    // Local contribution to rows J_j: H[I_i, J_j]^H x[I_i].
+    let mut part = vec![T::zero(); h.n_c()];
+    let x_rows: Vec<T> = h.row_set.iter().map(|g| x[g]).collect();
+    {
+        let xv = chase_linalg::matrix::ColsRef::new(&x_rows, h.n_r(), 1);
+        let pv = ColsMut::new(&mut part, h.n_c(), 1);
+        dev.gemm(Op::ConjTrans, Op::None, T::one(), h.local.as_ref(), xv, T::zero(), pv);
+    }
+    dev.allreduce_sum(&ctx.col_comm, &mut part);
+    // Ranks of a row communicator hold disjoint J_j sets covering 0..N;
+    // scatter the gathered pieces by their global indices.
+    let gathered = dev.allgather(&ctx.row_comm, &part);
+    debug_assert_eq!(gathered.len(), h.n);
+    let b_dist = crate::layout::RowDist::b_layout(h.n, ctx.shape, h.dist);
+    let full = b_dist.assemble(&gathered, 1);
+    y.copy_from_slice(full.col(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_comm::{block_range, run_grid, GridShape};
+    use chase_device::Backend;
+    use chase_linalg::{gemm_new, C64};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix<C64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x = Matrix::<C64>::random(n, n, &mut rng);
+        let xh = x.adjoint();
+        Matrix::from_fn(n, n, |i, j| (x[(i, j)] + xh[(i, j)]).scale(0.5))
+    }
+
+    #[test]
+    fn c_to_b_matches_global_product() {
+        let n = 12;
+        let ne = 5;
+        let h = random_hermitian(n, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cg = Matrix::<C64>::random(n, ne, &mut rng);
+        let expect = gemm_new(Op::None, Op::None, &h, &cg);
+        for shape in [GridShape::new(1, 1), GridShape::new(2, 2), GridShape::new(2, 3)] {
+            let (h, cg, expect) = (&h, &cg, &expect);
+            let out = run_grid(shape, move |ctx| {
+                let dev = Device::new(ctx, Backend::Nccl);
+                let dh = DistHerm::from_global(h, ctx);
+                let c_loc = cg.select_rows(dh.row_set.iter());
+                let mut b_loc = Matrix::<C64>::zeros(dh.n_c(), ne);
+                hemm_c_to_b(&dev, ctx, &dh, &c_loc, &mut b_loc, 0, ne, C64::one(), C64::zero());
+                let want = expect.select_rows(dh.col_set.iter());
+                b_loc.max_abs_diff(&want)
+            });
+            for d in out.results {
+                assert!(d < 1e-12, "shape {shape:?}: diff {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn b_to_c_matches_global_product() {
+        let n = 10;
+        let ne = 4;
+        let h = random_hermitian(n, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let bg = Matrix::<C64>::random(n, ne, &mut rng);
+        let expect = gemm_new(Op::None, Op::None, &h, &bg);
+        let (h, bg, expect) = (&h, &bg, &expect);
+        let out = run_grid(GridShape::new(2, 2), move |ctx| {
+            let dev = Device::new(ctx, Backend::Std);
+            let dh = DistHerm::from_global(h, ctx);
+            let b_loc = bg.select_rows(dh.col_set.iter());
+            let mut c_loc = Matrix::<C64>::zeros(dh.n_r(), ne);
+            hemm_b_to_c(&dev, ctx, &dh, &b_loc, &mut c_loc, 0, ne, C64::one(), C64::zero());
+            let want = expect.select_rows(dh.row_set.iter());
+            c_loc.max_abs_diff(&want)
+        });
+        for d in out.results {
+            assert!(d < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_term_added_exactly_once() {
+        // y = H x + beta * y0 must not multiply beta by the communicator size.
+        let n = 8;
+        let h = random_hermitian(n, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let cg = Matrix::<C64>::random(n, 2, &mut rng);
+        let bg0 = Matrix::<C64>::random(n, 2, &mut rng);
+        let mut expect = gemm_new(Op::None, Op::None, &h, &cg);
+        for j in 0..2 {
+            for i in 0..n {
+                expect[(i, j)] += bg0[(i, j)].scale(3.0);
+            }
+        }
+        let (h, cg, bg0, expect) = (&h, &cg, &bg0, &expect);
+        let out = run_grid(GridShape::new(2, 2), move |ctx| {
+            let dev = Device::new(ctx, Backend::Nccl);
+            let dh = DistHerm::from_global(h, ctx);
+            let c_loc = cg.select_rows(dh.row_set.iter());
+            let mut b_loc = bg0.select_rows(dh.col_set.iter());
+            hemm_c_to_b(
+                &dev, ctx, &dh, &c_loc, &mut b_loc, 0, 2,
+                C64::one(), C64::from_f64(3.0),
+            );
+            b_loc.max_abs_diff(&expect.select_rows(dh.col_set.iter()))
+        });
+        for d in out.results {
+            assert!(d < 1e-12, "beta duplicated: diff {d}");
+        }
+    }
+
+    #[test]
+    fn matvec_replicated_consistent() {
+        let n = 11;
+        let h = random_hermitian(n, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let x: Vec<C64> = (0..n).map(|_| C64::sample_standard(&mut rng)).collect();
+        let xm = Matrix::from_vec(n, 1, x.clone());
+        let expect = gemm_new(Op::None, Op::None, &h, &xm);
+        let (h, x, expect) = (&h, &x, &expect);
+        let out = run_grid(GridShape::new(2, 3), move |ctx| {
+            let dev = Device::new(ctx, Backend::Nccl);
+            let dh = DistHerm::from_global(h, ctx);
+            let mut y = vec![C64::zero(); n];
+            matvec_replicated(&dev, ctx, &dh, x, &mut y);
+            y
+        });
+        for y in &out.results {
+            for i in 0..n {
+                assert!((y[i] - expect[(i, 0)]).abs() < 1e-12);
+            }
+        }
+        // bitwise identical across ranks (deterministic reduce order)
+        for y in &out.results[1..] {
+            assert_eq!(y, &out.results[0]);
+        }
+    }
+
+    #[test]
+    fn block_ranges_consistent_with_layout() {
+        // Guard: the J_j pieces gathered by matvec_replicated must cover 0..N
+        // in order.
+        let shape = GridShape::new(3, 4);
+        let mut covered = 0;
+        for j in 0..shape.q {
+            let r = block_range(23, shape.q, j);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, 23);
+    }
+}

@@ -1,0 +1,324 @@
+//! Distributed data layout (Section 3.1 / Algorithm 2 of the paper).
+//!
+//! The Hermitian matrix `H` lives on a 2D rank grid in a **block** or
+//! **block-cyclic** distribution (both supported by the paper, Section
+//! 2.2): rank `(i, j)` owns the local matrix whose global row/column
+//! indices are given by two [`IndexSet`]s. The rectangular vector blocks
+//! come in two flavors:
+//!
+//! * **C-layout** (`C`, `C2`): rows of the global `N x ne` matrix are
+//!   partitioned over the *column communicator* — rank `(i, j)` holds the
+//!   rows of `H`'s row set `I_i`; identical across `j`.
+//! * **B-layout** (`B`, `B2`): rows partitioned over the *row communicator*
+//!   — rank `(i, j)` holds the rows of `H`'s column set `J_j`; identical
+//!   across `i`.
+//!
+//! The Hermitian-trick HEMM maps C-layout into B-layout (via `H^H C` plus a
+//! column-communicator allreduce) and back (via `H B` plus a row-communicator
+//! allreduce) without any re-distribution (Section 2.2) — the index
+//! arithmetic is the only thing the distribution changes.
+
+use chase_comm::{Distribution, GridShape, IndexSet, RankCtx};
+use chase_linalg::{Matrix, Scalar};
+
+/// A rank's share of the distributed Hermitian matrix, plus its global index
+/// sets.
+pub struct DistHerm<T: Scalar> {
+    /// Local `n_r x n_c` block.
+    pub local: Matrix<T>,
+    /// Global rows owned (`I_i`, determined by the grid row).
+    pub row_set: IndexSet,
+    /// Global columns owned (`J_j`, determined by the grid column).
+    pub col_set: IndexSet,
+    /// Global dimension `N`.
+    pub n: usize,
+    /// The distribution both dimensions follow.
+    pub dist: Distribution,
+    /// Currently applied diagonal shift (the filter shifts `H - c I` in
+    /// place, exactly like ChASE's `shiftMatrix`).
+    shift: T::Real,
+    /// `(local_i, local_j, original_value)` of every global-diagonal entry
+    /// inside this block, so shifting is exact and cannot drift.
+    base_diag: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> DistHerm<T> {
+    /// Carve this rank's block out of a replicated global matrix
+    /// (block distribution).
+    pub fn from_global(h: &Matrix<T>, ctx: &RankCtx) -> Self {
+        Self::from_global_dist(h, ctx, Distribution::Block)
+    }
+
+    /// Carve this rank's block under an explicit distribution.
+    pub fn from_global_dist(h: &Matrix<T>, ctx: &RankCtx, dist: Distribution) -> Self {
+        assert_eq!(h.rows(), h.cols(), "H must be square");
+        let n = h.rows();
+        let row_set = IndexSet::new(n, ctx.shape.p, ctx.row, dist);
+        let col_set = IndexSet::new(n, ctx.shape.q, ctx.col, dist);
+        let local = Matrix::from_fn(row_set.len(), col_set.len(), |i, j| {
+            h[(row_set.global(i), col_set.global(j))]
+        });
+        Self::with_base(local, row_set, col_set, n, dist)
+    }
+
+    /// Build from a deterministic element generator `f(global_i, global_j)`,
+    /// avoiding any rank ever materializing the full matrix
+    /// (block distribution).
+    pub fn from_fn(n: usize, ctx: &RankCtx, f: impl FnMut(usize, usize) -> T) -> Self {
+        Self::from_fn_dist(n, ctx, Distribution::Block, f)
+    }
+
+    /// Generator construction under an explicit distribution.
+    pub fn from_fn_dist(
+        n: usize,
+        ctx: &RankCtx,
+        dist: Distribution,
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> Self {
+        let row_set = IndexSet::new(n, ctx.shape.p, ctx.row, dist);
+        let col_set = IndexSet::new(n, ctx.shape.q, ctx.col, dist);
+        let local = Matrix::from_fn(row_set.len(), col_set.len(), |i, j| {
+            f(row_set.global(i), col_set.global(j))
+        });
+        Self::with_base(local, row_set, col_set, n, dist)
+    }
+
+    fn with_base(
+        local: Matrix<T>,
+        row_set: IndexSet,
+        col_set: IndexSet,
+        n: usize,
+        dist: Distribution,
+    ) -> Self {
+        let mut base_diag = Vec::new();
+        for li in 0..row_set.len() {
+            let g = row_set.global(li);
+            if let Some(lj) = col_set.local_of(g) {
+                base_diag.push((li, lj, local[(li, lj)]));
+            }
+        }
+        Self { local, row_set, col_set, n, dist, shift: <T::Real as Scalar>::zero(), base_diag }
+    }
+
+    /// Local row count `n_r`.
+    pub fn n_r(&self) -> usize {
+        self.row_set.len()
+    }
+
+    /// Local column count `n_c`.
+    pub fn n_c(&self) -> usize {
+        self.col_set.len()
+    }
+
+    /// Set the diagonal shift so the local block represents `H - s I`
+    /// (only blocks intersecting the global diagonal change).
+    pub fn set_shift(&mut self, s: T::Real) {
+        if s == self.shift {
+            return;
+        }
+        for &(li, lj, base) in &self.base_diag {
+            self.local[(li, lj)] = if s == <T::Real as Scalar>::zero() {
+                base
+            } else {
+                base - T::from_real(s)
+            };
+        }
+        self.shift = s;
+    }
+
+    /// Remove any shift, restoring the original `H` block.
+    pub fn clear_shift(&mut self) {
+        self.set_shift(<T::Real as Scalar>::zero());
+    }
+
+    pub fn current_shift(&self) -> T::Real {
+        self.shift
+    }
+}
+
+/// Row partition bookkeeping for one of the two layouts.
+#[derive(Debug, Clone)]
+pub struct RowDist {
+    /// Global row count.
+    pub n: usize,
+    /// Row index set per communicator member.
+    pub parts: Vec<IndexSet>,
+}
+
+impl RowDist {
+    /// C-layout partition (over the column communicator: `p` parts).
+    pub fn c_layout(n: usize, shape: GridShape, dist: Distribution) -> Self {
+        Self { n, parts: (0..shape.p).map(|i| IndexSet::new(n, shape.p, i, dist)).collect() }
+    }
+
+    /// B-layout partition (over the row communicator: `q` parts).
+    pub fn b_layout(n: usize, shape: GridShape, dist: Distribution) -> Self {
+        Self { n, parts: (0..shape.q).map(|j| IndexSet::new(n, shape.q, j, dist)).collect() }
+    }
+
+    /// Reassemble a full matrix from per-member blocks gathered in member
+    /// order (`gathered` is the concatenation of column-major blocks).
+    pub fn assemble<T: Scalar>(&self, gathered: &[T], cols: usize) -> Matrix<T> {
+        let mut full = Matrix::zeros(self.n, cols);
+        let mut offset = 0;
+        for part in &self.parts {
+            let rows = part.len();
+            for j in 0..cols {
+                for (i, g) in part.iter().enumerate() {
+                    full[(g, j)] = gathered[offset + j * rows + i];
+                }
+            }
+            offset += rows * cols;
+        }
+        assert_eq!(offset, gathered.len(), "gathered size mismatch");
+        full
+    }
+}
+
+/// Per-rank memory report auditing Eq. (2) of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryReport {
+    /// Bytes actually held by this rank's H block.
+    pub h_bytes: usize,
+    /// Bytes in C-layout vector buffers (C and C2).
+    pub c_bytes: usize,
+    /// Bytes in B-layout vector buffers (B and B2).
+    pub b_bytes: usize,
+    /// Bytes in the redundant `ne x ne` quotient.
+    pub a_bytes: usize,
+    /// For the legacy LMS layout: the redundant full-size `N x ne` buffers.
+    pub redundant_bytes: usize,
+}
+
+impl MemoryReport {
+    pub fn total(&self) -> usize {
+        self.h_bytes + self.c_bytes + self.b_bytes + self.a_bytes + self.redundant_bytes
+    }
+
+    /// Eq. (2) prediction in *elements*:
+    /// `N^2/(p q) + 2 N ne / p + 2 N ne / q + ne^2`.
+    pub fn eq2_elements(n: usize, ne: usize, shape: GridShape) -> usize {
+        n * n / (shape.p * shape.q) + 2 * n * ne / shape.p + 2 * n * ne / shape.q + ne * ne
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_comm::{run_grid, solo_ctx};
+    use chase_linalg::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix<C64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x = Matrix::<C64>::random(n, n, &mut rng);
+        let xh = x.adjoint();
+        Matrix::from_fn(n, n, |i, j| (x[(i, j)] + xh[(i, j)]).scale(0.5))
+    }
+
+    #[test]
+    fn blocks_partition_h() {
+        let h = random_hermitian(11, 1);
+        for dist in [Distribution::Block, Distribution::BlockCyclic { block: 2 }] {
+            let href = &h;
+            let out = run_grid(GridShape::new(2, 3), move |ctx| {
+                let d = DistHerm::from_global_dist(href, ctx, dist);
+                (d.row_set.clone(), d.col_set.clone(), d.local.clone())
+            });
+            let mut seen = 0;
+            for (rows, cols, local) in out.results {
+                for (li, g_i) in rows.iter().enumerate() {
+                    for (lj, g_j) in cols.iter().enumerate() {
+                        assert_eq!(local[(li, lj)], h[(g_i, g_j)]);
+                    }
+                }
+                seen += rows.len() * cols.len();
+            }
+            assert_eq!(seen, 121, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn from_fn_matches_from_global() {
+        let h = random_hermitian(9, 2);
+        let href = &h;
+        for dist in [Distribution::Block, Distribution::BlockCyclic { block: 2 }] {
+            let out = run_grid(GridShape::new(3, 3), move |ctx| {
+                let a = DistHerm::from_global_dist(href, ctx, dist);
+                let b = DistHerm::from_fn_dist(9, ctx, dist, |i, j| href[(i, j)]);
+                a.local.max_abs_diff(&b.local)
+            });
+            for d in out.results {
+                assert_eq!(d, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_only_touches_diagonal_entries() {
+        let h = random_hermitian(8, 3);
+        let href = &h;
+        for dist in [Distribution::Block, Distribution::BlockCyclic { block: 3 }] {
+            let out = run_grid(GridShape::new(2, 2), move |ctx| {
+                let mut d = DistHerm::from_global_dist(href, ctx, dist);
+                d.set_shift(2.5);
+                let shifted = d.local.clone();
+                let (rows, cols) = (d.row_set.clone(), d.col_set.clone());
+                d.clear_shift();
+                let restored = d.local.clone();
+                (rows, cols, shifted, restored)
+            });
+            for (rows, cols, shifted, restored) in out.results {
+                for (li, g_i) in rows.iter().enumerate() {
+                    for (lj, g_j) in cols.iter().enumerate() {
+                        let expect = if g_i == g_j {
+                            h[(g_i, g_j)] - C64::from_f64(2.5)
+                        } else {
+                            h[(g_i, g_j)]
+                        };
+                        assert_eq!(shifted[(li, lj)], expect, "{dist:?}");
+                        assert_eq!(restored[(li, lj)], h[(g_i, g_j)]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_is_exact_after_retargeting() {
+        let h = random_hermitian(5, 4);
+        let ctx = solo_ctx();
+        let mut d = DistHerm::from_global(&h, &ctx);
+        d.set_shift(1.0);
+        d.set_shift(1.0); // no-op
+        d.set_shift(3.0);
+        assert_eq!(d.local[(0, 0)], h[(0, 0)] - C64::from_f64(3.0));
+        d.clear_shift();
+        assert_eq!(d.local.max_abs_diff(&h), 0.0);
+    }
+
+    #[test]
+    fn rowdist_assemble_roundtrip() {
+        let shape = GridShape::new(3, 2);
+        for dist in [Distribution::Block, Distribution::BlockCyclic { block: 2 }] {
+            let rd = RowDist::c_layout(10, shape, dist);
+            let full = Matrix::<f64>::from_fn(10, 4, |i, j| (i * 10 + j) as f64);
+            // Simulate an allgather: concatenate members' blocks in order.
+            let mut gathered = Vec::new();
+            for part in &rd.parts {
+                let block = full.select_rows(part.iter());
+                gathered.extend_from_slice(block.as_slice());
+            }
+            let back = rd.assemble(&gathered, 4);
+            assert_eq!(back.max_abs_diff(&full), 0.0, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn eq2_formula() {
+        let shape = GridShape::new(2, 2);
+        // N=16, ne=4: 256/4 + 2*64/2 + 2*64/2 + 16 = 64+64+64+16 = 208
+        assert_eq!(MemoryReport::eq2_elements(16, 4, shape), 208);
+    }
+}

@@ -1,0 +1,33 @@
+//! # chase-core
+//!
+//! The ChASE eigensolver — Chebyshev Accelerated Subspace iteration for
+//! dense Hermitian problems — with the SC'23 paper's novel parallelization
+//! scheme, flexible communication-avoiding QR, condition-number-driven QR
+//! switching, and backend-dependent (MPI-staged vs NCCL device-direct)
+//! collective accounting.
+//!
+//! Entry points:
+//! * [`solve_serial`] — one-rank solve on a replicated matrix.
+//! * [`solve_dist`] — SPMD solve inside a [`chase_comm::run_grid`] region.
+//! * [`lms::solve_lms`] — the legacy v1.2 layout (redundant QR/RR/residuals),
+//!   kept as the ChASE(LMS) baseline of the paper's evaluation.
+
+pub mod condest;
+pub mod degrees;
+pub mod filter;
+pub mod hemm;
+pub mod layout;
+pub mod lms;
+pub mod params;
+pub mod qr;
+pub mod result;
+pub mod solver;
+
+pub use condest::{cond_est, growth_factor};
+pub use degrees::{degree_sort_permutation, optimal_degree, optimize_degrees};
+pub use filter::{chebyshev_filter, FilterBounds};
+pub use layout::{DistHerm, MemoryReport, RowDist};
+pub use params::{Params, QrStrategy};
+pub use qr::{cholesky_qr, flexible_qr, householder_qr_dist, shifted_cholesky_qr2, QrVariant};
+pub use result::{ChaseResult, IterStats};
+pub use solver::{estimate_bounds_dist, solve_dist, solve_serial, Chase};

@@ -1,0 +1,113 @@
+//! Solver parameters (the knobs of Algorithms 1–2).
+
+/// Strategy for choosing the QR factorization each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QrStrategy {
+    /// The paper's heuristic (Algorithm 4): pick by estimated condition
+    /// number — shifted CholeskyQR2 above 1e8, CholeskyQR1 below 20,
+    /// CholeskyQR2 otherwise, Householder QR as the corner-case fallback.
+    Auto,
+    /// Always use (ScaLAPACK-style) Householder QR — the Table 2 baseline.
+    AlwaysHouseholder,
+    /// Always CholeskyQR2 (ablation).
+    AlwaysCholeskyQr2,
+    /// Always single-pass CholeskyQR (ablation; may lose orthogonality).
+    AlwaysCholeskyQr1,
+}
+
+/// ChASE configuration.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of wanted (lowest) eigenpairs.
+    pub nev: usize,
+    /// Extra search directions; the subspace has `ne = nev + nex` columns.
+    pub nex: usize,
+    /// Residual threshold for deflation & locking (the paper fixes 1e-10).
+    pub tol: f64,
+    /// Initial Chebyshev degree (paper: 20).
+    pub deg: usize,
+    /// Cap on optimized degrees (paper: 36, "to avoid the matrix of
+    /// vectors becoming too ill-conditioned").
+    pub max_deg: usize,
+    /// Enable per-vector degree optimization (paper: always on unless
+    /// stated otherwise).
+    pub optimize_degrees: bool,
+    /// Maximum outer iterations before giving up.
+    pub max_iter: usize,
+    /// Lanczos steps per run for the spectral estimator.
+    pub lanczos_steps: usize,
+    /// Number of independent Lanczos runs for the DoS estimate.
+    pub lanczos_runs: usize,
+    /// QR variant selection.
+    pub qr: QrStrategy,
+    /// Also compute the *exact* condition number of the filtered block each
+    /// iteration (expensive; drives Fig. 1).
+    pub track_true_cond: bool,
+    /// Seed for the random starting block.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Defaults matching the paper's experimental setup.
+    pub fn new(nev: usize, nex: usize) -> Self {
+        Self {
+            nev,
+            nex,
+            tol: 1e-10,
+            deg: 20,
+            max_deg: 36,
+            optimize_degrees: true,
+            max_iter: 60,
+            lanczos_steps: 25,
+            lanczos_runs: 4,
+            qr: QrStrategy::Auto,
+            track_true_cond: false,
+            seed: 0xC4A53,
+        }
+    }
+
+    /// Search-space width `ne = nev + nex`.
+    pub fn ne(&self) -> usize {
+        self.nev + self.nex
+    }
+
+    /// Validate against a problem size.
+    pub fn validate(&self, n: usize) {
+        assert!(self.nev >= 1, "nev must be at least 1");
+        assert!(self.nex >= 1, "nex must be at least 1 (deflation headroom)");
+        assert!(
+            self.ne() <= n,
+            "search space ({}) exceeds problem size ({n})",
+            self.ne()
+        );
+        assert!(self.tol > 0.0);
+        assert!(self.deg >= 2 && self.max_deg >= self.deg);
+        assert!(self.max_iter >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = Params::new(100, 40);
+        assert_eq!(p.tol, 1e-10);
+        assert_eq!(p.deg, 20);
+        assert_eq!(p.max_deg, 36);
+        assert!(p.optimize_degrees);
+        assert_eq!(p.ne(), 140);
+    }
+
+    #[test]
+    #[should_panic(expected = "search space")]
+    fn validate_rejects_oversized_subspace() {
+        Params::new(100, 40).validate(120);
+    }
+
+    #[test]
+    fn validate_accepts_sane() {
+        Params::new(10, 5).validate(100);
+    }
+}

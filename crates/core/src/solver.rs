@@ -1,0 +1,497 @@
+//! The main ChASE iteration with the novel parallelization scheme
+//! (Algorithm 2 of the paper).
+//!
+//! Per outer iteration: Chebyshev-filter the active columns of `C`
+//! (C-layout), orthonormalize `C` with the flexible 1D-CAQR inside each
+//! column communicator, redistribute `C2 -> B2`, form the Rayleigh–Ritz
+//! quotient with one row-communicator allreduce, diagonalize it redundantly,
+//! back-transform locally, compute residuals in B-layout, then deflate and
+//! lock converged columns. The only replicated object is the `ne x ne`
+//! quotient `A` — the `O(N ne)` redundancy of v1.2 is gone (Section 3.1).
+
+use crate::condest::cond_est;
+use crate::degrees::{degree_sort_permutation, optimize_degrees};
+use crate::filter::{chebyshev_filter, FilterBounds};
+use crate::hemm::{hemm_c_to_b, matvec_replicated};
+use crate::layout::{DistHerm, MemoryReport, RowDist};
+use crate::params::Params;
+use crate::qr::flexible_qr;
+use crate::result::{ChaseResult, IterStats};
+use chase_comm::{Reduce, Region};
+use chase_device::{Backend, Device};
+use chase_linalg::{Matrix, Op, RealScalar, Scalar, SpectralBounds};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Swap two columns of a matrix.
+#[allow(dead_code)]
+pub(crate) fn swap_cols<T: Scalar>(m: &mut Matrix<T>, i: usize, j: usize) {
+    if i == j {
+        return;
+    }
+    let (a, b) = m.two_cols_mut(i, j);
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        std::mem::swap(x, y);
+    }
+}
+
+/// Permute columns `offset..offset+perm.len()` of `m` so that new column `k`
+/// is old column `offset + perm[k]`.
+pub(crate) fn permute_cols<T: Scalar>(m: &mut Matrix<T>, offset: usize, perm: &[usize]) {
+    let block = m.copy_cols(offset..offset + perm.len());
+    for (k, &src) in perm.iter().enumerate() {
+        m.col_mut(offset + k).copy_from_slice(block.col(src));
+    }
+}
+
+fn permute_vec<V: Copy>(v: &mut [V], perm: &[usize]) {
+    let old: Vec<V> = v.to_vec();
+    for (k, &src) in perm.iter().enumerate() {
+        v[k] = old[src];
+    }
+}
+
+/// Distributed spectral-bound estimation (Algorithm 2, line 1): `runs`
+/// Lanczos runs of `steps` iterations on the distributed operator, with a
+/// DoS quantile for `mu_ne`. Identical output on every rank.
+pub fn estimate_bounds_dist<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    h: &DistHerm<T>,
+    ne: usize,
+    params: &Params,
+) -> SpectralBounds<T::Real> {
+    dev.set_region(Region::Lanczos);
+    let ctx = dev.ctx();
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x1a9c205);
+    chase_linalg::estimate_bounds::<T, _, _>(
+        h.n,
+        ne,
+        params.lanczos_steps,
+        params.lanczos_runs,
+        |x, y| matvec_replicated(dev, ctx, h, x, y),
+        &mut rng,
+    )
+}
+
+/// Solver state for one rank.
+pub struct Chase<'d, 'c, T: Scalar + Reduce>
+where
+    T::Real: Reduce,
+{
+    dev: &'d Device<'c>,
+    params: Params,
+    h: DistHerm<T>,
+    c: Matrix<T>,
+    c2: Matrix<T>,
+    b: Matrix<T>,
+    b2: Matrix<T>,
+    ritzv: Vec<T::Real>,
+    resd: Vec<T::Real>,
+    degs: Vec<usize>,
+    locked: usize,
+    c_dist: RowDist,
+    b_dist: RowDist,
+}
+
+impl<'d, 'c, T: Scalar + Reduce> Chase<'d, 'c, T>
+where
+    T::Real: Reduce,
+{
+    /// Allocate buffers for the given distributed matrix.
+    ///
+    /// `initial` optionally provides a global `N x ne` block of approximate
+    /// eigenvectors (ChASE's sequence-of-eigenproblems use case); otherwise
+    /// the start block is random (seeded, identical across ranks).
+    pub fn new(
+        dev: &'d Device<'c>,
+        h: DistHerm<T>,
+        params: Params,
+        initial: Option<&Matrix<T>>,
+    ) -> Self {
+        params.validate(h.n);
+        let ne = params.ne();
+        let ctx = dev.ctx();
+        let c_dist = RowDist::c_layout(h.n, ctx.shape, h.dist);
+        let b_dist = RowDist::b_layout(h.n, ctx.shape, h.dist);
+
+        let c_global = match initial {
+            Some(v0) => {
+                assert_eq!(v0.rows(), h.n);
+                assert_eq!(v0.cols(), ne);
+                v0.clone()
+            }
+            None => {
+                let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+                Matrix::random(h.n, ne, &mut rng)
+            }
+        };
+        let c = c_global.select_rows(h.row_set.iter());
+        let c2 = c.clone();
+        let b = Matrix::zeros(h.n_c(), ne);
+        let b2 = Matrix::zeros(h.n_c(), ne);
+        Self {
+            dev,
+            h,
+            c,
+            c2,
+            b,
+            b2,
+            ritzv: vec![<T::Real as Scalar>::zero(); ne],
+            resd: vec![<T::Real as Scalar>::one(); ne],
+            degs: vec![0; ne],
+            locked: 0,
+            c_dist,
+            b_dist,
+            params,
+        }
+    }
+
+    /// Eq. (2) audit: bytes actually allocated by this rank.
+    pub fn memory_report(&self) -> MemoryReport {
+        MemoryReport {
+            h_bytes: self.h.local.bytes(),
+            c_bytes: self.c.bytes() + self.c2.bytes(),
+            b_bytes: self.b.bytes() + self.b2.bytes(),
+            a_bytes: self.params.ne() * self.params.ne() * std::mem::size_of::<T>(),
+            redundant_bytes: 0,
+        }
+    }
+
+    /// Redistribute `C2` (C-layout) into `B2` (B-layout): a single broadcast
+    /// from the diagonal rank on square grids (Algorithm 2, line 14), an
+    /// allgather + slice otherwise.
+    fn update_b2(&mut self) {
+        let ctx = self.dev.ctx();
+        let ne = self.params.ne();
+        if ctx.shape.is_square() {
+            let root = ctx.col; // rank (j, j) within column communicator j
+            if ctx.row == root {
+                debug_assert_eq!(self.c2.rows(), self.b2.rows());
+                self.b2.as_mut_slice().copy_from_slice(self.c2.as_slice());
+            }
+            self.dev.bcast(&ctx.col_comm, self.b2.as_mut_slice(), root);
+        } else {
+            let gathered = self.dev.allgather(&ctx.col_comm, self.c2.as_slice());
+            let full = self.c_dist.assemble(&gathered, ne);
+            self.b2 = full.select_rows(self.h.col_set.iter());
+        }
+    }
+
+    /// One Rayleigh–Ritz projection over the active columns
+    /// (Algorithm 2, lines 14–20). Returns the active Ritz values.
+    fn rayleigh_ritz(&mut self) -> Vec<T::Real> {
+        self.dev.set_region(Region::RayleighRitz);
+        let ne = self.params.ne();
+        let act = ne - self.locked;
+        let ctx = self.dev.ctx();
+
+        self.update_b2();
+        // B[:, act] = H C[:, act]
+        hemm_c_to_b(
+            self.dev, ctx, &self.h, &self.c, &mut self.b,
+            self.locked, act, T::one(), T::zero(),
+        );
+        // A = B2[:, act]^H B[:, act], reduced over the row communicator.
+        let mut a = Matrix::<T>::zeros(act, act);
+        self.dev.gemm(
+            Op::ConjTrans,
+            Op::None,
+            T::one(),
+            self.b2.cols_ref(self.locked..ne),
+            self.b.cols_ref(self.locked..ne),
+            T::zero(),
+            a.as_mut(),
+        );
+        self.dev.allreduce_sum(&ctx.row_comm, a.as_mut_slice());
+        let (vals, y) = self.dev.heevd(&a).expect("Rayleigh-Ritz eigensolve failed");
+        // Back-transform: C[:, act] = C2[:, act] Y (local within column comm).
+        self.dev.gemm(
+            Op::None,
+            Op::None,
+            T::one(),
+            self.c2.cols_ref(self.locked..ne),
+            y.as_ref(),
+            T::zero(),
+            self.c.cols_mut(self.locked..ne),
+        );
+        // C2 mirrors C on the active part; refresh B2 for the residuals.
+        let act_block = self.c.copy_cols(self.locked..ne);
+        self.c2.set_cols(self.locked, &act_block);
+        self.update_b2();
+        vals
+    }
+
+    /// Residual norms of the active columns (Algorithm 2, lines 21–25).
+    fn residuals(&mut self) {
+        self.dev.set_region(Region::Residuals);
+        let ne = self.params.ne();
+        let act = ne - self.locked;
+        let ctx = self.dev.ctx();
+        // B[:, act] = H C[:, act]
+        hemm_c_to_b(
+            self.dev, ctx, &self.h, &self.c, &mut self.b,
+            self.locked, act, T::one(), T::zero(),
+        );
+        // B -= ritzv .* B2 , column-wise (single batched BLAS-1 kernel).
+        self.dev.blas1::<T>(self.h.n_c() * act * 2);
+        let mut nrm: Vec<T::Real> = Vec::with_capacity(act);
+        for k in 0..act {
+            let j = self.locked + k;
+            let lambda = self.ritzv[j];
+            let (bj, b2j) = {
+                let b2col = self.b2.col(j).to_vec();
+                (self.b.col_mut(j), b2col)
+            };
+            for (x, y) in bj.iter_mut().zip(&b2j) {
+                *x -= y.scale(lambda);
+            }
+            nrm.push(chase_linalg::blas1::nrm2_sqr(bj));
+        }
+        self.dev.allreduce_sum_real::<T>(&ctx.row_comm, &mut nrm);
+        for (k, v) in nrm.into_iter().enumerate() {
+            self.resd[self.locked + k] = v.sqrt_r();
+        }
+    }
+
+    /// Deflation & locking: after the Rayleigh–Ritz step the active columns
+    /// are in ascending Ritz order, so locking the longest converged
+    /// *prefix* guarantees the locked set is exactly the lowest eigenpairs
+    /// (no holes — a converged pair above an unconverged one must wait).
+    /// Returns how many were locked.
+    fn lock_converged(&mut self, norm_h: T::Real) -> usize {
+        let ne = self.params.ne();
+        let tol = T::Real::from_f64_r(self.params.tol) * norm_h;
+        let before = self.locked;
+        while self.locked < ne && self.resd[self.locked] < tol {
+            self.locked += 1;
+        }
+        self.locked - before
+    }
+
+    /// Run the full Algorithm 2 loop.
+    pub fn solve(mut self) -> ChaseResult<T> {
+        let ne = self.params.ne();
+        let nev = self.params.nev;
+        let ctx = self.dev.ctx();
+
+        let bounds = estimate_bounds_dist(self.dev, &self.h, ne, &self.params);
+        let b_sup = bounds.b_sup;
+        let mut mu_1 = bounds.mu_1;
+        let mut mu_ne = bounds.mu_ne;
+        let norm_h = mu_1.abs_r().max_r(b_sup.abs_r());
+
+        // Initialize Ritz values at the lower estimate (used by the first
+        // condition estimate; see Section 4.2's first-iteration caveat).
+        self.ritzv.fill(mu_1);
+        let init_deg = self.params.deg + self.params.deg % 2;
+        self.degs.fill(init_deg);
+
+        let mut stats: Vec<IterStats> = Vec::new();
+        let mut total_matvecs = 0u64;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 1..=self.params.max_iter {
+            iterations = iter;
+            let half = T::Real::from_f64_r(0.5);
+            let c_center = (b_sup + mu_ne) * half;
+            let e_half = (b_sup - mu_ne) * half;
+
+            if iter > 1 {
+                if self.params.optimize_degrees {
+                    let new_degs = optimize_degrees(
+                        &self.resd[self.locked..].iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
+                        &self.ritzv[self.locked..].iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
+                        c_center.to_f64(),
+                        e_half.to_f64(),
+                        self.params.tol * norm_h.to_f64(),
+                        self.params.max_deg,
+                    );
+                    self.degs[self.locked..].copy_from_slice(&new_degs);
+                } else {
+                    for d in &mut self.degs[self.locked..] {
+                        *d = init_deg;
+                    }
+                }
+                // Sort active columns ascending by degree (Alg. 1 line 12).
+                let perm = degree_sort_permutation(&self.degs[self.locked..]);
+                permute_cols(&mut self.c, self.locked, &perm);
+                permute_cols(&mut self.c2, self.locked, &perm);
+                permute_vec(&mut self.ritzv[self.locked..], &perm);
+                permute_vec(&mut self.resd[self.locked..], &perm);
+                permute_vec(&mut self.degs[self.locked..], &perm);
+            }
+
+            // --- Filter (Algorithm 2 line 10) ---
+            let fb = FilterBounds { c: c_center, e: e_half, mu_1 };
+            let degrees: Vec<usize> = self.degs[self.locked..].to_vec();
+            let mv = chebyshev_filter(
+                self.dev, ctx, &mut self.h, &mut self.c, &mut self.b,
+                self.locked, &degrees, fb,
+            );
+            total_matvecs += mv;
+
+            // --- Condition estimate (Algorithm 2 line 11 / Algorithm 5) ---
+            let est_cond = cond_est(
+                &self.ritzv.iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
+                c_center.to_f64(),
+                e_half.to_f64(),
+                &self.degs,
+                self.locked,
+            );
+
+            // kappa_com of "the matrix of vectors outputted by the filter"
+            // (Fig. 1): the active block only — locked columns were not
+            // filtered this iteration.
+            let true_cond = if self.params.track_true_cond {
+                let gathered = ctx.col_comm.allgather(self.c.as_slice());
+                let full = self.c_dist.assemble(&gathered, ne);
+                let active = full.copy_cols(self.locked..ne);
+                Some(chase_linalg::cond2(&active).to_f64())
+            } else {
+                None
+            };
+
+            // --- Flexible QR (Algorithm 2 line 12) ---
+            self.dev.set_region(Region::Qr);
+            let qr_variant = flexible_qr(
+                self.dev, &ctx.col_comm, &mut self.c, &self.c_dist,
+                est_cond, self.params.qr,
+            );
+            // Line 13: restore exact locked vectors, refresh C2's active part.
+            if self.locked > 0 {
+                let locked_block = self.c2.copy_cols(0..self.locked);
+                self.c.set_cols(0, &locked_block);
+            }
+            let act_block = self.c.copy_cols(self.locked..ne);
+            self.c2.set_cols(self.locked, &act_block);
+
+            // --- Rayleigh-Ritz (lines 14-20) ---
+            let vals = self.rayleigh_ritz();
+            self.ritzv[self.locked..].copy_from_slice(&vals);
+
+            // --- Residuals (lines 21-25) ---
+            self.residuals();
+
+            // --- Deflation & locking (line 26) ---
+            let new_locked = self.lock_converged(norm_h);
+
+            let active_res = &self.resd[self.locked.min(ne - 1)..];
+            stats.push(IterStats {
+                iter,
+                est_cond,
+                true_cond,
+                qr_variant,
+                matvecs: mv,
+                new_locked,
+                locked: self.locked,
+                min_res: active_res
+                    .iter()
+                    .fold(f64::INFINITY, |m, r| m.min(r.to_f64())),
+                max_res: active_res.iter().fold(0.0f64, |m, r| m.max(r.to_f64())),
+                max_degree: *self.degs[self.locked.min(ne - 1)..].iter().max().unwrap_or(&0),
+            });
+
+            // Bound updates (Algorithm 2, lines 5-7).
+            mu_1 = self.ritzv.iter().copied().fold(self.ritzv[0], |m, v| m.min_r(v));
+            mu_ne = self.ritzv.iter().copied().fold(self.ritzv[0], |m, v| m.max_r(v));
+
+            if self.locked >= nev {
+                converged = true;
+                break;
+            }
+        }
+
+        // Sort the locked prefix ascending by Ritz value for clean output.
+        let take = self.locked.max(nev.min(ne)).min(ne);
+        let mut order: Vec<usize> = (0..take).collect();
+        order.sort_by(|&a, &b| self.ritzv[a].partial_cmp(&self.ritzv[b]).unwrap());
+        permute_cols(&mut self.c, 0, &order);
+        let ritz_sorted: Vec<T::Real> = order.iter().map(|&i| self.ritzv[i]).collect();
+        let res_sorted: Vec<T::Real> = order.iter().map(|&i| self.resd[i]).collect();
+
+        ChaseResult {
+            eigenvalues: ritz_sorted[..nev].to_vec(),
+            residuals: res_sorted[..nev].to_vec(),
+            eigenvectors_local: self.c.copy_cols(0..nev),
+            rows: self.h.row_set.clone(),
+            n: self.h.n,
+            iterations,
+            matvecs: total_matvecs,
+            converged,
+            stats,
+            norm_h: norm_h.to_f64(),
+        }
+    }
+
+    /// Access the B-layout distribution (used by diagnostics).
+    pub fn b_dist(&self) -> &RowDist {
+        &self.b_dist
+    }
+}
+
+/// Solve a distributed eigenproblem from within an SPMD region.
+pub fn solve_dist<T: Scalar + Reduce>(
+    ctx: &chase_comm::RankCtx,
+    backend: Backend,
+    h: DistHerm<T>,
+    params: &Params,
+    initial: Option<&Matrix<T>>,
+) -> ChaseResult<T>
+where
+    T::Real: Reduce,
+{
+    let dev = Device::new(ctx, backend);
+    Chase::new(&dev, h, params.clone(), initial).solve()
+}
+
+/// Serial convenience entry point: solve on a replicated matrix with a
+/// trivial 1x1 grid (still exercising the full distributed code path).
+pub fn solve_serial<T: Scalar + Reduce>(
+    h: &Matrix<T>,
+    params: &Params,
+) -> ChaseResult<T>
+where
+    T::Real: Reduce,
+{
+    let ctx = chase_comm::solo_ctx();
+    let dh = DistHerm::from_global(h, &ctx);
+    solve_dist(&ctx, Backend::Nccl, dh, params, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_linalg::C64;
+
+    #[test]
+    fn swap_and_permute_cols() {
+        let mut m = Matrix::<f64>::from_fn(2, 4, |i, j| (10 * j + i) as f64);
+        swap_cols(&mut m, 0, 3);
+        assert_eq!(m[(0, 0)], 30.0);
+        assert_eq!(m[(1, 3)], 1.0);
+        // permute active block [1..4] with perm [2,0,1] over old cols 1,2,3
+        permute_cols(&mut m, 1, &[2, 0, 1]);
+        assert_eq!(m[(0, 1)], 0.0); // old col 3 (which held col 0's data)
+        assert_eq!(m[(0, 2)], 10.0);
+        assert_eq!(m[(0, 3)], 20.0);
+    }
+
+    #[test]
+    fn serial_solve_small_uniform() {
+        let spec = chase_matgen::Spectrum::uniform(60, -1.0, 1.0);
+        let h = chase_matgen::dense_with_spectrum::<C64>(&spec, 42);
+        let mut p = Params::new(6, 4);
+        p.tol = 1e-9;
+        let r = solve_serial(&h, &p);
+        assert!(r.converged, "did not converge in {} iters", r.iterations);
+        for (k, v) in r.eigenvalues.iter().enumerate() {
+            let want = spec.values()[k];
+            assert!(
+                (v - want).abs() < 1e-7,
+                "lambda_{k}: got {v}, want {want}"
+            );
+        }
+        assert!(r.matvecs > 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! # chase-device
+//!
+//! Simulated GPU execution layer. In the original library every major kernel
+//! is a cuBLAS/cuSOLVER call and every collective either stages through host
+//! memory (ChASE(STD): MPI on host buffers, explicit `cudaMemcpy` before and
+//! after) or goes device-direct (ChASE(NCCL): GPUDirect collectives,
+//! Section 3.3 of the paper).
+//!
+//! Here the math itself runs on the CPU through `chase-linalg`, but the
+//! *cost structure* of each build is preserved by recording, per operation,
+//! exactly the events the real build would incur:
+//!
+//! * every kernel records a `Compute` event with its flop count;
+//! * `Std`/`Lms` collectives record a `D2H` copy, the collective, and an
+//!   `H2D` copy (the blue data-movement bars of Fig. 2);
+//! * `Nccl` collectives record only the collective itself.
+
+use chase_comm::{Communicator, EventKind, RankCtx, Reduce, Region};
+use chase_linalg::matrix::{ColsMut, ColsRef};
+use chase_linalg::{Matrix, NotPositiveDefinite, Scalar};
+
+/// Which of the paper's three builds is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// ChASE v1.2 ("Limited Memory and Scaling"): legacy layout, MPI
+    /// collectives with host staging, redundant QR/RR/Residuals.
+    Lms,
+    /// New parallelization scheme, MPI collectives with host staging.
+    Std,
+    /// New parallelization scheme, device-direct NCCL collectives.
+    Nccl,
+}
+
+impl Backend {
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Lms => "ChASE(LMS)",
+            Backend::Std => "ChASE(STD)",
+            Backend::Nccl => "ChASE(NCCL)",
+        }
+    }
+
+    /// Whether collectives must stage through host memory.
+    pub fn stages_through_host(self) -> bool {
+        !matches!(self, Backend::Nccl)
+    }
+}
+
+/// A rank's device handle: wraps the rank context with a backend and routes
+/// every kernel/collective through the ledger.
+pub struct Device<'a> {
+    ctx: &'a RankCtx,
+    backend: Backend,
+}
+
+impl<'a> Device<'a> {
+    pub fn new(ctx: &'a RankCtx, backend: Backend) -> Self {
+        Self { ctx, backend }
+    }
+
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    pub fn ctx(&self) -> &RankCtx {
+        self.ctx
+    }
+
+    /// Attribute subsequent events to a ChASE kernel region.
+    pub fn set_region(&self, region: Region) {
+        self.ctx.set_region(region);
+    }
+
+    // ---- compute kernels -------------------------------------------------
+
+    /// `C = alpha op(A) op(B) + beta C` on the device.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm<T: Scalar>(
+        &self,
+        opa: chase_linalg::Op,
+        opb: chase_linalg::Op,
+        alpha: T,
+        a: ColsRef<'_, T>,
+        b: ColsRef<'_, T>,
+        beta: T,
+        c: ColsMut<'_, T>,
+    ) {
+        let m = c.rows() as u64;
+        let n = c.cols() as u64;
+        let k = match opa {
+            chase_linalg::Op::None => a.cols(),
+            _ => a.rows(),
+        } as u64;
+        self.ctx.record(EventKind::Gemm { m, n, k });
+        chase_linalg::gemm(opa, opb, alpha, a, b, beta, c);
+    }
+
+    /// Gram matrix `X^H X` (cuBLAS `zherk` role).
+    pub fn gram<T: Scalar>(&self, x: ColsRef<'_, T>) -> Matrix<T> {
+        self.ctx.record(EventKind::Herk { m: x.rows() as u64, n: x.cols() as u64 });
+        chase_linalg::gram(x)
+    }
+
+    /// Cholesky factorization (cuSOLVER `zpotrf` role).
+    pub fn potrf<T: Scalar>(&self, a: &Matrix<T>) -> Result<Matrix<T>, NotPositiveDefinite> {
+        self.ctx.record(EventKind::Potrf { n: a.rows() as u64 });
+        chase_linalg::potrf_upper(a)
+    }
+
+    /// Triangular solve `X := X R^{-1}` (cuBLAS `ztrsm` role).
+    pub fn trsm<T: Scalar>(&self, x: ColsMut<'_, T>, r: &Matrix<T>) {
+        self.ctx.record(EventKind::Trsm { m: x.rows() as u64, n: x.cols() as u64 });
+        chase_linalg::trsm_right_upper(x, r);
+    }
+
+    /// Dense Hermitian eigensolve (cuSOLVER `zheevd` role).
+    pub fn heevd<T: Scalar>(
+        &self,
+        a: &Matrix<T>,
+    ) -> Result<(Vec<T::Real>, Matrix<T>), chase_linalg::NoConvergence> {
+        self.ctx.record(EventKind::Heevd { n: a.rows() as u64 });
+        chase_linalg::heevd(a)
+    }
+
+    /// Householder QR returning the thin Q (cuSOLVER `zgeqrf`+`zungqr`).
+    pub fn hhqr_q<T: Scalar>(&self, x: &Matrix<T>) -> Matrix<T> {
+        self.ctx.record(EventKind::HhQr { m: x.rows() as u64, n: x.cols() as u64 });
+        chase_linalg::householder_qr(x).0
+    }
+
+    /// Batched BLAS-1 work over `n` elements (the residual-norm kernel that
+    /// the paper fuses into a single batched launch, Section 3.3).
+    pub fn blas1<T: Scalar>(&self, n: usize) {
+        let _ = std::marker::PhantomData::<T>;
+        self.ctx.record(EventKind::Blas1 { n: n as u64 });
+    }
+
+    // ---- collectives -----------------------------------------------------
+
+    fn stage<T>(&self, len: usize, both_ways: bool) {
+        if self.backend.stages_through_host() {
+            let bytes = (len * size_of::<T>()) as u64;
+            self.ctx.record(EventKind::D2H { bytes });
+            if both_ways {
+                self.ctx.record(EventKind::H2D { bytes });
+            }
+        }
+    }
+
+    /// Sum-allreduce of a device buffer over `comm`.
+    pub fn allreduce_sum<T: Scalar + Reduce>(&self, comm: &Communicator, buf: &mut [T]) {
+        self.stage::<T>(buf.len(), true);
+        self.ctx.record(EventKind::AllReduce {
+            bytes: size_of_val(buf) as u64,
+            members: comm.size() as u64,
+        });
+        comm.allreduce_sum(buf);
+    }
+
+    /// Sum-allreduce of real workspace (residual norms, Frobenius norms).
+    pub fn allreduce_sum_real<T: Scalar>(&self, comm: &Communicator, buf: &mut [T::Real])
+    where
+        T::Real: Reduce,
+    {
+        self.stage::<T::Real>(buf.len(), true);
+        self.ctx.record(EventKind::AllReduce {
+            bytes: size_of_val(buf) as u64,
+            members: comm.size() as u64,
+        });
+        comm.allreduce_sum(buf);
+    }
+
+    /// Broadcast a device buffer from `root`.
+    pub fn bcast<T: Scalar>(&self, comm: &Communicator, buf: &mut [T], root: usize) {
+        // The root only pays D2H; receivers only pay H2D. Record one copy on
+        // each side (the ledger is per-rank).
+        if self.backend.stages_through_host() {
+            let bytes = size_of_val(buf) as u64;
+            if comm.rank() == root {
+                self.ctx.record(EventKind::D2H { bytes });
+            } else {
+                self.ctx.record(EventKind::H2D { bytes });
+            }
+        }
+        self.ctx.record(EventKind::Bcast {
+            bytes: size_of_val(buf) as u64,
+            members: comm.size() as u64,
+        });
+        comm.bcast(buf, root);
+    }
+
+    /// Allgather device blocks (used by the legacy LMS layout to replicate
+    /// the distributed vector block on every rank, Section 2.3).
+    pub fn allgather<T: Scalar>(&self, comm: &Communicator, mine: &[T]) -> Vec<T> {
+        self.stage::<T>(mine.len(), false);
+        let out = comm.allgather(mine);
+        if self.backend.stages_through_host() {
+            self.ctx.record(EventKind::H2D { bytes: size_of_val(out.as_slice()) as u64 });
+        }
+        self.ctx.record(EventKind::AllGather {
+            bytes_per_rank: size_of_val(mine) as u64,
+            members: comm.size() as u64,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_comm::{run_grid, solo_ctx, Category, GridShape};
+    use chase_linalg::{Op, C64};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn backend_properties() {
+        assert!(Backend::Std.stages_through_host());
+        assert!(Backend::Lms.stages_through_host());
+        assert!(!Backend::Nccl.stages_through_host());
+        assert_eq!(Backend::Nccl.name(), "ChASE(NCCL)");
+    }
+
+    #[test]
+    fn gemm_records_and_computes() {
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::<C64>::random(6, 4, &mut rng);
+        let b = Matrix::<C64>::random(4, 3, &mut rng);
+        let mut c = Matrix::<C64>::zeros(6, 3);
+        dev.gemm(Op::None, Op::None, C64::one(), a.as_ref(), b.as_ref(), C64::zero(), c.as_mut());
+        let expect = chase_linalg::gemm_new(Op::None, Op::None, &a, &b);
+        assert!(c.max_abs_diff(&expect) < 1e-13);
+        let l = ctx.ledger_snapshot();
+        assert_eq!(l.events().len(), 1);
+        assert_eq!(l.events()[0].kind, EventKind::Gemm { m: 6, n: 3, k: 4 });
+    }
+
+    #[test]
+    fn nccl_allreduce_has_no_transfer() {
+        let out = run_grid(GridShape::new(1, 2), |ctx| {
+            let dev = Device::new(ctx, Backend::Nccl);
+            let mut v = vec![C64::from_f64(ctx.world_rank() as f64 + 1.0)];
+            dev.allreduce_sum(&ctx.world, &mut v);
+            v[0]
+        });
+        for r in &out.results {
+            assert_eq!(*r, C64::from_f64(3.0));
+        }
+        for l in &out.ledgers {
+            assert_eq!(l.bytes_in(Category::Transfer), 0, "NCCL must not stage");
+            assert_eq!(l.collective_count(), 1);
+        }
+    }
+
+    #[test]
+    fn std_allreduce_stages_both_ways() {
+        let out = run_grid(GridShape::new(1, 2), |ctx| {
+            let dev = Device::new(ctx, Backend::Std);
+            let mut v = vec![1.0f64; 10];
+            dev.allreduce_sum(&ctx.world, &mut v);
+            v[0]
+        });
+        for l in &out.ledgers {
+            // 10 f64 = 80 bytes staged down and up
+            assert_eq!(l.bytes_in(Category::Transfer), 160);
+        }
+    }
+
+    #[test]
+    fn bcast_stages_one_way_per_rank() {
+        let out = run_grid(GridShape::new(1, 3), |ctx| {
+            let dev = Device::new(ctx, Backend::Std);
+            let mut v = vec![if ctx.world_rank() == 0 { 5.0f64 } else { 0.0 }; 4];
+            dev.bcast(&ctx.world, &mut v, 0);
+            v[0]
+        });
+        for r in &out.results {
+            assert_eq!(*r, 5.0);
+        }
+        for l in &out.ledgers {
+            assert_eq!(l.bytes_in(Category::Transfer), 32, "one direction only");
+        }
+    }
+
+    #[test]
+    fn potrf_trsm_heevd_wrappers() {
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Matrix::<C64>::random(20, 5, &mut rng);
+        let g = dev.gram(x.as_ref());
+        let u = dev.potrf(&g).unwrap();
+        let mut q = x.clone();
+        dev.trsm(q.as_mut(), &u);
+        let qhq = chase_linalg::gram(q.as_ref());
+        assert!(qhq.orthogonality_error() < 1e-8);
+        let (vals, _) = dev.heevd(&g).unwrap();
+        assert!(vals.iter().all(|v| *v > 0.0), "gram matrix eigenvalues positive");
+        let l = ctx.ledger_snapshot();
+        // gram, potrf, trsm, gram(check is outside device), heevd -> 4 device events
+        assert_eq!(l.events().len(), 4);
+    }
+
+    #[test]
+    fn lms_allgather_costs_grow_with_members() {
+        let out = run_grid(GridShape::new(1, 4), |ctx| {
+            let dev = Device::new(ctx, Backend::Lms);
+            dev.allgather(&ctx.world, &[0.0f64; 8]).len()
+        });
+        for (r, l) in out.results.iter().zip(&out.ledgers) {
+            assert_eq!(*r, 32);
+            // D2H of own 64 bytes, H2D of gathered 256 bytes
+            assert_eq!(l.bytes_in(Category::Transfer), 320);
+        }
+    }
+}

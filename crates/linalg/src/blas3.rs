@@ -1,0 +1,371 @@
+//! Level-2/3 kernels: GEMM/HEMM, Gram (HERK), triangular solve, GEMV.
+//!
+//! GEMM is the workhorse of ChASE (Section 1 of the paper): the Chebyshev
+//! filter, the Rayleigh–Ritz quotient and the residual stage are all expressed
+//! through it. The implementation packs `op(A)` once when a transpose is
+//! requested and then runs a column-axpy kernel that the compiler vectorizes;
+//! columns of `C` are processed in parallel with rayon when the work is large
+//! enough to amortize the fork.
+
+use crate::matrix::{ColsMut, ColsRef, Matrix};
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Transpose operation applied to a GEMM operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    None,
+    /// Plain transpose.
+    Trans,
+    /// Conjugate transpose (the `H` in `H^H B`, Algorithm 2).
+    ConjTrans,
+}
+
+/// Minimum `m*n*k` product before rayon parallelism kicks in.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+fn packed_op<T: Scalar>(op: Op, a: ColsRef<'_, T>) -> Matrix<T> {
+    match op {
+        Op::None => a.to_matrix(),
+        Op::Trans => {
+            Matrix::from_fn(a.cols(), a.rows(), |i, j| a.at(j, i))
+        }
+        Op::ConjTrans => {
+            Matrix::from_fn(a.cols(), a.rows(), |i, j| a.at(j, i).conj())
+        }
+    }
+}
+
+/// General matrix-matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Dimensions are inferred and checked: `op(A)` is `m x k`, `op(B)` is
+/// `k x n`, `C` is `m x n`.
+pub fn gemm<T: Scalar>(
+    opa: Op,
+    opb: Op,
+    alpha: T,
+    a: ColsRef<'_, T>,
+    b: ColsRef<'_, T>,
+    beta: T,
+    mut c: ColsMut<'_, T>,
+) {
+    let (m, ka) = match opa {
+        Op::None => (a.rows(), a.cols()),
+        _ => (a.cols(), a.rows()),
+    };
+    let (kb, n) = match opb {
+        Op::None => (b.rows(), b.cols()),
+        _ => (b.cols(), b.rows()),
+    };
+    assert_eq!(ka, kb, "gemm: inner dimensions differ ({ka} vs {kb})");
+    assert_eq!(c.rows(), m, "gemm: C row mismatch");
+    assert_eq!(c.cols(), n, "gemm: C col mismatch");
+    let k = ka;
+    // Degenerate shapes: a rank can own zero rows/columns under extreme
+    // block-cyclic configurations; `chunks_mut(0)` would panic below.
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Pack op(A) so the inner kernel always walks contiguous columns.
+    let packed;
+    let a_nn: ColsRef<'_, T> = if matches!(opa, Op::None) {
+        a
+    } else {
+        packed = packed_op(opa, a);
+        packed.as_ref()
+    };
+
+    let b_at = |l: usize, j: usize| -> T {
+        match opb {
+            Op::None => b.at(l, j),
+            Op::Trans => b.at(j, l),
+            Op::ConjTrans => b.at(j, l).conj(),
+        }
+    };
+
+    let a_data = a_nn.as_slice();
+    let kernel = |j: usize, c_col: &mut [T]| {
+        if beta == T::zero() {
+            c_col.fill(T::zero());
+        } else if beta != T::one() {
+            for v in c_col.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for l in 0..k {
+            let s = alpha * b_at(l, j);
+            if s != T::zero() {
+                let a_col = &a_data[l * m..(l + 1) * m];
+                for (ci, ai) in c_col.iter_mut().zip(a_col) {
+                    *ci += s * *ai;
+                }
+            }
+        }
+    };
+
+    let c_data = c.as_mut_slice();
+    if m * n * k >= PAR_THRESHOLD {
+        c_data
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(j, col)| kernel(j, col));
+    } else {
+        for (j, col) in c_data.chunks_mut(m).enumerate() {
+            kernel(j, col);
+        }
+    }
+}
+
+/// Convenience: `C = op(A) * op(B)` into a fresh matrix.
+pub fn gemm_new<T: Scalar>(opa: Op, opb: Op, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let m = match opa {
+        Op::None => a.rows(),
+        _ => a.cols(),
+    };
+    let n = match opb {
+        Op::None => b.cols(),
+        _ => b.rows(),
+    };
+    let mut c = Matrix::zeros(m, n);
+    gemm(opa, opb, T::one(), a.as_ref(), b.as_ref(), T::zero(), c.as_mut());
+    c
+}
+
+/// Gram matrix `X^H X` (the SYRK/HERK of Algorithm 3, line 3).
+///
+/// Only the upper triangle is computed by dot products; the lower triangle is
+/// mirrored so downstream kernels can treat the result as a full matrix.
+pub fn gram<T: Scalar>(x: ColsRef<'_, T>) -> Matrix<T> {
+    let n = x.cols();
+    let mut g = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            let v = crate::blas1::dotc(x.col(i), x.col(j));
+            g[(i, j)] = v;
+            if i != j {
+                g[(j, i)] = v.conj();
+            } else {
+                // Force an exactly real diagonal: the imaginary part of
+                // x^H x is pure round-off and breaks POTRF's sqrt.
+                g[(i, j)] = T::from_real(v.re());
+            }
+        }
+    }
+    g
+}
+
+/// Triangular solve from the right with an upper-triangular factor:
+/// `X := X * R^{-1}` (the TRSM of Algorithm 3, line 6).
+pub fn trsm_right_upper<T: Scalar>(mut x: ColsMut<'_, T>, r: &Matrix<T>) {
+    let n = x.cols();
+    assert_eq!(r.rows(), n);
+    assert_eq!(r.cols(), n);
+    let m = x.rows();
+    let data = x.as_mut_slice();
+    for j in 0..n {
+        // x_j -= sum_{l<j} x_l * R[l, j]
+        for l in 0..j {
+            let s = r[(l, j)];
+            if s != T::zero() {
+                let (lo, hi) = data.split_at_mut(j * m);
+                let xl = &lo[l * m..(l + 1) * m];
+                let xj = &mut hi[..m];
+                for (a, b) in xj.iter_mut().zip(xl) {
+                    *a -= s * *b;
+                }
+            }
+        }
+        let d = r[(j, j)];
+        assert_ne!(d, T::zero(), "trsm: singular triangular factor at {j}");
+        let inv = T::one() / d;
+        for a in &mut data[j * m..(j + 1) * m] {
+            *a *= inv;
+        }
+    }
+}
+
+/// Matrix-vector product `y = alpha * op(A) * x + beta * y`.
+pub fn gemv<T: Scalar>(op: Op, alpha: T, a: &Matrix<T>, x: &[T], beta: T, y: &mut [T]) {
+    match op {
+        Op::None => {
+            assert_eq!(x.len(), a.cols());
+            assert_eq!(y.len(), a.rows());
+            if beta == T::zero() {
+                y.fill(T::zero());
+            } else if beta != T::one() {
+                crate::blas1::scal(beta, y);
+            }
+            for (l, &xl) in x.iter().enumerate() {
+                let s = alpha * xl;
+                if s != T::zero() {
+                    crate::blas1::axpy(s, a.col(l), y);
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            assert_eq!(x.len(), a.rows());
+            assert_eq!(y.len(), a.cols());
+            for (j, yj) in y.iter_mut().enumerate() {
+                let d = if matches!(op, Op::ConjTrans) {
+                    crate::blas1::dotc(a.col(j), x)
+                } else {
+                    crate::blas1::dotu(a.col(j), x)
+                };
+                *yj = alpha * d + beta * *yj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn naive_gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = T::zero();
+                for l in 0..a.cols() {
+                    s += a[(i, l)] * b[(l, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_empty_dimensions_are_noops() {
+        // Zero-row / zero-column operands: legal under extreme block-cyclic
+        // rank layouts; must not panic.
+        let a0 = Matrix::<f64>::zeros(0, 4);
+        let b = Matrix::<f64>::zeros(4, 3);
+        let mut c0 = Matrix::<f64>::zeros(0, 3);
+        gemm(Op::None, Op::None, 1.0, a0.as_ref(), b.as_ref(), 0.0, c0.as_mut());
+        let a = Matrix::<f64>::zeros(3, 4);
+        let bn = Matrix::<f64>::zeros(4, 0);
+        let mut cn = Matrix::<f64>::zeros(3, 0);
+        gemm(Op::None, Op::None, 1.0, a.as_ref(), bn.as_ref(), 0.0, cn.as_mut());
+        // k == 0: C = beta * C only.
+        let ak = Matrix::<f64>::zeros(2, 0);
+        let bk = Matrix::<f64>::zeros(0, 2);
+        let mut ck = Matrix::<f64>::from_fn(2, 2, |i, j| (i + j) as f64);
+        gemm(Op::None, Op::None, 1.0, ak.as_ref(), bk.as_ref(), 2.0, ck.as_mut());
+        assert_eq!(ck[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn gemm_matches_naive_all_ops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::<C64>::random(7, 5, &mut rng);
+        let b = Matrix::<C64>::random(5, 6, &mut rng);
+        let c = gemm_new(Op::None, Op::None, &a, &b);
+        assert!(c.max_abs_diff(&naive_gemm(&a, &b)) < 1e-12);
+
+        // A^H * B with A stored 5x7
+        let ah = Matrix::<C64>::random(5, 7, &mut rng);
+        let c2 = gemm_new(Op::ConjTrans, Op::None, &ah, &b);
+        assert!(c2.max_abs_diff(&naive_gemm(&ah.adjoint(), &b)) < 1e-12);
+
+        // A * B^T with B stored 6x5
+        let bt = Matrix::<C64>::random(6, 5, &mut rng);
+        let c3 = gemm_new(Op::None, Op::Trans, &a, &bt);
+        assert!(c3.max_abs_diff(&naive_gemm(&a, &bt.transpose())) < 1e-12);
+
+        // A^T * B^H
+        let c4 = gemm_new(Op::Trans, Op::ConjTrans, &ah, &bt);
+        assert!(c4.max_abs_diff(&naive_gemm(&ah.transpose(), &bt.adjoint())) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = Matrix::<f64>::random(4, 3, &mut rng);
+        let b = Matrix::<f64>::random(3, 2, &mut rng);
+        let mut c = Matrix::<f64>::random(4, 2, &mut rng);
+        let c0 = c.clone();
+        gemm(Op::None, Op::None, 2.0, a.as_ref(), b.as_ref(), 3.0, c.as_mut());
+        let mut expect = naive_gemm(&a, &b);
+        for j in 0..2 {
+            for i in 0..4 {
+                let prev = expect[(i, j)];
+                expect[(i, j)] = 2.0 * prev + 3.0 * c0[(i, j)];
+            }
+        }
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_parallel_path() {
+        // Large enough to cross PAR_THRESHOLD.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = Matrix::<f64>::random(80, 70, &mut rng);
+        let b = Matrix::<f64>::random(70, 64, &mut rng);
+        let c = gemm_new(Op::None, Op::None, &a, &b);
+        assert!(c.max_abs_diff(&naive_gemm(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn gram_is_hermitian_psd() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x = Matrix::<C64>::random(30, 6, &mut rng);
+        let g = gram(x.as_ref());
+        let gh = g.adjoint();
+        assert!(g.max_abs_diff(&gh) < 1e-13);
+        let expect = gemm_new(Op::ConjTrans, Op::None, &x, &x);
+        assert!(g.max_abs_diff(&expect) < 1e-12);
+        for i in 0..6 {
+            assert!(g[(i, i)].re() > 0.0);
+            assert_eq!(g[(i, i)].im(), 0.0);
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_triangular() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Build a well-conditioned upper-triangular R.
+        let mut r = Matrix::<C64>::random(5, 5, &mut rng);
+        for j in 0..5 {
+            for i in j + 1..5 {
+                r[(i, j)] = C64::zero();
+            }
+            r[(j, j)] += C64::from_f64(4.0);
+        }
+        let x = Matrix::<C64>::random(9, 5, &mut rng);
+        let mut y = x.clone();
+        trsm_right_upper(y.as_mut(), &r);
+        // y * R should reproduce x
+        let back = gemm_new(Op::None, Op::None, &y, &r);
+        assert!(back.max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn gemv_all_ops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = Matrix::<C64>::random(4, 3, &mut rng);
+        let x3: Vec<C64> = (0..3).map(|_| C64::sample_standard(&mut rng)).collect();
+        let x4: Vec<C64> = (0..4).map(|_| C64::sample_standard(&mut rng)).collect();
+
+        let mut y = vec![C64::zero(); 4];
+        gemv(Op::None, C64::one(), &a, &x3, C64::zero(), &mut y);
+        let xm = Matrix::from_vec(3, 1, x3.clone());
+        let expect = gemm_new(Op::None, Op::None, &a, &xm);
+        for i in 0..4 {
+            assert!((y[i] - expect[(i, 0)]).abs() < 1e-12);
+        }
+
+        let mut z = vec![C64::zero(); 3];
+        gemv(Op::ConjTrans, C64::one(), &a, &x4, C64::zero(), &mut z);
+        let xm4 = Matrix::from_vec(4, 1, x4.clone());
+        let expect2 = gemm_new(Op::ConjTrans, Op::None, &a, &xm4);
+        for i in 0..3 {
+            assert!((z[i] - expect2[(i, 0)]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Cholesky factorization (POTRF) of Hermitian positive-definite matrices.
+//!
+//! CholeskyQR (Algorithm 3 of the paper) factors the Gram matrix `R = X^H X`
+//! as `R = U^H U` and then solves `Q = X U^{-1}`. The shifted variant
+//! (Algorithm 4, lines 3–11) adds `s I` before factorizing to survive
+//! ill-conditioned inputs.
+
+use crate::matrix::Matrix;
+use crate::scalar::{RealScalar, Scalar};
+
+/// Error raised when the matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// First pivot index (0-based) whose value was non-positive,
+    /// mirroring LAPACK's `info` convention.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Upper-triangular Cholesky factor: `A = U^H U`.
+///
+/// On success the returned matrix has the factor in its upper triangle and
+/// zeros below. Equivalent to LAPACK `zpotrf('U', ...)`.
+pub fn potrf_upper<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>, NotPositiveDefinite> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "potrf: matrix must be square");
+    let mut u = a.clone();
+    for k in 0..n {
+        // u[k,k] = sqrt(a[k,k] - sum_{l<k} |u[l,k]|^2)
+        let mut d = u[(k, k)].re();
+        for l in 0..k {
+            d -= u[(l, k)].abs_sqr();
+        }
+        let positive = d > <T::Real as Scalar>::zero();
+        if !positive || !d.is_finite_r() {
+            return Err(NotPositiveDefinite { pivot: k });
+        }
+        let dk = d.sqrt_r();
+        u[(k, k)] = T::from_real(dk);
+        let inv = T::from_real(<T::Real as Scalar>::one() / dk);
+        for j in k + 1..n {
+            let mut s = u[(k, j)];
+            for l in 0..k {
+                s -= u[(l, k)].conj() * u[(l, j)];
+            }
+            u[(k, j)] = s * inv;
+        }
+        for i in k + 1..n {
+            u[(i, k)] = T::zero();
+        }
+    }
+    Ok(u)
+}
+
+/// Shift magnitude for shifted CholeskyQR2 (Algorithm 4, line 6):
+/// `s = 11 (m n + n (n + 1)) u ||X||_F^2` with `u` the unit round-off.
+pub fn shifted_cholesky_shift<R: RealScalar>(m: usize, n: usize, frob_sqr: R) -> R {
+    let u = R::EPS.scale(R::from_f64_r(0.5));
+    R::from_f64_r(11.0 * (m as f64 * n as f64 + n as f64 * (n as f64 + 1.0))) * u * frob_sqr
+}
+
+/// `A + s I` in place on a copy.
+pub fn add_shift<T: Scalar>(a: &Matrix<T>, s: T::Real) -> Matrix<T> {
+    let mut b = a.clone();
+    for i in 0..a.rows().min(a.cols()) {
+        b[(i, i)] += T::from_real(s);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm_new, Op};
+    use crate::scalar::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_spd(n: usize, seed: u64) -> Matrix<C64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x = Matrix::<C64>::random(2 * n, n, &mut rng);
+        crate::blas3::gram(x.as_ref())
+    }
+
+    #[test]
+    fn potrf_reconstructs() {
+        let a = random_spd(8, 1);
+        let u = potrf_upper(&a).unwrap();
+        let back = gemm_new(Op::ConjTrans, Op::None, &u, &u);
+        assert!(back.max_abs_diff(&a) < 1e-10 * a.norm_fro());
+        // strictly upper triangular below diagonal zeros
+        for j in 0..8 {
+            for i in j + 1..8 {
+                assert_eq!(u[(i, j)], C64::zero());
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_real() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Matrix::<f64>::random(20, 6, &mut rng);
+        let a = crate::blas3::gram(x.as_ref());
+        let u = potrf_upper(&a).unwrap();
+        let back = gemm_new(Op::Trans, Op::None, &u, &u);
+        assert!(back.max_abs_diff(&a) < 1e-10 * a.norm_fro());
+    }
+
+    #[test]
+    fn potrf_detects_indefinite() {
+        let mut a = Matrix::<f64>::identity(3, 3);
+        a[(2, 2)] = -1.0;
+        let e = potrf_upper(&a).unwrap_err();
+        assert_eq!(e.pivot, 2);
+    }
+
+    #[test]
+    fn potrf_detects_semidefinite() {
+        // rank-1 Gram matrix of [1;1] duplicated column
+        let a = Matrix::<f64>::from_fn(2, 2, |_, _| 1.0);
+        assert!(potrf_upper(&a).is_err());
+    }
+
+    #[test]
+    fn shift_formula_positive_and_tiny() {
+        let s = shifted_cholesky_shift::<f64>(1000, 100, 1.0);
+        assert!(s > 0.0);
+        assert!(s < 1e-8); // tiny relative to ||X||_F^2 = 1
+        let shifted = add_shift(&Matrix::<f64>::identity(3, 3), 0.5);
+        assert_eq!(shifted[(0, 0)], 1.5);
+        assert_eq!(shifted[(0, 1)], 0.0);
+    }
+}

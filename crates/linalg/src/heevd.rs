@@ -1,0 +1,399 @@
+//! Dense Hermitian eigensolver (LAPACK `zheevd` role).
+//!
+//! Used in two places that mirror the paper: the redundant diagonalization of
+//! the `ne x ne` Rayleigh–Ritz quotient (Algorithm 2, line 18) and — at full
+//! size — the one-stage path of the ELPA-like direct-solver baseline.
+//!
+//! Pipeline: complex Householder reduction to a real symmetric tridiagonal
+//! (`zhetrd` + `zungtr`), then implicit-shift QL iteration with eigenvector
+//! accumulation (`zsteqr`), then an ascending sort.
+
+use crate::matrix::Matrix;
+use crate::scalar::{RealScalar, Scalar};
+
+/// Failure of the QL iteration to converge (pathological input).
+#[derive(Debug, Clone, Copy)]
+pub struct NoConvergence {
+    pub eigenvalue_index: usize,
+}
+
+impl std::fmt::Display for NoConvergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QL iteration failed for eigenvalue {}", self.eigenvalue_index)
+    }
+}
+
+impl std::error::Error for NoConvergence {}
+
+/// Householder reduction of a Hermitian matrix to real tridiagonal form:
+/// `A = Q T Q^H` with `T = tridiag(e, d, e)`.
+///
+/// Returns `(d, e, Q)` where `d` has length `n` and `e` length `n - 1`.
+pub fn tridiagonalize<T: Scalar>(a: &Matrix<T>) -> (Vec<T::Real>, Vec<T::Real>, Matrix<T>) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "tridiagonalize: square matrix required");
+    let mut w = a.clone();
+    // Reflector tails and taus for accumulating Q afterwards.
+    let mut tails: Vec<Vec<T>> = Vec::with_capacity(n.saturating_sub(1));
+    let mut taus: Vec<T> = Vec::with_capacity(n.saturating_sub(1));
+
+    // The final step (k = n-2, empty tail) is a pure phase rotation that
+    // makes the last subdiagonal element real — required for complex input.
+    for k in 0..n.saturating_sub(1) {
+        // Reflector annihilating A[k+2.., k], pivot at A[k+1, k].
+        let alpha = w[(k + 1, k)];
+        let mut tail = w.col(k)[k + 2..].to_vec();
+        let (beta, tau) = larfg_local(alpha, &mut tail);
+        w[(k + 1, k)] = T::from_real(beta);
+        for i in k + 2..n {
+            w[(i, k)] = T::zero();
+        }
+        w[(k, k + 1)] = T::from_real(beta);
+        for j in k + 2..n {
+            w[(k, j)] = T::zero();
+        }
+
+        if tau != T::zero() {
+            // Two-sided update of the trailing block rows/cols (k+1..n):
+            // B = H^H A, then B H, with v = [1, tail] rooted at k+1.
+            let ct = tau.conj();
+            // Left: columns k+1..n, rows k+1..n.
+            for j in k + 1..n {
+                let mut s = w[(k + 1, j)];
+                for (t, &v) in tail.iter().enumerate() {
+                    s += v.conj() * w[(k + 2 + t, j)];
+                }
+                let s = ct * s;
+                w[(k + 1, j)] -= s;
+                for (t, &v) in tail.iter().enumerate() {
+                    w[(k + 2 + t, j)] -= s * v;
+                }
+            }
+            // Right: rows k+1..n, columns k+1..n; B H = B - tau (B v) v^H.
+            for i in k + 1..n {
+                let mut s = w[(i, k + 1)];
+                for (t, &v) in tail.iter().enumerate() {
+                    s += w[(i, k + 2 + t)] * v;
+                }
+                let s = tau * s;
+                w[(i, k + 1)] -= s;
+                for (t, &v) in tail.iter().enumerate() {
+                    w[(i, k + 2 + t)] -= s * v.conj();
+                }
+            }
+        }
+        tails.push(tail);
+        taus.push(tau);
+    }
+
+    let mut d = Vec::with_capacity(n);
+    let mut e = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        d.push(w[(i, i)].re());
+    }
+    for i in 0..n.saturating_sub(1) {
+        e.push(w[(i + 1, i)].re());
+    }
+
+    // Accumulate Q = H_0 H_1 ... (each H_k acts on rows k+1..).
+    let mut q = Matrix::identity(n, n);
+    for k in (0..tails.len()).rev() {
+        let tau = taus[k];
+        if tau == T::zero() {
+            continue;
+        }
+        let tail = &tails[k];
+        for j in 0..n {
+            let mut s = q[(k + 1, j)];
+            for (t, &v) in tail.iter().enumerate() {
+                s += v.conj() * q[(k + 2 + t, j)];
+            }
+            let s = tau * s;
+            q[(k + 1, j)] -= s;
+            for (t, &v) in tail.iter().enumerate() {
+                q[(k + 2 + t, j)] -= s * v;
+            }
+        }
+    }
+    (d, e, q)
+}
+
+/// Local copy of the reflector generator (see `qr::larfg`); kept separate so
+/// the two modules stay independently testable.
+fn larfg_local<T: Scalar>(alpha: T, x: &mut [T]) -> (T::Real, T) {
+    let xnorm = crate::blas1::nrm2(x);
+    let zero_r = <T::Real as Scalar>::zero();
+    if xnorm == zero_r && alpha.im() == zero_r {
+        return (alpha.re(), T::zero());
+    }
+    let mut beta = alpha.abs().hypot_r(xnorm);
+    if alpha.re() > zero_r {
+        beta = -beta;
+    }
+    let tau = (T::from_real(beta) - alpha).scale(<T::Real as Scalar>::one() / beta);
+    let scale = T::one() / (alpha - T::from_real(beta));
+    crate::blas1::scal(scale, x);
+    (beta, tau)
+}
+
+/// Implicit-shift QL iteration on a real symmetric tridiagonal matrix,
+/// optionally accumulating the (real) rotations into complex eigenvector
+/// columns `z` (LAPACK `zsteqr` role).
+///
+/// `d` (length n) holds the diagonal and is overwritten by the eigenvalues
+/// (unsorted); `e` (length n-1) is destroyed.
+pub fn steqr<T: Scalar>(
+    d: &mut [T::Real],
+    e: &mut [T::Real],
+    mut z: Option<&mut Matrix<T>>,
+) -> Result<(), NoConvergence> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    assert_eq!(e.len(), n.saturating_sub(1));
+    if let Some(zz) = z.as_deref() {
+        assert_eq!(zz.cols(), n, "steqr: Z must have n columns");
+    }
+    // Classic tqli indexing writes e[m] with m up to n-1: work on a padded
+    // copy of the off-diagonal (the input is destroyed per the contract).
+    let mut epad: Vec<T::Real> = Vec::with_capacity(n);
+    epad.extend_from_slice(e);
+    epad.push(<T::Real as Scalar>::zero());
+    let e = &mut epad[..];
+    let zero = <T::Real as Scalar>::zero();
+    let one = <T::Real as Scalar>::one();
+    let two = one + one;
+    let eps = <T::Real as RealScalar>::EPS;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Locate a negligible subdiagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs_r() + d[m + 1].abs_r();
+                if e[m].abs_r() <= eps * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 80 {
+                return Err(NoConvergence { eigenvalue_index: l });
+            }
+            // Wilkinson-style shift.
+            let mut g = (d[l + 1] - d[l]) / (two * e[l]);
+            let mut r = g.hypot_r(one);
+            g = d[m] - d[l] + e[l] / (g + r.copysign_r(g));
+            let mut s = one;
+            let mut c = one;
+            let mut p = zero;
+            let mut i = m;
+            let mut underflow = false;
+            while i > l {
+                let idx = i - 1;
+                let f = s * e[idx];
+                let b = c * e[idx];
+                r = f.hypot_r(g);
+                e[i] = r;
+                if r == zero {
+                    d[i] -= p;
+                    e[m] = zero;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i] - p;
+                r = (d[idx] - g) * s + two * c * b;
+                p = s * r;
+                d[i] = g + p;
+                g = c * r - b;
+                if let Some(zz) = z.as_deref_mut() {
+                    // Real Givens rotation applied to complex columns idx, i.
+                    let (ci_col, cm1_col) = zz.two_cols_mut(i, idx);
+                    for (a, bb) in ci_col.iter_mut().zip(cm1_col.iter_mut()) {
+                        let f = *a;
+                        *a = bb.scale(s) + f.scale(c);
+                        *bb = bb.scale(c) - f.scale(s);
+                    }
+                }
+                i -= 1;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = zero;
+        }
+    }
+    Ok(())
+}
+
+/// Eigenvalues of a real symmetric tridiagonal matrix, ascending.
+pub fn eigvals_tridiagonal<R: RealScalar>(d: &[R], e: &[R]) -> Result<Vec<R>, NoConvergence> {
+    let mut dd = d.to_vec();
+    let mut ee = e.to_vec();
+    steqr::<R>(&mut dd, &mut ee, None)?;
+    dd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(dd)
+}
+
+/// Full solve: eigenvalues (ascending) and unitary eigenvector matrix of a
+/// dense Hermitian `A`.
+pub fn heevd<T: Scalar>(a: &Matrix<T>) -> Result<(Vec<T::Real>, Matrix<T>), NoConvergence> {
+    let n = a.rows();
+    if n == 0 {
+        return Ok((vec![], Matrix::zeros(0, 0)));
+    }
+    let (mut d, mut e, mut q) = tridiagonalize(a);
+    steqr(&mut d, &mut e, Some(&mut q))?;
+    // Sort ascending, permuting eigenvector columns.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    let vals: Vec<T::Real> = idx.iter().map(|&i| d[i]).collect();
+    let mut vecs = Matrix::zeros(n, n);
+    for (jnew, &jold) in idx.iter().enumerate() {
+        vecs.col_mut(jnew).copy_from_slice(q.col(jold));
+    }
+    Ok((vals, vecs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm_new, Op};
+    use crate::scalar::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix<C64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x = Matrix::<C64>::random(n, n, &mut rng);
+        let xh = x.adjoint();
+        let mut h = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                h[(i, j)] = (x[(i, j)] + xh[(i, j)]).scale(0.5);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn tridiagonalize_preserves_similarity() {
+        let a = random_hermitian(10, 21);
+        let (d, e, q) = tridiagonalize(&a);
+        // Build T and check Q T Q^H = A.
+        let n = 10;
+        let mut t = Matrix::<C64>::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = C64::from_f64(d[i].to_f64());
+        }
+        for i in 0..n - 1 {
+            t[(i + 1, i)] = C64::from_f64(e[i].to_f64());
+            t[(i, i + 1)] = C64::from_f64(e[i].to_f64());
+        }
+        let qt = gemm_new(Op::None, Op::None, &q, &t);
+        let back = gemm_new(Op::None, Op::ConjTrans, &qt, &q);
+        assert!(back.max_abs_diff(&a) < 1e-12 * a.norm_fro());
+        // Q unitary
+        let qhq = gemm_new(Op::ConjTrans, Op::None, &q, &q);
+        assert!(qhq.orthogonality_error() < 1e-12);
+    }
+
+    #[test]
+    fn steqr_known_tridiagonal() {
+        // Clement-like 3x3: eigenvalues of tridiag([1,1],[0,0,0]) are -sqrt(2),0,sqrt(2).
+        let d = [0.0f64, 0.0, 0.0];
+        let e = [1.0f64, 1.0];
+        let vals = eigvals_tridiagonal(&d, &e).unwrap();
+        let s2 = 2.0f64.sqrt();
+        assert!((vals[0] + s2).abs() < 1e-14);
+        assert!(vals[1].abs() < 1e-14);
+        assert!((vals[2] - s2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn heevd_residuals_and_orthogonality() {
+        for seed in [1u64, 2, 3] {
+            let n = 16;
+            let a = random_hermitian(n, seed + 40);
+            let (vals, v) = heevd(&a).unwrap();
+            // sorted
+            for i in 1..n {
+                assert!(vals[i] >= vals[i - 1]);
+            }
+            // A v_i = lambda_i v_i
+            let av = gemm_new(Op::None, Op::None, &a, &v);
+            for j in 0..n {
+                let mut rmax = 0.0;
+                for i in 0..n {
+                    let r = (av[(i, j)] - v[(i, j)].scale(vals[j])).abs();
+                    rmax = f64::max(rmax, r);
+                }
+                assert!(rmax < 1e-11 * a.norm_fro(), "residual col {j}: {rmax}");
+            }
+            let vhv = gemm_new(Op::ConjTrans, Op::None, &v, &v);
+            assert!(vhv.orthogonality_error() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn heevd_real_symmetric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        let n = 12;
+        let x = Matrix::<f64>::random(n, n, &mut rng);
+        let mut a = Matrix::<f64>::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                a[(i, j)] = 0.5 * (x[(i, j)] + x[(j, i)]);
+            }
+        }
+        let (vals, v) = heevd(&a).unwrap();
+        let av = gemm_new(Op::None, Op::None, &a, &v);
+        let mut vl = v.clone();
+        for (j, &val) in vals.iter().enumerate() {
+            crate::blas1::rscal(val, vl.col_mut(j));
+        }
+        assert!(av.max_abs_diff(&vl) < 1e-11 * a.norm_fro());
+    }
+
+    #[test]
+    fn heevd_diagonal_matrix() {
+        let a = Matrix::<f64>::from_diag(&[3.0, -1.0, 2.0]);
+        let (vals, _v) = heevd(&a).unwrap();
+        assert_eq!(vals, vec![-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn heevd_prescribed_spectrum() {
+        // Q D Q^H must return exactly D's values.
+        let mut rng = ChaCha8Rng::seed_from_u64(60);
+        let spec = [-5.0, -2.0, -1.0, 0.5, 3.0, 10.0];
+        let q = crate::qr::random_orthonormal::<C64, _>(6, 6, &mut rng);
+        let d = Matrix::<C64>::from_diag(&spec);
+        let qd = gemm_new(Op::None, Op::None, &q, &d);
+        let a = gemm_new(Op::None, Op::ConjTrans, &qd, &q);
+        let (vals, _) = heevd(&a).unwrap();
+        for (v, s) in vals.iter().zip(spec.iter()) {
+            assert!((v - s).abs() < 1e-10, "{v} vs {s}");
+        }
+    }
+
+    #[test]
+    fn heevd_small_sizes() {
+        for n in [1usize, 2, 3] {
+            let a = random_hermitian(n, 70 + n as u64);
+            let (vals, v) = heevd(&a).unwrap();
+            assert_eq!(vals.len(), n);
+            let vhv = gemm_new(Op::ConjTrans, Op::None, &v, &v);
+            assert!(vhv.orthogonality_error() < 1e-12);
+        }
+    }
+}

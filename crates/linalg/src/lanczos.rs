@@ -1,0 +1,243 @@
+//! Lanczos iteration for spectral-bound estimation (Algorithm 1/2, line 1–2).
+//!
+//! ChASE runs a small number of Lanczos steps on a handful of random vectors
+//! to obtain (i) a safe upper bound `b_sup` on the spectrum, (ii) an estimate
+//! `mu_1` of the smallest eigenvalue, and (iii) a Density-of-States (DoS)
+//! quantile estimate `mu_ne` of the `(nev + nex)`-th eigenvalue, which
+//! delimits the interval the Chebyshev filter must damp.
+
+use crate::heevd::steqr;
+use crate::matrix::Matrix;
+use crate::scalar::{RealScalar, Scalar};
+use rand::Rng;
+
+/// Spectral bounds consumed by the Chebyshev filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralBounds<R> {
+    /// Estimate of the smallest eigenvalue (`mu_1`).
+    pub mu_1: R,
+    /// DoS estimate of the `(nev + nex)`-th smallest eigenvalue (`mu_ne`).
+    pub mu_ne: R,
+    /// Guaranteed-ish upper bound on the whole spectrum (`b_sup`).
+    pub b_sup: R,
+}
+
+/// Result of one Lanczos run: Ritz values, their DoS weights (squared first
+/// components of the tridiagonal eigenvectors), and the residual norm of the
+/// final step.
+#[derive(Debug, Clone)]
+pub struct LanczosRun<R> {
+    pub ritz: Vec<R>,
+    pub weights: Vec<R>,
+    /// `beta_m * |last eigenvector component|` per Ritz value: the classical
+    /// Lanczos residual bound used to inflate `b_sup`.
+    pub residual_bounds: Vec<R>,
+}
+
+/// Run `m` Lanczos steps with full (one-pass) reorthogonalization.
+///
+/// `matvec(x, y)` must compute `y = A x` for the Hermitian operator `A` of
+/// dimension `n`. Fewer than `m` steps are taken if the Krylov space closes.
+pub fn lanczos_run<T, F, R>(
+    n: usize,
+    m: usize,
+    mut matvec: F,
+    rng: &mut R,
+) -> LanczosRun<T::Real>
+where
+    T: Scalar,
+    F: FnMut(&[T], &mut [T]),
+    R: Rng + ?Sized,
+{
+    assert!(n >= 1);
+    let m = m.min(n);
+    let mut basis: Vec<Vec<T>> = Vec::with_capacity(m);
+    let mut alphas: Vec<T::Real> = Vec::with_capacity(m);
+    let mut betas: Vec<T::Real> = Vec::with_capacity(m);
+
+    let mut v: Vec<T> = (0..n).map(|_| T::sample_standard(rng)).collect();
+    let nv = crate::blas1::nrm2(&v);
+    crate::blas1::rscal(<T::Real as Scalar>::one() / nv, &mut v);
+
+    let mut w = vec![T::zero(); n];
+    let mut last_beta = <T::Real as Scalar>::zero();
+
+    for step in 0..m {
+        basis.push(v.clone());
+        matvec(&v, &mut w);
+        let alpha = crate::blas1::dotc(&v, &w).re();
+        alphas.push(alpha);
+        // w -= alpha v + beta v_prev
+        crate::blas1::axpy(-T::from_real(alpha), &v, &mut w);
+        if step > 0 {
+            crate::blas1::axpy(-T::from_real(betas[step - 1]), &basis[step - 1], &mut w);
+        }
+        // Full reorthogonalization (classical Gram-Schmidt, one pass).
+        for b in &basis {
+            let proj = crate::blas1::dotc(b, &w);
+            crate::blas1::axpy(-proj, b, &mut w);
+        }
+        let beta = crate::blas1::nrm2(&w);
+        last_beta = beta;
+        if step + 1 == m {
+            break;
+        }
+        if beta.to_f64() < 1e-14 {
+            break;
+        }
+        betas.push(beta);
+        v = w.clone();
+        crate::blas1::rscal(<T::Real as Scalar>::one() / beta, &mut v);
+    }
+
+    // Eigen-decomposition of the small real tridiagonal.
+    let k = alphas.len();
+    let mut d = alphas.clone();
+    let mut e = betas.clone();
+    e.truncate(k.saturating_sub(1));
+    let mut z = Matrix::<T::Real>::identity(k, k);
+    steqr::<T::Real>(&mut d, &mut e, Some(&mut z)).expect("tridiagonal QL failed");
+
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+
+    let ritz: Vec<T::Real> = order.iter().map(|&i| d[i]).collect();
+    let weights: Vec<T::Real> = order.iter().map(|&i| z[(0, i)] * z[(0, i)]).collect();
+    let residual_bounds: Vec<T::Real> = order
+        .iter()
+        .map(|&i| last_beta * z[(k - 1, i)].abs_r())
+        .collect();
+
+    LanczosRun { ritz, weights, residual_bounds }
+}
+
+/// Estimate the three bounds ChASE needs, using `nvec` independent Lanczos
+/// runs of `steps` iterations each (the paper's DoS approach).
+pub fn estimate_bounds<T, F, R>(
+    n: usize,
+    ne: usize,
+    steps: usize,
+    nvec: usize,
+    mut matvec: F,
+    rng: &mut R,
+) -> SpectralBounds<T::Real>
+where
+    T: Scalar,
+    F: FnMut(&[T], &mut [T]),
+    R: Rng + ?Sized,
+{
+    assert!(nvec >= 1);
+    let mut all_nodes: Vec<(T::Real, T::Real)> = Vec::new();
+    let mut mu_1 = T::Real::from_f64_r(f64::INFINITY);
+    let mut b_sup = T::Real::from_f64_r(f64::NEG_INFINITY);
+
+    for _ in 0..nvec {
+        let run = lanczos_run::<T, _, R>(n, steps, &mut matvec, rng);
+        if let Some(&lo) = run.ritz.first() {
+            mu_1 = mu_1.min_r(lo);
+        }
+        for (i, &theta) in run.ritz.iter().enumerate() {
+            let ub = theta + run.residual_bounds[i];
+            b_sup = b_sup.max_r(ub);
+            all_nodes.push((theta, run.weights[i]));
+        }
+    }
+
+    // DoS CDF: counts(lambda) ~ N * mean over runs of sum of weights below.
+    all_nodes.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let scale = n as f64 / nvec as f64;
+    let target = ne as f64;
+    let mut acc = 0.0f64;
+    let mut mu_ne = b_sup;
+    for (theta, wgt) in &all_nodes {
+        acc += wgt.to_f64() * scale;
+        if acc >= target {
+            mu_ne = *theta;
+            break;
+        }
+    }
+    // Guard rails: the filter interval must be non-empty and inside the
+    // spectrum estimate.
+    // NaN-safe guards: the comparisons must treat NaN as "needs repair".
+    let interval_ok = matches!(mu_ne.partial_cmp(&mu_1), Some(std::cmp::Ordering::Greater));
+    if !interval_ok {
+        mu_ne = mu_1 + (b_sup - mu_1).scale(T::Real::from_f64_r(0.05));
+    }
+    let top_ok = matches!(b_sup.partial_cmp(&mu_ne), Some(std::cmp::Ordering::Greater));
+    if !top_ok {
+        b_sup = mu_ne + (mu_ne - mu_1).abs_r().max_r(T::Real::from_f64_r(1e-8));
+    }
+    SpectralBounds { mu_1, mu_ne, b_sup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemv;
+    use crate::scalar::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn diag_operator(spec: Vec<f64>) -> impl FnMut(&[C64], &mut [C64]) {
+        move |x, y| {
+            for (i, (xi, yi)) in x.iter().zip(y.iter_mut()).enumerate() {
+                *yi = xi.scale(spec[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_contain_spectrum_diag() {
+        let n = 200;
+        let spec: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 10.0 - 2.0).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let b = estimate_bounds::<C64, _, _>(n, 40, 25, 6, diag_operator(spec.clone()), &mut rng);
+        assert!(b.b_sup >= 8.0 - 1e-6, "b_sup {} must bound lambda_max 8", b.b_sup);
+        assert!(b.mu_1 <= -1.5, "mu_1 {} should approach -2", b.mu_1);
+        assert!(b.mu_ne > b.mu_1 && b.mu_ne < b.b_sup);
+        // the 40th of 200 uniform values on [-2, 8] is near -2 + 10*(40/200) = 0
+        assert!(b.mu_ne.abs() < 1.5, "mu_ne {} should be near 0", b.mu_ne);
+    }
+
+    #[test]
+    fn lanczos_exact_on_small_dense() {
+        // Full-dimension Lanczos reproduces the dense spectrum.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let n = 12;
+        let spec: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let q = crate::qr::random_orthonormal::<C64, _>(n, n, &mut rng);
+        let d = Matrix::<C64>::from_diag(&spec);
+        let qd = crate::blas3::gemm_new(crate::blas3::Op::None, crate::blas3::Op::None, &q, &d);
+        let a = crate::blas3::gemm_new(crate::blas3::Op::None, crate::blas3::Op::ConjTrans, &qd, &q);
+        let run = lanczos_run::<C64, _, _>(
+            n,
+            n,
+            |x, y| gemv(crate::blas3::Op::None, C64::one(), &a, x, C64::zero(), y),
+            &mut rng,
+        );
+        assert_eq!(run.ritz.len(), n);
+        for (r, s) in run.ritz.iter().zip(spec.iter()) {
+            assert!((r - s).abs() < 1e-8, "{r} vs {s}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let spec: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let run = lanczos_run::<C64, _, _>(100, 20, diag_operator(spec), &mut rng);
+        let s: f64 = run.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-10, "weight sum {s}");
+    }
+
+    #[test]
+    fn upper_bound_is_safe_across_seeds() {
+        let n = 150;
+        let spec: Vec<f64> = (0..n).map(|i| -5.0 + 10.0 * (i as f64) / (n as f64 - 1.0)).collect();
+        for seed in 0..8u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let b = estimate_bounds::<C64, _, _>(n, 15, 25, 4, diag_operator(spec.clone()), &mut rng);
+            assert!(b.b_sup >= 5.0 - 1e-6, "seed {seed}: b_sup {} < 5", b.b_sup);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Householder QR factorization (GEQRF / UNGQR), the stable reference against
+//! which the paper compares its CholeskyQR variants, and the robust fallback
+//! of Algorithm 4 (line 9).
+
+use crate::matrix::Matrix;
+use crate::scalar::{RealScalar, Scalar};
+
+/// Compact Householder factorization: reflectors below the diagonal of
+/// `factors`, `R` in its upper triangle, scalar factors in `taus`.
+#[derive(Clone, Debug)]
+pub struct HouseholderQr<T: Scalar> {
+    factors: Matrix<T>,
+    taus: Vec<T>,
+}
+
+/// Generate an elementary reflector (LAPACK `zlarfg`).
+///
+/// Given `alpha` and tail `x`, produces `(beta, tau)` and overwrites `x` with
+/// the reflector tail `v[1..]` (with `v[0] = 1` implicit) such that
+/// `H^H [alpha; x] = [beta; 0]` for `H = I - tau v v^H`. `beta` is real.
+fn larfg<T: Scalar>(alpha: T, x: &mut [T]) -> (T::Real, T) {
+    let xnorm = crate::blas1::nrm2(x);
+    let zero_r = <T::Real as Scalar>::zero();
+    if xnorm == zero_r && alpha.im() == zero_r {
+        return (alpha.re(), T::zero());
+    }
+    let mut beta = alpha.abs().hypot_r(xnorm);
+    if alpha.re() > zero_r {
+        beta = -beta;
+    }
+    // tau = (beta - alpha) / beta with beta real.
+    let tau = (T::from_real(beta) - alpha).scale(<T::Real as Scalar>::one() / beta);
+    let scale = T::one() / (alpha - T::from_real(beta));
+    crate::blas1::scal(scale, x);
+    (beta, tau)
+}
+
+/// Apply `H^H = I - conj(tau) v v^H` to the sub-block of `a` spanning rows
+/// `row0..` and columns `col0..`, with `v` stored as `[1, tail...]`.
+fn apply_reflector_h<T: Scalar>(
+    a: &mut Matrix<T>,
+    row0: usize,
+    col0: usize,
+    tail: &[T],
+    tau: T,
+) {
+    if tau == T::zero() {
+        return;
+    }
+    let ct = tau.conj();
+    let m = a.rows();
+    for j in col0..a.cols() {
+        // w = v^H a_j over rows row0..row0+1+tail.len()
+        let mut w = a[(row0, j)];
+        for (k, &v) in tail.iter().enumerate() {
+            w += v.conj() * a[(row0 + 1 + k, j)];
+        }
+        let s = ct * w;
+        a[(row0, j)] -= s;
+        for (k, &v) in tail.iter().enumerate() {
+            let idx = row0 + 1 + k;
+            debug_assert!(idx < m);
+            a[(idx, j)] -= s * v;
+        }
+    }
+}
+
+/// Apply `H = I - tau v v^H` (no conjugation of tau), used when forming `Q`.
+fn apply_reflector<T: Scalar>(a: &mut Matrix<T>, row0: usize, col0: usize, tail: &[T], tau: T) {
+    if tau == T::zero() {
+        return;
+    }
+    for j in col0..a.cols() {
+        let mut w = a[(row0, j)];
+        for (k, &v) in tail.iter().enumerate() {
+            w += v.conj() * a[(row0 + 1 + k, j)];
+        }
+        let s = tau * w;
+        a[(row0, j)] -= s;
+        for (k, &v) in tail.iter().enumerate() {
+            a[(row0 + 1 + k, j)] -= s * v;
+        }
+    }
+}
+
+impl<T: Scalar> HouseholderQr<T> {
+    /// Factor `a` (`m x n`, `m >= n`).
+    pub fn new(a: &Matrix<T>) -> Self {
+        let m = a.rows();
+        let n = a.cols();
+        assert!(m >= n, "HouseholderQr requires m >= n (got {m} x {n})");
+        let mut f = a.clone();
+        let mut taus = Vec::with_capacity(n);
+        for k in 0..n {
+            let alpha = f[(k, k)];
+            // Split the tail out of column k.
+            let (beta, tau) = {
+                let col = f.col_mut(k);
+                larfg(alpha, &mut col[k + 1..])
+            };
+            taus.push(tau);
+            f[(k, k)] = T::from_real(beta);
+            if k + 1 < n {
+                let tail = f.col(k)[k + 1..].to_vec();
+                apply_reflector_h(&mut f, k, k + 1, &tail, tau);
+            }
+        }
+        Self { factors: f, taus }
+    }
+
+    /// The `n x n` upper-triangular factor `R`.
+    pub fn r(&self) -> Matrix<T> {
+        let n = self.factors.cols();
+        Matrix::from_fn(n, n, |i, j| if i <= j { self.factors[(i, j)] } else { T::zero() })
+    }
+
+    /// The thin orthonormal factor `Q` (`m x n`), formed by accumulating the
+    /// reflectors against the identity (LAPACK `zungqr`).
+    pub fn q(&self) -> Matrix<T> {
+        let m = self.factors.rows();
+        let n = self.factors.cols();
+        let mut q = Matrix::identity(m, n);
+        for k in (0..n).rev() {
+            let tail = self.factors.col(k)[k + 1..].to_vec();
+            apply_reflector(&mut q, k, k, &tail, self.taus[k]);
+        }
+        q
+    }
+}
+
+/// Convenience: thin QR, returning `(Q, R)` with `Q^H Q = I` and `Q R = X`.
+pub fn householder_qr<T: Scalar>(x: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let f = HouseholderQr::new(x);
+    (f.q(), f.r())
+}
+
+/// Random matrix with Haar-like orthonormal columns (QR of a Gaussian
+/// matrix), used by the artificial-matrix generator (Section 4.1.2).
+pub fn random_orthonormal<T: Scalar, R: rand::Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+) -> Matrix<T> {
+    let x = Matrix::<T>::random(rows, cols, rng);
+    householder_qr(&x).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm_new, Op};
+    use crate::scalar::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_qr<T: Scalar>(x: &Matrix<T>, tol: f64) {
+        let (q, r) = householder_qr(x);
+        let qhq = gemm_new(Op::ConjTrans, Op::None, &q, &q);
+        assert!(
+            qhq.orthogonality_error().to_f64() < tol,
+            "Q not orthonormal: {}",
+            qhq.orthogonality_error()
+        );
+        let back = gemm_new(Op::None, Op::None, &q, &r);
+        assert!(
+            back.max_abs_diff(x).to_f64() < tol * x.norm_fro().to_f64().max(1.0),
+            "QR != X: {}",
+            back.max_abs_diff(x)
+        );
+        // R upper triangular with real diagonal
+        for j in 0..r.cols() {
+            for i in j + 1..r.rows() {
+                assert_eq!(r[(i, j)], T::zero());
+            }
+            assert!(r[(j, j)].im().to_f64().abs() < tol);
+        }
+    }
+
+    #[test]
+    fn qr_complex_random() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for (m, n) in [(5, 5), (12, 4), (40, 17)] {
+            let x = Matrix::<C64>::random(m, n, &mut rng);
+            check_qr(&x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn qr_real_random() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let x = Matrix::<f64>::random(25, 10, &mut rng);
+        check_qr(&x, 1e-12);
+    }
+
+    #[test]
+    fn qr_rank_deficientish() {
+        // Nearly dependent columns: HHQR must stay orthonormal regardless.
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut x = Matrix::<C64>::random(30, 6, &mut rng);
+        let c0 = x.col(0).to_vec();
+        for (i, v) in x.col_mut(1).iter_mut().enumerate() {
+            *v = c0[i].scale(1.0) + v.scale(1e-11);
+        }
+        let (q, _r) = householder_qr(&x);
+        let qhq = gemm_new(Op::ConjTrans, Op::None, &q, &q);
+        assert!(qhq.orthogonality_error() < 1e-10);
+    }
+
+    #[test]
+    fn qr_single_column() {
+        let x = Matrix::<f64>::from_vec(3, 1, vec![3.0, 0.0, 4.0]);
+        let (q, r) = householder_qr(&x);
+        assert!((r[(0, 0)].abs() - 5.0).abs() < 1e-14);
+        assert!((crate::blas1::nrm2(q.col(0)) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn qr_already_triangular() {
+        let mut x = Matrix::<f64>::identity(4, 4);
+        x[(0, 1)] = 2.0;
+        let (q, r) = householder_qr(&x);
+        let back = gemm_new(Op::None, Op::None, &q, &r);
+        assert!(back.max_abs_diff(&x) < 1e-14);
+    }
+
+    #[test]
+    fn random_orthonormal_is_orthonormal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let q = random_orthonormal::<C64, _>(20, 20, &mut rng);
+        let qhq = gemm_new(Op::ConjTrans, Op::None, &q, &q);
+        assert!(qhq.orthogonality_error() < 1e-12);
+    }
+}

@@ -1,0 +1,369 @@
+//! Scalar abstraction over the four types the ChASE library is templated on:
+//! `f32`, `f64`, `Complex<f32>`, `Complex<f64>`.
+//!
+//! Every dense kernel in this workspace is generic over [`Scalar`], mirroring
+//! the C++ template structure of the original library. Real-valued quantities
+//! (norms, eigenvalues of Hermitian matrices, Chebyshev bounds) live in the
+//! associated [`Scalar::Real`] type.
+
+use num_complex::Complex;
+use rand::Rng;
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar (`f32` or `f64`).
+///
+/// `RealScalar` is the value domain for norms, residuals, eigenvalues of
+/// Hermitian operators and all Chebyshev-filter parameters.
+pub trait RealScalar: Scalar<Real = Self> + PartialOrd {
+    /// Machine epsilon (unit round-off `u` in the paper's notation is `EPS / 2`).
+    const EPS: Self;
+    /// Smallest positive normal value.
+    const MIN_POS: Self;
+
+    fn sqrt_r(self) -> Self;
+    fn abs_r(self) -> Self;
+    fn ln_r(self) -> Self;
+    fn exp_r(self) -> Self;
+    fn powi_r(self, n: i32) -> Self;
+    fn max_r(self, other: Self) -> Self;
+    fn min_r(self, other: Self) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_f64_r(x: f64) -> Self;
+    fn hypot_r(self, other: Self) -> Self;
+    fn copysign_r(self, sign: Self) -> Self;
+    fn is_finite_r(self) -> bool;
+}
+
+/// A scalar usable as a matrix element: real or complex, single or double.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + 'static
+    + Debug
+    + Display
+    + PartialEq
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+{
+    /// The underlying real type (`f32` or `f64`).
+    type Real: RealScalar;
+
+    /// `true` for `Complex<_>` instantiations.
+    const IS_COMPLEX: bool;
+
+    fn zero() -> Self;
+    fn one() -> Self;
+    /// Embed a real value.
+    fn from_real(r: Self::Real) -> Self;
+    /// Complex conjugate (identity for real types).
+    fn conj(self) -> Self;
+    /// Real part.
+    fn re(self) -> Self::Real;
+    /// Imaginary part (zero for real types).
+    fn im(self) -> Self::Real;
+    /// Modulus `|x|`.
+    fn abs(self) -> Self::Real;
+    /// Squared modulus `|x|^2`, computed without a square root.
+    fn abs_sqr(self) -> Self::Real;
+    /// Multiply by a real scalar.
+    fn scale(self, r: Self::Real) -> Self;
+    /// Principal square root.
+    fn sqrt(self) -> Self;
+    /// Convenience conversion from `f64` (embeds into the real part).
+    fn from_f64(x: f64) -> Self;
+    /// Draw from the standard normal distribution; for complex types real and
+    /// imaginary parts are independent `N(0, 1/2)` so that `E|x|^2 = 1`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+    fn is_finite(self) -> bool;
+}
+
+/// Box–Muller transform: one standard-normal draw from two uniforms.
+#[inline]
+fn normal_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl RealScalar for $t {
+            const EPS: Self = <$t>::EPSILON;
+            const MIN_POS: Self = <$t>::MIN_POSITIVE;
+
+            #[inline]
+            fn sqrt_r(self) -> Self {
+                self.sqrt()
+            }
+            #[inline]
+            fn abs_r(self) -> Self {
+                self.abs()
+            }
+            #[inline]
+            fn ln_r(self) -> Self {
+                self.ln()
+            }
+            #[inline]
+            fn exp_r(self) -> Self {
+                self.exp()
+            }
+            #[inline]
+            fn powi_r(self, n: i32) -> Self {
+                self.powi(n)
+            }
+            #[inline]
+            fn max_r(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline]
+            fn min_r(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn from_f64_r(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn hypot_r(self, other: Self) -> Self {
+                self.hypot(other)
+            }
+            #[inline]
+            fn copysign_r(self, sign: Self) -> Self {
+                self.copysign(sign)
+            }
+            #[inline]
+            fn is_finite_r(self) -> bool {
+                self.is_finite()
+            }
+        }
+
+        impl Scalar for $t {
+            type Real = $t;
+            const IS_COMPLEX: bool = false;
+
+            #[inline]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline]
+            fn from_real(r: Self::Real) -> Self {
+                r
+            }
+            #[inline]
+            fn conj(self) -> Self {
+                self
+            }
+            #[inline]
+            fn re(self) -> Self::Real {
+                self
+            }
+            #[inline]
+            fn im(self) -> Self::Real {
+                0.0
+            }
+            #[inline]
+            fn abs(self) -> Self::Real {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn abs_sqr(self) -> Self::Real {
+                self * self
+            }
+            #[inline]
+            fn scale(self, r: Self::Real) -> Self {
+                self * r
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                normal_f64(rng) as $t
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+macro_rules! impl_complex {
+    ($t:ty) => {
+        impl Scalar for Complex<$t> {
+            type Real = $t;
+            const IS_COMPLEX: bool = true;
+
+            #[inline]
+            fn zero() -> Self {
+                Complex::new(0.0, 0.0)
+            }
+            #[inline]
+            fn one() -> Self {
+                Complex::new(1.0, 0.0)
+            }
+            #[inline]
+            fn from_real(r: Self::Real) -> Self {
+                Complex::new(r, 0.0)
+            }
+            #[inline]
+            fn conj(self) -> Self {
+                Complex::new(self.re, -self.im)
+            }
+            #[inline]
+            fn re(self) -> Self::Real {
+                self.re
+            }
+            #[inline]
+            fn im(self) -> Self::Real {
+                self.im
+            }
+            #[inline]
+            fn abs(self) -> Self::Real {
+                self.re.hypot(self.im)
+            }
+            #[inline]
+            fn abs_sqr(self) -> Self::Real {
+                self.re * self.re + self.im * self.im
+            }
+            #[inline]
+            fn scale(self, r: Self::Real) -> Self {
+                Complex::new(self.re * r, self.im * r)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                Complex::sqrt(self)
+            }
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                Complex::new(x as $t, 0.0)
+            }
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                // Variance split so E|x|^2 = 1, matching ChASE's complex
+                // random start vectors.
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                Complex::new(
+                    (normal_f64(rng) * s) as $t,
+                    (normal_f64(rng) * s) as $t,
+                )
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                self.re.is_finite() && self.im.is_finite()
+            }
+        }
+    };
+}
+
+impl_complex!(f32);
+impl_complex!(f64);
+
+/// Shorthand aliases matching the four ChASE template instantiations.
+pub type C32 = Complex<f32>;
+/// Double-precision complex scalar, the type used in all the paper's tests.
+pub type C64 = Complex<f64>;
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn real_basics() {
+        assert_eq!(<f64 as Scalar>::conj(3.0), 3.0);
+        assert_eq!(3.0f64.abs_sqr(), 9.0);
+        assert_eq!(<f64 as Scalar>::from_real(2.5), 2.5);
+        assert!(!<f64 as Scalar>::IS_COMPLEX);
+        assert_eq!(2.0f64.scale(3.0), 6.0);
+    }
+
+    #[test]
+    fn complex_basics() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.abs_sqr(), 25.0);
+        assert_eq!(Scalar::conj(z), C64::new(3.0, -4.0));
+        assert!(<C64 as Scalar>::IS_COMPLEX);
+        let w = z.scale(2.0);
+        assert_eq!(w, C64::new(6.0, 8.0));
+    }
+
+    #[test]
+    fn conj_is_involution() {
+        let z = C64::new(1.25, -0.5);
+        assert_eq!(Scalar::conj(Scalar::conj(z)), z);
+    }
+
+    #[test]
+    fn sample_standard_statistics() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mut mean = C64::zero();
+        let mut pow = 0.0f64;
+        for _ in 0..n {
+            let z = C64::sample_standard(&mut rng);
+            mean += z;
+            pow += z.abs_sqr();
+        }
+        let mean = mean.scale(1.0 / n as f64);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let pow = pow / n as f64;
+        assert!((pow - 1.0).abs() < 0.03, "E|x|^2 {pow}");
+    }
+
+    #[test]
+    fn sample_standard_real_statistics() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let mut mean = 0.0f64;
+        let mut pow = 0.0f64;
+        for _ in 0..n {
+            let x = f64::sample_standard(&mut rng);
+            mean += x;
+            pow += x * x;
+        }
+        assert!((mean / n as f64).abs() < 0.02);
+        assert!((pow / n as f64 - 1.0).abs() < 0.04);
+    }
+
+    #[test]
+    fn eps_constants() {
+        assert!(f64::EPS < 1e-15);
+        assert!(f32::EPS < 1e-6);
+        assert!(f32::EPS > 1e-8);
+    }
+}

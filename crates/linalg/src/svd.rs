@@ -1,0 +1,193 @@
+//! Singular values via one-sided Jacobi.
+//!
+//! The paper computes the *exact* condition number `kappa_2^com` of the
+//! filtered vector block with a LAPACK SVD to validate the cheap estimator of
+//! Algorithm 5 (Fig. 1). One-sided Jacobi is the method of choice here: it is
+//! simple, it works column-wise on tall-skinny blocks (exactly the shape of
+//! `C`), and it resolves tiny singular values to high relative accuracy —
+//! which a Gram-matrix eigensolve cannot once `kappa^2` approaches `1/eps`.
+
+use crate::matrix::Matrix;
+use crate::scalar::{RealScalar, Scalar};
+
+/// Outcome of the Jacobi sweep loop.
+#[derive(Debug, Clone)]
+pub struct JacobiSvd<R> {
+    /// Singular values, descending.
+    pub values: Vec<R>,
+    /// Number of full sweeps performed.
+    pub sweeps: usize,
+    /// Whether the off-diagonal test converged before the sweep cap.
+    pub converged: bool,
+}
+
+/// Singular values of `x` by one-sided Jacobi (values only, descending).
+///
+/// `x` is `m x n` with any `m >= 1`; columns are rotated in a copy until all
+/// pairwise inner products are negligible, at which point the column norms
+/// are the singular values.
+pub fn singular_values<T: Scalar>(x: &Matrix<T>) -> JacobiSvd<T::Real> {
+    let mut w = x.clone();
+    let n = w.cols();
+    let max_sweeps = 40;
+    let tol = <T::Real as RealScalar>::EPS.scale(T::Real::from_f64_r(8.0));
+    let mut sweeps = 0;
+    let mut converged = false;
+
+    while sweeps < max_sweeps {
+        sweeps += 1;
+        let mut rotated = false;
+        for p in 0..n.saturating_sub(1) {
+            for q in p + 1..n {
+                let (app, aqq, apq) = {
+                    let xp = w.col(p);
+                    let xq = w.col(q);
+                    (
+                        crate::blas1::nrm2_sqr(xp),
+                        crate::blas1::nrm2_sqr(xq),
+                        crate::blas1::dotc(xp, xq),
+                    )
+                };
+                let r = apq.abs();
+                let gate = (app * aqq).sqrt_r() * tol;
+                if r <= gate || r == <T::Real as Scalar>::zero() {
+                    continue;
+                }
+                rotated = true;
+                // Absorb the phase of apq into column q so the 2x2 Gram is
+                // real symmetric, then apply a classical Jacobi rotation.
+                let alpha = apq.conj().scale(<T::Real as Scalar>::one() / r);
+                let zeta = (aqq - app).scale(T::Real::from_f64_r(0.5)) / r;
+                let t = {
+                    let denom = zeta.abs_r() + (zeta * zeta + <T::Real as Scalar>::one()).sqrt_r();
+                    let mag = <T::Real as Scalar>::one() / denom;
+                    if zeta < <T::Real as Scalar>::zero() {
+                        -mag
+                    } else {
+                        mag
+                    }
+                };
+                let c = <T::Real as Scalar>::one()
+                    / (t * t + <T::Real as Scalar>::one()).sqrt_r();
+                let s = t * c;
+                let (xp, xq) = w.two_cols_mut(p, q);
+                for (a, b) in xp.iter_mut().zip(xq.iter_mut()) {
+                    let va = *a;
+                    let vb = alpha * *b;
+                    *a = va.scale(c) - vb.scale(s);
+                    *b = va.scale(s) + vb.scale(c);
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+
+    let mut values: Vec<T::Real> = (0..n).map(|j| crate::blas1::nrm2(w.col(j))).collect();
+    values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    JacobiSvd { values, sweeps, converged }
+}
+
+/// Spectral (2-norm) condition number `sigma_max / sigma_min`.
+///
+/// Returns `infinity` for numerically rank-deficient inputs.
+pub fn cond2<T: Scalar>(x: &Matrix<T>) -> T::Real {
+    let sv = singular_values(x);
+    let smax = sv.values.first().copied().unwrap_or_else(<T::Real as Scalar>::zero);
+    let smin = sv.values.last().copied().unwrap_or_else(<T::Real as Scalar>::zero);
+    if smin <= <T::Real as Scalar>::zero() {
+        T::Real::from_f64_r(f64::INFINITY)
+    } else {
+        smax / smin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm_new, Op};
+    use crate::qr::random_orthonormal;
+    use crate::scalar::C64;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// X = U diag(s) with U orthonormal has exactly those singular values.
+    fn with_singular_values(m: usize, s: &[f64], seed: u64) -> Matrix<C64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = random_orthonormal::<C64, _>(m, s.len(), &mut rng);
+        let v = random_orthonormal::<C64, _>(s.len(), s.len(), &mut rng);
+        let mut us = u.clone();
+        for (j, &sj) in s.iter().enumerate() {
+            crate::blas1::rscal(sj, us.col_mut(j));
+        }
+        gemm_new(Op::None, Op::ConjTrans, &us, &v)
+    }
+
+    #[test]
+    fn prescribed_singular_values() {
+        let s = [10.0, 4.0, 1.0, 0.1];
+        let x = with_singular_values(25, &s, 1);
+        let sv = singular_values(&x);
+        assert!(sv.converged);
+        for (got, want) in sv.values.iter().zip(s.iter()) {
+            assert!((got - want).abs() < 1e-10 * want, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn tiny_singular_value_resolved() {
+        // kappa = 1e10: Gram-based methods would lose this; Jacobi must not.
+        let s = [1.0, 1e-10];
+        let x = with_singular_values(40, &s, 2);
+        let k = cond2(&x);
+        assert!(
+            (k / 1e10 - 1.0).abs() < 1e-3,
+            "cond {k:.3e} should be ~1e10"
+        );
+    }
+
+    #[test]
+    fn orthonormal_cond_is_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let q = random_orthonormal::<C64, _>(30, 8, &mut rng);
+        let k = cond2(&q);
+        assert!((k - 1.0).abs() < 1e-12, "kappa(Q) = {k}");
+    }
+
+    #[test]
+    fn rank_deficient_is_infinite() {
+        let mut x = Matrix::<f64>::zeros(5, 2);
+        x.col_mut(0).copy_from_slice(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+        // column 1 identical to column 0
+        x.col_mut(1).copy_from_slice(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(cond2(&x).is_infinite());
+    }
+
+    #[test]
+    fn matches_hermitian_eigenvalues() {
+        // For Hermitian A, singular values = |eigenvalues|.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 8;
+        let spec = [-4.0, -2.5, -1.0, -0.2, 0.7, 1.5, 3.0, 6.0];
+        let q = random_orthonormal::<C64, _>(n, n, &mut rng);
+        let d = Matrix::<C64>::from_diag(&spec);
+        let qd = gemm_new(Op::None, Op::None, &q, &d);
+        let a = gemm_new(Op::None, Op::ConjTrans, &qd, &q);
+        let sv = singular_values(&a);
+        let mut expect: Vec<f64> = spec.iter().map(|v| v.abs()).collect();
+        expect.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (got, want) in sv.values.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn single_column() {
+        let x = Matrix::<f64>::from_vec(3, 1, vec![0.0, 3.0, 4.0]);
+        let sv = singular_values(&x);
+        assert!((sv.values[0] - 5.0).abs() < 1e-14);
+        assert!((cond2(&x) - 1.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,67 @@
+//! Bethe–Salpeter-style optical spectrum: compute the lowest excitation
+//! energies of a BSE-like two-particle Hamiltonian (the In2O3 / HfO2 class
+//! of Table 1) and cross-check ChASE against the direct eigensolver.
+//!
+//! ```text
+//! cargo run --release --example bse_spectrum
+//! ```
+//!
+//! BSE matrices are Hermitian positive definite with excitation energies
+//! densely packed just above the optical edge — a few eigenpairs out of a
+//! large spectrum, ChASE's target regime.
+
+use chase_core::{solve_serial, Params, QrStrategy};
+use chase_linalg::C64;
+use chase_matgen::{dense_with_spectrum, Spectrum};
+
+fn main() {
+    let n = 480;
+    let nev = 12;
+    let nex = 6;
+
+    println!("BSE-like eigenproblem: {n}x{n}, lowest {nev} excitation energies\n");
+    let spectrum = Spectrum::bse_like(n);
+    let h = dense_with_spectrum::<C64>(&spectrum, 31);
+
+    let mut params = Params::new(nev, nex);
+    params.tol = 1e-10;
+    params.qr = QrStrategy::Auto;
+
+    let t0 = std::time::Instant::now();
+    let chase = solve_serial(&h, &params);
+    let t_chase = t0.elapsed();
+    assert!(chase.converged, "ChASE failed to converge");
+
+    // Direct reference (ELPA-like two-stage) for validation.
+    let t0 = std::time::Instant::now();
+    let direct = chase_direct::eigh_partial(&h, nev, true);
+    let t_direct = t0.elapsed();
+
+    println!("{:>4} {:>16} {:>16} {:>11}", "k", "ChASE (eV)", "direct (eV)", "diff");
+    for k in 0..nev {
+        println!(
+            "{k:>4} {:>16.10} {:>16.10} {:>11.2e}",
+            chase.eigenvalues[k],
+            direct.eigenvalues[k],
+            (chase.eigenvalues[k] - direct.eigenvalues[k]).abs()
+        );
+    }
+
+    let edge = chase.eigenvalues[0];
+    let gap01 = chase.eigenvalues[1] - chase.eigenvalues[0];
+    println!("\nOptical edge (lowest excitation): {edge:.6}");
+    println!("Edge-to-next spacing:             {gap01:.6}");
+    println!(
+        "\nChASE: {} iterations, {} MatVecs, {:.2?} wall",
+        chase.iterations, chase.matvecs, t_chase
+    );
+    println!(
+        "Direct (two-stage, full reduction): {:.2?} wall — pays O(N^3) regardless of nev",
+        t_direct
+    );
+    println!(
+        "\nThe subspace solver touches only {} of {n} directions; that asymmetry is\n\
+         what Fig. 3b of the paper measures at scale against ELPA.",
+        params.ne()
+    );
+}

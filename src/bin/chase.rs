@@ -1,0 +1,226 @@
+//! `chase` — command-line driver for the ChASE reproduction.
+//!
+//! ```text
+//! chase generate --n 1000 --spectrum uniform --out h.chasemat [--seed 42] [--real]
+//! chase info     --matrix h.chasemat
+//! chase solve    --matrix h.chasemat --nev 20 [--nex 10] [--tol 1e-10]
+//!                [--grid 2x2] [--backend nccl|std|lms] [--qr auto|hhqr|cholqr1|cholqr2]
+//!                [--cyclic BLOCK] [--no-degopt]
+//! ```
+
+use chase_comm::{run_grid, Distribution, GridShape};
+use chase_core::{lms::solve_lms, solve_dist, ChaseResult, DistHerm, Params, QrStrategy};
+use chase_device::Backend;
+use chase_linalg::{Matrix, RealScalar, Scalar, C64};
+use chase_matgen::io::{load, save_c64, save_f64, LoadedMatrix};
+use chase_matgen::{dense_with_spectrum, Spectrum};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        // Boolean flags take no value.
+        if matches!(key, "real" | "no-degopt") {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let val = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+            out.insert(key.to_string(), val.clone());
+            i += 2;
+        }
+    }
+    Ok(out)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        None => default.ok_or_else(|| format!("missing required --{key}")),
+    }
+}
+
+fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
+    let n: usize = get(&flags, "n", None)?;
+    let out: String = get(&flags, "out", None)?;
+    let seed: u64 = get(&flags, "seed", Some(42))?;
+    let kind = flags.get("spectrum").map(String::as_str).unwrap_or("uniform");
+    let spec = match kind {
+        "uniform" => Spectrum::uniform(n, -1.0, 1.0),
+        "dft" => Spectrum::dft_like(n),
+        "bse" => Spectrum::bse_like(n),
+        "geometric" => Spectrum::geometric(n, 1e-3, 1.0),
+        other => return Err(format!("unknown spectrum '{other}' (uniform|dft|bse|geometric)")),
+    };
+    if flags.contains_key("real") {
+        let h = dense_with_spectrum::<f64>(&spec, seed);
+        save_f64(&h, &out).map_err(|e| e.to_string())?;
+    } else {
+        let h = dense_with_spectrum::<C64>(&spec, seed);
+        save_c64(&h, &out).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {n}x{n} {kind} matrix to {out}");
+    Ok(())
+}
+
+fn cmd_info(flags: HashMap<String, String>) -> Result<(), String> {
+    let path: String = get(&flags, "matrix", None)?;
+    let m = load(&path).map_err(|e| e.to_string())?;
+    println!(
+        "{path}: {0}x{0} {1}",
+        m.rows(),
+        match m.scalar() {
+            chase_matgen::io::StoredScalar::F64 => "real f64",
+            chase_matgen::io::StoredScalar::C64 => "complex f64",
+        }
+    );
+    Ok(())
+}
+
+fn parse_grid(s: &str) -> Result<GridShape, String> {
+    let (p, q) = s.split_once('x').ok_or("grid must look like 2x2")?;
+    Ok(GridShape::new(
+        p.parse().map_err(|_| "bad grid rows")?,
+        q.parse().map_err(|_| "bad grid cols")?,
+    ))
+}
+
+fn solve_generic<T: Scalar + chase_comm::Reduce>(
+    h: &Matrix<T>,
+    params: &Params,
+    shape: GridShape,
+    backend: Backend,
+    dist: Distribution,
+) -> ChaseResult<T>
+where
+    T::Real: chase_comm::Reduce,
+{
+    let out = run_grid(shape, move |ctx| {
+        let dh = DistHerm::from_global_dist(h, ctx, dist);
+        if matches!(backend, Backend::Lms) {
+            solve_lms(ctx, dh, params, None)
+        } else {
+            solve_dist(ctx, backend, dh, params, None)
+        }
+    });
+    out.results.into_iter().next().unwrap()
+}
+
+fn print_result<T: Scalar>(r: &ChaseResult<T>, wall: std::time::Duration) {
+    println!(
+        "converged = {} | iterations = {} | MatVecs = {} | wall = {wall:.2?}",
+        r.converged, r.iterations, r.matvecs
+    );
+    println!("{:>4} {:>22} {:>12}", "k", "eigenvalue", "residual");
+    for (k, (v, res)) in r.eigenvalues.iter().zip(&r.residuals).enumerate() {
+        println!("{k:>4} {:>22.14} {:>12.2e}", (*v).to_f64(), (*res).to_f64());
+    }
+    println!("\nQR switchboard trace:");
+    for s in &r.stats {
+        println!(
+            "  iter {:>2}: est cond {:>9.2e} -> {:<13} locked {:>4} maxres {:.2e}",
+            s.iter,
+            s.est_cond,
+            s.qr_variant.name(),
+            s.locked,
+            s.max_res
+        );
+    }
+}
+
+fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
+    let path: String = get(&flags, "matrix", None)?;
+    let nev: usize = get(&flags, "nev", None)?;
+    let nex: usize = get(&flags, "nex", Some(nev.div_ceil(2).max(2)))?;
+    let tol: f64 = get(&flags, "tol", Some(1e-10))?;
+    let shape = parse_grid(flags.get("grid").map(String::as_str).unwrap_or("1x1"))?;
+    let backend = match flags.get("backend").map(String::as_str).unwrap_or("nccl") {
+        "nccl" => Backend::Nccl,
+        "std" => Backend::Std,
+        "lms" => Backend::Lms,
+        other => return Err(format!("unknown backend '{other}'")),
+    };
+    let qr = match flags.get("qr").map(String::as_str).unwrap_or("auto") {
+        "auto" => QrStrategy::Auto,
+        "hhqr" => QrStrategy::AlwaysHouseholder,
+        "cholqr1" => QrStrategy::AlwaysCholeskyQr1,
+        "cholqr2" => QrStrategy::AlwaysCholeskyQr2,
+        other => return Err(format!("unknown qr strategy '{other}'")),
+    };
+    let dist = match flags.get("cyclic") {
+        Some(b) => Distribution::BlockCyclic {
+            block: b.parse().map_err(|_| "--cyclic needs a block size")?,
+        },
+        None => Distribution::Block,
+    };
+
+    let mut params = Params::new(nev, nex);
+    params.tol = tol;
+    params.qr = qr;
+    params.optimize_degrees = !flags.contains_key("no-degopt");
+
+    let m = load(&path).map_err(|e| e.to_string())?;
+    if params.ne() > m.rows() {
+        return Err(format!(
+            "search space nev + nex = {} exceeds matrix size {} — lower --nev/--nex",
+            params.ne(),
+            m.rows()
+        ));
+    }
+    let t0 = std::time::Instant::now();
+    match m {
+        LoadedMatrix::C64(h) => {
+            let r = solve_generic(&h, &params, shape, backend, dist);
+            print_result(&r, t0.elapsed());
+        }
+        LoadedMatrix::F64(h) => {
+            let r = solve_generic(&h, &params, shape, backend, dist);
+            print_result(&r, t0.elapsed());
+        }
+    }
+    Ok(())
+}
+
+const USAGE: &str = "\
+chase — Chebyshev Accelerated Subspace iteration Eigensolver (SC'23 reproduction)
+
+USAGE:
+  chase generate --n N --out FILE [--spectrum uniform|dft|bse|geometric] [--seed S] [--real]
+  chase info     --matrix FILE
+  chase solve    --matrix FILE --nev K [--nex X] [--tol T] [--grid PxQ]
+                 [--backend nccl|std|lms] [--qr auto|hhqr|cholqr1|cholqr2]
+                 [--cyclic BLOCK] [--no-degopt]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = parse_flags(rest).and_then(|flags| match cmd.as_str() {
+        "generate" => cmd_generate(flags),
+        "info" => cmd_info(flags),
+        "solve" => cmd_solve(flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Edge cases of the solver loop: minimal search spaces, non-convergence
+//! reporting, maximal subspaces, degenerate spectra, and more ranks than the
+//! problem comfortably fits.
+
+use chase_core::{solve_serial, Params};
+use chase_linalg::C64;
+use chase_matgen::{dense_with_spectrum, Spectrum};
+
+#[test]
+fn minimal_search_space() {
+    // nev = 1, nex = 1: the smallest legal configuration.
+    let spec = Spectrum::uniform(40, -1.0, 1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 1);
+    let mut p = Params::new(1, 1);
+    p.tol = 1e-9;
+    let r = solve_serial(&h, &p);
+    assert!(r.converged);
+    assert!((r.eigenvalues[0] - spec.min()).abs() < 1e-7);
+}
+
+#[test]
+fn non_convergence_is_reported_not_panicked() {
+    let spec = Spectrum::uniform(60, -1.0, 1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 2);
+    let mut p = Params::new(6, 4);
+    p.tol = 1e-12;
+    p.max_iter = 1; // impossible budget
+    let r = solve_serial(&h, &p);
+    assert!(!r.converged);
+    assert_eq!(r.iterations, 1);
+    // Best-effort eigenvalues are still returned (nev of them).
+    assert_eq!(r.eigenvalues.len(), 6);
+}
+
+#[test]
+fn repeated_eigenvalues() {
+    // A 5-fold degenerate lowest eigenvalue: locking must harvest the whole
+    // eigenspace without stalling.
+    let mut vals = vec![-2.0; 5];
+    vals.extend((0..45).map(|i| -1.0 + i as f64 * 0.05));
+    let spec = Spectrum::from_values(vals);
+    let h = dense_with_spectrum::<C64>(&spec, 3);
+    let mut p = Params::new(6, 4);
+    p.tol = 1e-8;
+    let r = solve_serial(&h, &p);
+    assert!(r.converged, "degenerate problem stalled at iter {}", r.iterations);
+    for k in 0..5 {
+        assert!((r.eigenvalues[k] + 2.0).abs() < 1e-6, "lambda_{k} = {}", r.eigenvalues[k]);
+    }
+}
+
+#[test]
+fn subspace_close_to_full_dimension() {
+    // ne = n/2: far outside ChASE's target regime but must still work.
+    let n = 30;
+    let spec = Spectrum::uniform(n, 0.0, 3.0);
+    let h = dense_with_spectrum::<C64>(&spec, 4);
+    let mut p = Params::new(10, 5);
+    p.tol = 1e-8;
+    let r = solve_serial(&h, &p);
+    assert!(r.converged);
+    for k in 0..10 {
+        assert!((r.eigenvalues[k] - spec.values()[k]).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn negative_definite_spectrum() {
+    // All eigenvalues negative: bounds estimation must not assume a sign.
+    let spec = Spectrum::uniform(50, -9.0, -1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 5);
+    let mut p = Params::new(5, 4);
+    p.tol = 1e-9;
+    let r = solve_serial(&h, &p);
+    assert!(r.converged);
+    assert!((r.eigenvalues[0] + 9.0).abs() < 1e-7);
+}
+
+#[test]
+fn tiny_matrix_many_ranks() {
+    // 3x3 grid on a 20-dimensional problem: some ranks own 2-row slivers.
+    use chase_comm::{run_grid, GridShape};
+    use chase_core::{solve_dist, DistHerm};
+    use chase_device::Backend;
+    let spec = Spectrum::uniform(20, -1.0, 1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 6);
+    let mut p = Params::new(3, 2);
+    p.tol = 1e-8;
+    let (href, pref) = (&h, &p);
+    let out = run_grid(GridShape::new(3, 3), move |ctx| {
+        solve_dist(ctx, Backend::Nccl, DistHerm::from_global(href, ctx), pref, None)
+    });
+    for r in &out.results {
+        assert!(r.converged);
+        assert!((r.eigenvalues[0] + 1.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+#[should_panic(expected = "search space")]
+fn oversized_subspace_rejected() {
+    let spec = Spectrum::uniform(10, -1.0, 1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 7);
+    let p = Params::new(8, 8); // ne = 16 > n = 10
+    solve_serial(&h, &p);
+}

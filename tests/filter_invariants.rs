@@ -1,0 +1,116 @@
+//! Property tests on the Chebyshev filter (the remaining DESIGN.md
+//! invariant): amplification of wanted-over-unwanted eigencomponents is
+//! monotone in the degree, the filter is exactly linear in its input, and
+//! MatVec accounting matches the degree sum.
+
+use chase_comm::solo_ctx;
+use chase_core::{chebyshev_filter, DistHerm, FilterBounds};
+use chase_device::{Backend, Device};
+use chase_linalg::{Matrix, Scalar, C64};
+use proptest::prelude::*;
+
+/// Filter one vector of all-ones through a diagonal operator and return the
+/// |wanted| / |damped| amplitude ratio.
+fn filter_ratio(wanted: f64, damped: f64, deg: usize) -> f64 {
+    let ctx = solo_ctx();
+    let dev = Device::new(&ctx, Backend::Nccl);
+    let spec = [wanted, damped];
+    let mut h = DistHerm::from_fn(2, &ctx, |i, j| {
+        if i == j {
+            C64::from_f64(spec[i])
+        } else {
+            C64::zero()
+        }
+    });
+    let mut c = Matrix::<C64>::from_fn(2, 1, |_, _| C64::from_f64(1.0));
+    let mut b = Matrix::<C64>::zeros(2, 1);
+    // Damped interval [0, 2]; wanted eigenvalue below it.
+    let bounds = FilterBounds { c: 1.0, e: 1.0, mu_1: wanted };
+    chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 0, &[deg], bounds);
+    c[(0, 0)].abs() / c[(1, 0)].abs().max(1e-300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// More degree always separates wanted from damped components harder.
+    #[test]
+    fn amplification_monotone_in_degree(
+        wanted in -6.0f64..-1.2,
+        damped in 0.05f64..1.95,
+    ) {
+        let r4 = filter_ratio(wanted, damped, 4);
+        let r8 = filter_ratio(wanted, damped, 8);
+        let r16 = filter_ratio(wanted, damped, 16);
+        prop_assert!(r8 > r4, "deg 8 ratio {r8} !> deg 4 ratio {r4}");
+        prop_assert!(r16 > r8, "deg 16 ratio {r16} !> deg 8 ratio {r8}");
+    }
+
+    /// Eigenvalues deeper below the interval are amplified more.
+    #[test]
+    fn amplification_monotone_in_depth(damped in 0.1f64..1.9) {
+        let shallow = filter_ratio(-1.5, damped, 8);
+        let deep = filter_ratio(-4.0, damped, 8);
+        prop_assert!(deep > shallow);
+    }
+
+    /// The filter is a fixed linear operator: F(a x + b y) = a F(x) + b F(y).
+    #[test]
+    fn filter_is_linear(seed in 0u64..200, a_re in -2.0f64..2.0, b_im in -2.0f64..2.0) {
+        use rand::SeedableRng;
+        let n = 10;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let spec: Vec<f64> = (0..n).map(|i| -2.0 + 4.0 * i as f64 / (n - 1) as f64).collect();
+        let hmat = chase_matgen::dense_with_spectrum::<C64>(
+            &chase_matgen::Spectrum::from_values(spec),
+            seed,
+        );
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let bounds = FilterBounds { c: 1.0, e: 1.0, mu_1: -2.0 };
+        let alpha = C64::new(a_re, 0.3);
+        let beta = C64::new(-0.7, b_im);
+
+        let x = Matrix::<C64>::random(n, 1, &mut rng);
+        let y = Matrix::<C64>::random(n, 1, &mut rng);
+        let run = |input: &Matrix<C64>| {
+            let mut h = DistHerm::from_global(&hmat, &ctx);
+            let mut c = input.clone();
+            let mut b = Matrix::<C64>::zeros(n, 1);
+            chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 0, &[6], bounds);
+            c
+        };
+        let fx = run(&x);
+        let fy = run(&y);
+        let combo = Matrix::<C64>::from_fn(n, 1, |i, _| alpha * x[(i, 0)] + beta * y[(i, 0)]);
+        let fcombo = run(&combo);
+        for i in 0..n {
+            let expect = alpha * fx[(i, 0)] + beta * fy[(i, 0)];
+            let err = (fcombo[(i, 0)] - expect).abs();
+            let scale = expect.abs().max(1.0);
+            prop_assert!(err < 1e-10 * scale, "row {i}: err {err}");
+        }
+    }
+
+    /// MatVec accounting equals the degree sum regardless of composition.
+    #[test]
+    fn matvec_accounting(degs in proptest::collection::vec(1usize..8, 1..6)) {
+        let degs: Vec<usize> = {
+            let mut d: Vec<usize> = degs.iter().map(|x| 2 * x).collect();
+            d.sort();
+            d
+        };
+        let n = 8;
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        let mut h = DistHerm::from_fn(n, &ctx, |i, j| {
+            if i == j { C64::from_f64(i as f64) } else { C64::zero() }
+        });
+        let cols = degs.len();
+        let mut c = Matrix::<C64>::from_fn(n, cols, |_, _| C64::from_f64(1.0));
+        let mut b = Matrix::<C64>::zeros(n, cols);
+        let bounds = FilterBounds { c: 4.0, e: 3.0, mu_1: 0.0 };
+        let mv = chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 0, &degs, bounds);
+        prop_assert_eq!(mv, degs.iter().map(|&d| d as u64).sum::<u64>());
+    }
+}

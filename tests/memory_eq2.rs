@@ -1,0 +1,81 @@
+//! Audit of Eq. (2): the per-rank memory formula of the novel scheme, and
+//! the LMS comparison that motivates it (Section 2.3 / 3.1).
+
+use chase_comm::{run_grid, GridShape};
+use chase_core::{lms::lms_memory_report, Chase, DistHerm, MemoryReport, Params};
+use chase_device::{Backend, Device};
+use chase_linalg::C64;
+use chase_matgen::{dense_with_spectrum, Spectrum};
+
+#[test]
+fn new_scheme_matches_eq2_exactly_on_divisible_sizes() {
+    // N divisible by p and q: the formula holds exactly.
+    let n = 48;
+    let spec = Spectrum::uniform(n, -1.0, 1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 3);
+    let p = Params::new(4, 4); // ne = 8
+    let (href, pref) = (&h, &p);
+    for shape in [GridShape::new(2, 2), GridShape::new(4, 4), GridShape::new(2, 4)] {
+        let out = run_grid(shape, move |ctx| {
+            let dev = Device::new(ctx, Backend::Nccl);
+            let dh = DistHerm::from_global(href, ctx);
+            let solver = Chase::new(&dev, dh, pref.clone(), None);
+            solver.memory_report()
+        });
+        let expect_elems = MemoryReport::eq2_elements(n, p.ne(), shape);
+        for r in &out.results {
+            assert_eq!(r.redundant_bytes, 0, "new scheme has no redundant buffers");
+            assert_eq!(
+                r.total(),
+                expect_elems * std::mem::size_of::<C64>(),
+                "{shape:?}: Eq. (2) violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn lms_memory_exceeds_new_scheme_and_grows_with_n() {
+    let shape = GridShape::new(2, 2);
+    for n in [40usize, 80] {
+        let spec = Spectrum::uniform(n, -1.0, 1.0);
+        let h = dense_with_spectrum::<C64>(&spec, 4);
+        let p = Params::new(4, 4);
+        let (href, pref) = (&h, &p);
+        let out = run_grid(shape, move |ctx| {
+            let dev = Device::new(ctx, Backend::Nccl);
+            let dh = DistHerm::from_global(href, ctx);
+            let lms = lms_memory_report(n, pref.ne(), &dh);
+            let new = Chase::new(&dev, dh, pref.clone(), None).memory_report();
+            (lms, new)
+        });
+        for (lms, new) in &out.results {
+            assert!(lms.redundant_bytes > 0);
+            assert!(
+                lms.total() > new.total(),
+                "LMS {} must exceed new scheme {}",
+                lms.total(),
+                new.total()
+            );
+            // The redundant part is exactly 2 * N * ne elements.
+            assert_eq!(lms.redundant_bytes, 2 * n * p.ne() * std::mem::size_of::<C64>());
+        }
+    }
+}
+
+#[test]
+fn memory_ratio_improves_with_grid_size() {
+    // Eq. (2)'s point: per-rank vector memory falls like 1/p + 1/q in the
+    // new scheme but stays O(N ne) for LMS.
+    let n = 96;
+    let ne = 8;
+    let small = MemoryReport::eq2_elements(n, ne, GridShape::new(2, 2));
+    let large = MemoryReport::eq2_elements(n, ne, GridShape::new(4, 4));
+    assert!(large < small);
+    // H shrinks 4x; vector buffers shrink 2x.
+    let h_small = n * n / 4;
+    let h_large = n * n / 16;
+    let vec_small = small - h_small - ne * ne;
+    let vec_large = large - h_large - ne * ne;
+    assert_eq!(vec_small, 2 * vec_large);
+}

@@ -1,0 +1,120 @@
+//! ChASE's raison d'être (Section 1): iterative solvers can be fed
+//! approximate solutions. In DFT self-consistency loops, consecutive
+//! Hamiltonians are correlated, so warm-starting with the previous
+//! eigenvectors slashes the MatVec count.
+
+use chase_core::{solve_serial, Chase, ChaseResult, Params};
+use chase_device::{Backend, Device};
+use chase_linalg::{Matrix, Scalar, C64};
+use chase_matgen::{dense_with_spectrum, Spectrum};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A correlated sequence of Hamiltonians: H_k = H + eps_k * P_k with small
+/// Hermitian perturbations, mimicking SCF iterations.
+fn scf_sequence(n: usize, steps: usize, eps: f64) -> Vec<Matrix<C64>> {
+    let spec = Spectrum::dft_like(n);
+    let base = dense_with_spectrum::<C64>(&spec, 11);
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let mut out = vec![base.clone()];
+    let mut current = base;
+    for _ in 1..steps {
+        let x = Matrix::<C64>::random(n, n, &mut rng);
+        let mut next = current.clone();
+        for j in 0..n {
+            for i in 0..=j {
+                let pert = (x[(i, j)] + x[(j, i)].conj()).scale(0.5 * eps);
+                next[(i, j)] += pert;
+                if i != j {
+                    next[(j, i)] += pert.conj();
+                } else {
+                    next[(j, j)] = C64::from_f64(next[(j, j)].re());
+                }
+            }
+        }
+        out.push(next.clone());
+        current = next;
+    }
+    out
+}
+
+fn solve_with_guess(
+    h: &Matrix<C64>,
+    params: &Params,
+    guess: Option<&Matrix<C64>>,
+) -> ChaseResult<C64> {
+    let ctx = chase_comm::solo_ctx();
+    let dev = Device::new(&ctx, Backend::Nccl);
+    let dh = chase_core::DistHerm::from_global(h, &ctx);
+    Chase::new(&dev, dh, params.clone(), guess).solve()
+}
+
+#[test]
+fn warm_starts_cut_matvecs() {
+    let n = 100;
+    let seq = scf_sequence(n, 3, 5e-4);
+    let mut p = Params::new(8, 6);
+    p.tol = 1e-9;
+
+    // Cold solve of the first Hamiltonian.
+    let r0 = solve_serial(&seq[0], &p);
+    assert!(r0.converged);
+
+    let mut prev = r0;
+    for (k, h) in seq.iter().enumerate().skip(1) {
+        // Build the warm-start block: previous eigenvectors + the leftover
+        // search directions (random tails are fine).
+        let mut rng = ChaCha8Rng::seed_from_u64(13 + k as u64);
+        let mut guess = Matrix::<C64>::random(n, p.ne(), &mut rng);
+        // assemble previous eigenvectors into the leading columns
+        let full_prev = ChaseResult::assemble_eigenvectors(std::slice::from_ref(&prev));
+        for j in 0..p.nev {
+            guess.col_mut(j).copy_from_slice(full_prev.col(j));
+        }
+        let cold = solve_serial(h, &p);
+        let warm = solve_with_guess(h, &p, Some(&guess));
+        assert!(warm.converged, "warm solve {k} failed");
+        assert!(cold.converged, "cold solve {k} failed");
+        assert!(
+            warm.matvecs < cold.matvecs,
+            "step {k}: warm {} !< cold {}",
+            warm.matvecs,
+            cold.matvecs
+        );
+        // Same spectrum either way.
+        for j in 0..p.nev {
+            assert!(
+                (warm.eigenvalues[j] - cold.eigenvalues[j]).abs() < 1e-7,
+                "step {k} lambda_{j}"
+            );
+        }
+        prev = warm;
+    }
+}
+
+#[test]
+fn exact_eigenvectors_converge_almost_instantly() {
+    let n = 80;
+    let spec = Spectrum::uniform(n, -1.0, 1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 14);
+    let mut p = Params::new(6, 4);
+    p.tol = 1e-9;
+    let first = solve_serial(&h, &p);
+    assert!(first.converged);
+
+    let full = ChaseResult::assemble_eigenvectors(std::slice::from_ref(&first));
+    let mut rng = ChaCha8Rng::seed_from_u64(15);
+    let mut guess = Matrix::<C64>::random(n, p.ne(), &mut rng);
+    for j in 0..p.nev {
+        guess.col_mut(j).copy_from_slice(full.col(j));
+    }
+    let again = solve_with_guess(&h, &p, Some(&guess));
+    assert!(again.converged);
+    assert!(
+        again.iterations <= first.iterations,
+        "restart took {} iters vs {}",
+        again.iterations,
+        first.iterations
+    );
+    assert!(again.matvecs < first.matvecs);
+}
