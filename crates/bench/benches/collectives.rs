@@ -64,5 +64,10 @@ fn bench_grid_spawn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allreduce, bench_bcast_allgather, bench_grid_spawn);
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_bcast_allgather,
+    bench_grid_spawn
+);
 criterion_main!(benches);

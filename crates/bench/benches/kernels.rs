@@ -13,7 +13,11 @@ use rand_chacha::ChaCha8Rng;
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_c64");
     group.sample_size(10);
-    for &(m, n, k) in &[(128usize, 32usize, 128usize), (256, 64, 256), (512, 64, 512)] {
+    for &(m, n, k) in &[
+        (128usize, 32usize, 128usize),
+        (256, 64, 256),
+        (512, 64, 512),
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let a = Matrix::<C64>::random(m, k, &mut rng);
         let b = Matrix::<C64>::random(k, n, &mut rng);

@@ -37,7 +37,11 @@ fn bench_filter(c: &mut Criterion) {
                     &mut bbuf,
                     0,
                     &vec![deg; ne],
-                    FilterBounds { c: 0.5, e: 0.5, mu_1: -1.0 },
+                    FilterBounds {
+                        c: 0.5,
+                        e: 0.5,
+                        mu_1: -1.0,
+                    },
                 )
             });
         });
@@ -60,7 +64,13 @@ fn bench_solve(c: &mut Criterion) {
     group.bench_function("chase_2x2_threads_n200", |b| {
         b.iter(|| {
             run_grid(GridShape::new(2, 2), move |ctx| {
-                solve_dist(ctx, Backend::Nccl, DistHerm::from_global(href, ctx), pref, None)
+                solve_dist(
+                    ctx,
+                    Backend::Nccl,
+                    DistHerm::from_global(href, ctx),
+                    pref,
+                    None,
+                )
             })
         })
     });

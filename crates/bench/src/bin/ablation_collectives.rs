@@ -33,7 +33,10 @@ fn main() {
     println!("Power-of-two structure of the MPI tree (fixed 8 MiB payload):");
     print!("  ranks: ");
     for members in 2u64..=33 {
-        let ev = EventKind::AllReduce { bytes: 8 << 20, members };
+        let ev = EventKind::AllReduce {
+            bytes: 8 << 20,
+            members,
+        };
         let t = m.comm_time(&ev, CommFlavor::MpiHostStaged);
         let mark = if members.is_power_of_two() { "*" } else { " " };
         print!("{members}{mark}={t:.3}s ");

@@ -8,7 +8,10 @@ use chase_linalg::C64;
 use chase_matgen::scaled_suite;
 
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
     println!("Ablation: degree optimization (scale 1/{scale})\n");
     println!(
         "{:<12} {:>12} {:>8} {:>12} {:>8} {:>10} {:>12}",

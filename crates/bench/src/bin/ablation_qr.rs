@@ -35,7 +35,12 @@ fn main() {
         p.tol = 1e-10;
         p.qr = strategy;
         let run = run_live(&h, &p, GridShape::new(2, 2), Backend::Nccl);
-        let mut used: Vec<&str> = run.result.stats.iter().map(|s| s.qr_variant.name()).collect();
+        let mut used: Vec<&str> = run
+            .result
+            .stats
+            .iter()
+            .map(|s| s.qr_variant.name())
+            .collect();
         used.dedup();
         println!(
             "{label:<22} {:>9} {:>6} {:>9} {:>28}",
@@ -49,10 +54,7 @@ fn main() {
                 None => reference = Some(run.result.eigenvalues.clone()),
                 Some(r) => {
                     for (a, b) in r.iter().zip(&run.result.eigenvalues) {
-                        assert!(
-                            (a - b).abs() < 1e-7,
-                            "{label}: eigenvalue drift {a} vs {b}"
-                        );
+                        assert!((a - b).abs() < 1e-7, "{label}: eigenvalue drift {a} vs {b}");
                     }
                 }
             }

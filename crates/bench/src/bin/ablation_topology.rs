@@ -1,0 +1,158 @@
+//! Ablation: topology-aware collective algorithms on the modeled
+//! JUWELS-Booster fabric — 64 ranks as 16 nodes x 4 GPUs.
+//!
+//! Prices an allreduce from 1 KiB to 256 MiB under every hop schedule
+//! (ring / binomial tree / recursive doubling) and both transports
+//! (device-direct NCCL vs host-staged MPI, the latter additionally paying
+//! the PCIe staging copies), each at the chunk size the tuner would pick.
+//! Emits one JSON document on stdout and verifies the two structural facts
+//! the subsystem is built around:
+//!
+//! 1. the latency-optimal log-depth schedules win small messages while the
+//!    bandwidth-optimal ring wins large ones (the NCCL tuner's crossover);
+//! 2. the device-direct transport is strictly cheaper than the host-staged
+//!    one at every size and schedule (the paper's STD-vs-NCCL gap).
+
+use chase_perfmodel::Machine;
+use chase_topo::{collective_cost, Algo, CollOp, Topology, Tuner};
+
+const RANKS: usize = 64;
+
+/// Host-staged collectives pay D2H before and H2D after (PCIe gen4).
+fn staging_time(m: &Machine, bytes: u64) -> f64 {
+    2.0 * (m.pcie_latency + bytes as f64 / m.pcie_bw)
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else {
+        format!("{} KiB", bytes >> 10)
+    }
+}
+
+fn main() {
+    let topo = Topology::juwels_booster();
+    let machine = Machine::juwels_booster();
+    let labels: Vec<usize> = (0..RANKS).collect();
+    let sizes: Vec<u64> = (0..10).map(|i| 1u64 << (10 + 2 * i)).collect(); // 1 KiB .. 256 MiB
+
+    // rows[size][algo] = (nccl_seconds, std_seconds)
+    type Row = (u64, Vec<(Algo, f64, f64)>);
+    let mut rows: Vec<Row> = Vec::new();
+    for &bytes in &sizes {
+        let mut per_algo = Vec::new();
+        for algo in Algo::ALL {
+            let tuner_nccl = Tuner::new(topo.clone(), true);
+            let tuner_std = Tuner::new(topo.clone(), false);
+            let chunk_n = tuner_nccl.chunk_for(CollOp::AllReduce, algo, bytes, &labels);
+            let chunk_s = tuner_std.chunk_for(CollOp::AllReduce, algo, bytes, &labels);
+            let nccl = collective_cost(
+                &topo,
+                &labels,
+                true,
+                CollOp::AllReduce,
+                algo,
+                bytes,
+                chunk_n,
+            );
+            let std_t = collective_cost(
+                &topo,
+                &labels,
+                false,
+                CollOp::AllReduce,
+                algo,
+                bytes,
+                chunk_s,
+            ) + staging_time(&machine, bytes);
+            per_algo.push((algo, nccl, std_t));
+        }
+        rows.push((bytes, per_algo));
+    }
+
+    // JSON document.
+    println!("{{");
+    println!("  \"benchmark\": \"ablation_topology\",");
+    println!("  \"ranks\": {RANKS},");
+    println!("  \"gpus_per_node\": {},", topo.gpus_per_node);
+    println!("  \"op\": \"allreduce\",");
+    println!("  \"points\": [");
+    for (i, (bytes, per_algo)) in rows.iter().enumerate() {
+        let tuned = Tuner::new(topo.clone(), true).choose(CollOp::AllReduce, *bytes, &labels);
+        print!("    {{ \"bytes\": {bytes}, ");
+        for (algo, nccl, std_t) in per_algo {
+            print!(
+                "\"{}_nccl\": {nccl:.6e}, \"{}_std\": {std_t:.6e}, ",
+                algo.name(),
+                algo.name()
+            );
+        }
+        print!(
+            "\"tuner_pick\": \"{}\", \"tuner_chunk\": {} }}",
+            tuned.algo.name(),
+            tuned.chunk_bytes
+        );
+        println!("{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+
+    // Human-readable table on stderr so stdout stays machine-parseable.
+    eprintln!(
+        "\n{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}  {:>8}",
+        "payload", "ring/nccl", "tree/nccl", "dbl/nccl", "ring/std", "tree/std", "dbl/std", "pick"
+    );
+    for (bytes, per_algo) in &rows {
+        let tuned = Tuner::new(topo.clone(), true).choose(CollOp::AllReduce, *bytes, &labels);
+        let t = |a: Algo| per_algo.iter().find(|(x, _, _)| *x == a).unwrap();
+        eprintln!(
+            "{:>10} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e}  {:>8}",
+            human(*bytes),
+            t(Algo::Ring).1,
+            t(Algo::Tree).1,
+            t(Algo::Doubling).1,
+            t(Algo::Ring).2,
+            t(Algo::Tree).2,
+            t(Algo::Doubling).2,
+            tuned.algo.name()
+        );
+    }
+
+    // Structural check 1: log-depth schedules win small, ring wins large.
+    let small = &rows.first().unwrap().1;
+    let large = &rows.last().unwrap().1;
+    let nccl_of =
+        |row: &[(Algo, f64, f64)], a: Algo| row.iter().find(|(x, _, _)| *x == a).unwrap().1;
+    let small_ring = nccl_of(small, Algo::Ring);
+    let small_log = nccl_of(small, Algo::Tree).min(nccl_of(small, Algo::Doubling));
+    let large_ring = nccl_of(large, Algo::Ring);
+    let large_log = nccl_of(large, Algo::Tree).min(nccl_of(large, Algo::Doubling));
+    assert!(
+        small_log < small_ring,
+        "1 KiB: log-depth {small_log:.3e} must beat ring {small_ring:.3e}"
+    );
+    assert!(
+        large_ring < large_log,
+        "256 MiB: ring {large_ring:.3e} must beat log-depth {large_log:.3e}"
+    );
+    let crossover = rows
+        .iter()
+        .find(|(_, row)| {
+            nccl_of(row, Algo::Ring) < nccl_of(row, Algo::Tree).min(nccl_of(row, Algo::Doubling))
+        })
+        .map(|(b, _)| *b)
+        .expect("a ring/tree crossover size must exist");
+    eprintln!("\nring takes over at {} ({crossover} B)", human(crossover));
+
+    // Structural check 2: NCCL strictly cheaper than STD everywhere.
+    for (bytes, per_algo) in &rows {
+        for (algo, nccl, std_t) in per_algo {
+            assert!(
+                nccl < std_t,
+                "{} at {bytes} B: NCCL {nccl:.3e} !< STD {std_t:.3e}",
+                algo.name()
+            );
+        }
+    }
+    eprintln!("checks passed: crossover exists, NCCL < STD at every size/schedule");
+}

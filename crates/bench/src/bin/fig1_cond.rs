@@ -16,7 +16,10 @@ use chase_linalg::C64;
 use chase_matgen::scaled_suite;
 
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
     let suite = scaled_suite(scale);
 
     for problem in &suite {

@@ -57,7 +57,11 @@ fn main() {
         for b in &builds {
             // LMS: one rank per node (grid side x side, 4 GPUs each);
             // STD/NCCL: one rank per GPU (grid 2side x 2side).
-            let grid = if matches!(b.layout, Layout::Lms) { side } else { 2 * side };
+            let grid = if matches!(b.layout, Layout::Lms) {
+                side
+            } else {
+                2 * side
+            };
             let spec = IterationSpec {
                 n,
                 ne: 3000,
@@ -96,7 +100,11 @@ fn main() {
     let side = 8u64;
     let n = 240_000;
     let per_kernel = |layout: Layout, flavor: CommFlavor, gpus: f64| {
-        let grid = if matches!(layout, Layout::Lms) { side } else { 2 * side };
+        let grid = if matches!(layout, Layout::Lms) {
+            side
+        } else {
+            2 * side
+        };
         let spec = IterationSpec {
             n,
             ne: 3000,
@@ -108,7 +116,11 @@ fn main() {
             flavor,
             scalar: ScalarKind::F64,
         };
-        let ctx = PriceCtx { scalar: ScalarKind::F64, flavor, gpus_per_rank: gpus };
+        let ctx = PriceCtx {
+            scalar: ScalarKind::F64,
+            flavor,
+            gpus_per_rank: gpus,
+        };
         price_ledger(&iteration_events(&spec), &machine, ctx)
     };
     let lms = per_kernel(Layout::Lms, CommFlavor::MpiHostStaged, 4.0);
@@ -122,6 +134,12 @@ fn main() {
         let l = lms[&r].total();
         let s = std_[&r].total();
         let c = nccl[&r].total();
-        println!("{:>14} {:>11.1}x {:>11.1}x {:>11.1}x", r.name(), l / s, l / c, s / c);
+        println!(
+            "{:>14} {:>11.1}x {:>11.1}x {:>11.1}x",
+            r.name(),
+            l / s,
+            l / c,
+            s / c
+        );
     }
 }

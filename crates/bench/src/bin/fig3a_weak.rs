@@ -39,7 +39,11 @@ fn main() {
             scalar: ScalarKind::F64,
         };
         let price = |spec: &IterationSpec, gpus: f64| {
-            let ctx = PriceCtx { scalar: ScalarKind::F64, flavor: spec.flavor, gpus_per_rank: gpus };
+            let ctx = PriceCtx {
+                scalar: ScalarKind::F64,
+                flavor: spec.flavor,
+                gpus_per_rank: gpus,
+            };
             profiled_time(&price_ledger(&iteration_events(spec), &machine, ctx))
         };
 
@@ -47,19 +51,26 @@ fn main() {
         // 3000 x 16 B x 2 this exceeds the A100's 40 GB beyond 144 nodes
         // (the paper could not run LMS past 144 nodes either).
         let lms = if nodes <= 144 {
-            Some(price(&mk(Layout::Lms, CommFlavor::MpiHostStaged, side), 4.0))
+            Some(price(
+                &mk(Layout::Lms, CommFlavor::MpiHostStaged, side),
+                4.0,
+            ))
         } else {
             None
         };
         let std_t = price(&mk(Layout::New, CommFlavor::MpiHostStaged, gpu_grid), 1.0);
-        let nccl_t = price(&mk(Layout::New, CommFlavor::NcclDeviceDirect, gpu_grid), 1.0);
+        let nccl_t = price(
+            &mk(Layout::New, CommFlavor::NcclDeviceDirect, gpu_grid),
+            1.0,
+        );
 
         println!(
             "{:>6} {:>8} {:>9} {:>10} {:>10.2} {:>10.2}",
             nodes,
             4 * nodes,
             n,
-            lms.map(|t| format!("{t:.2}")).unwrap_or_else(|| "OOM".into()),
+            lms.map(|t| format!("{t:.2}"))
+                .unwrap_or_else(|| "OOM".into()),
             std_t,
             nccl_t
         );
@@ -73,7 +84,10 @@ fn main() {
         "\nNCCL growth 1 -> 900 nodes: {:.2}x (paper: 1.8x, 2.3 s -> 3.9 s)",
         last.3 / first.3
     );
-    println!("STD growth 1 -> 900 nodes: {:.2}x (paper: 3.1x, 5.1 s -> 16 s)", last.2 / first.2);
+    println!(
+        "STD growth 1 -> 900 nodes: {:.2}x (paper: 3.1x, 5.1 s -> 16 s)",
+        last.2 / first.2
+    );
     let at144 = series.iter().find(|s| s.0 == 144).unwrap();
     println!(
         "At 144 nodes: LMS/NCCL = {:.1}x (paper 14.1x), LMS/STD = {:.1}x (paper 4.6x)",
@@ -88,7 +102,8 @@ fn main() {
             format!(
                 "{{\"nodes\":{},\"lms\":{},\"std\":{:.3},\"nccl\":{:.3}}}",
                 nodes,
-                lms.map(|t| format!("{t:.3}")).unwrap_or_else(|| "null".into()),
+                lms.map(|t| format!("{t:.3}"))
+                    .unwrap_or_else(|| "null".into()),
                 std_t,
                 nccl_t
             )

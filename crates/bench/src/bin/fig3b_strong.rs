@@ -14,14 +14,19 @@ use chase_core::{Params, QrStrategy};
 use chase_device::Backend;
 use chase_linalg::C64;
 use chase_matgen::scaled_suite;
-use chase_perfmodel::{elpa_time, profiled_time, CommFlavor, ElpaKind, Layout, Machine, ScalarKind};
+use chase_perfmodel::{
+    elpa_time, profiled_time, CommFlavor, ElpaKind, Layout, Machine, ScalarKind,
+};
 
 const N_PAPER: u64 = 115_459;
 const NEV_PAPER: u64 = 1_200;
 const NEX_PAPER: u64 = 400;
 
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
     let machine = Machine::juwels_booster();
 
     // Functional run of the In2O3 115k surrogate to extract the schedule.
@@ -48,8 +53,10 @@ fn main() {
     // Scale the active counts to the paper's search-space width.
     let ne_paper = NEV_PAPER + NEX_PAPER;
     let ratio = ne_paper as f64 / params.ne() as f64;
-    let scaled: Vec<(u64, u64)> =
-        schedule.iter().map(|&(a, d)| (((a as f64 * ratio) as u64).max(1), d)).collect();
+    let scaled: Vec<(u64, u64)> = schedule
+        .iter()
+        .map(|&(a, d)| (((a as f64 * ratio) as u64).max(1), d))
+        .collect();
 
     println!(
         "Fig. 3b: strong scaling, In2O3 115k (N = {N_PAPER}, nev = {NEV_PAPER}, nex = {NEX_PAPER})\n"

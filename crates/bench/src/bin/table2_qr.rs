@@ -16,7 +16,10 @@ use chase_matgen::scaled_suite;
 use chase_perfmodel::{profiled_time, CommFlavor, Layout, Machine, ScalarKind};
 
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
     let machine = Machine::juwels_booster();
     let suite = scaled_suite(scale);
 
@@ -31,14 +34,19 @@ fn main() {
         let h = problem.matrix::<C64>();
         let mut rows = Vec::new();
         let mut matvecs = Vec::new();
-        for (strategy, label) in
-            [(QrStrategy::AlwaysHouseholder, "HHQR"), (QrStrategy::Auto, "CholeskyQR")]
-        {
+        for (strategy, label) in [
+            (QrStrategy::AlwaysHouseholder, "HHQR"),
+            (QrStrategy::Auto, "CholeskyQR"),
+        ] {
             let mut p = Params::new(problem.nev, problem.nex);
             p.tol = 1e-10;
             p.qr = strategy;
             let run = run_live(&h, &p, GridShape::new(2, 2), Backend::Nccl);
-            assert!(run.result.converged, "{} ({label}) did not converge", problem.name);
+            assert!(
+                run.result.converged,
+                "{} ({label}) did not converge",
+                problem.name
+            );
             let schedule = schedule_of(&run.result, p.ne());
             // Price at the paper's scale: original N, original ne, 4x4 grid.
             let paper_ne = match problem.name {
@@ -61,8 +69,15 @@ fn main() {
                 // Build a custom stream: reuse price_schedule for non-QR and
                 // add HHQR events per iteration.
                 let mut c = price_schedule(
-                    &machine, &scaled, problem.paper_n as u64, paper_ne, 4, layout,
-                    CommFlavor::NcclDeviceDirect, ScalarKind::C64, 1.0,
+                    &machine,
+                    &scaled,
+                    problem.paper_n as u64,
+                    paper_ne,
+                    4,
+                    layout,
+                    CommFlavor::NcclDeviceDirect,
+                    ScalarKind::C64,
+                    1.0,
                 );
                 // Remove the modeled CholeskyQR2 cost and substitute HHQR:
                 // gather over p=4 + redundant factorization, per iteration.
@@ -71,24 +86,34 @@ fn main() {
                     let per_rank = problem.paper_n as u64 / 4 * paper_ne * 16;
                     qr.record_in(
                         Region::Qr,
-                        chase_comm::EventKind::AllGather { bytes_per_rank: per_rank, members: 4 },
+                        chase_comm::EventKind::AllGather {
+                            bytes_per_rank: per_rank,
+                            members: 4,
+                        },
                     );
                     qr.record_in(
                         Region::Qr,
-                        chase_comm::EventKind::HhQr { m: problem.paper_n as u64, n: paper_ne },
+                        chase_comm::EventKind::HhQr {
+                            m: problem.paper_n as u64,
+                            n: paper_ne,
+                        },
                     );
                 }
-                let qr_costs = chase_perfmodel::price_ledger(
-                    &qr,
-                    &machine,
-                    chase_perfmodel::PriceCtx::nccl(),
-                );
+                let qr_costs =
+                    chase_perfmodel::price_ledger(&qr, &machine, chase_perfmodel::PriceCtx::nccl());
                 c.insert(Region::Qr, qr_costs[&Region::Qr]);
                 c
             } else {
                 price_schedule(
-                    &machine, &scaled, problem.paper_n as u64, paper_ne, 4, layout,
-                    CommFlavor::NcclDeviceDirect, ScalarKind::C64, 1.0,
+                    &machine,
+                    &scaled,
+                    problem.paper_n as u64,
+                    paper_ne,
+                    4,
+                    layout,
+                    CommFlavor::NcclDeviceDirect,
+                    ScalarKind::C64,
+                    1.0,
                 )
             };
             let total = profiled_time(&costs);
@@ -105,14 +130,16 @@ fn main() {
         // Paper's key observation: identical convergence either way. Allow a
         // small drift (different QR numerics perturb the basis slightly,
         // which the degree optimizer can amplify on tiny surrogates).
-        let drift =
-            (matvecs[0] as f64 - matvecs[1] as f64).abs() / matvecs[1] as f64;
+        let drift = (matvecs[0] as f64 - matvecs[1] as f64).abs() / matvecs[1] as f64;
         for (i, (label, mv, it, all, qr)) in rows.iter().enumerate() {
             let name = if i == 0 { problem.name } else { "" };
             println!("{name:<12} {label:<12} {mv:>9} {it:>6} {all:>9} {qr:>9}");
         }
         if drift > 0.02 {
-            println!("  (note: {:.1}% MatVec drift between QR variants on this surrogate)", drift * 100.0);
+            println!(
+                "  (note: {:.1}% MatVec drift between QR variants on this surrogate)",
+                drift * 100.0
+            );
         }
     }
     println!(

@@ -33,12 +33,7 @@ pub struct LiveRun {
 }
 
 /// Solve `h` on a `shape` grid of threads with the given backend.
-pub fn run_live(
-    h: &Matrix<C64>,
-    params: &Params,
-    shape: GridShape,
-    backend: Backend,
-) -> LiveRun {
+pub fn run_live(h: &Matrix<C64>, params: &Params, shape: GridShape, backend: Backend) -> LiveRun {
     let t0 = std::time::Instant::now();
     let out = run_grid(shape, move |ctx| {
         let dh = DistHerm::from_global(h, ctx);
@@ -96,10 +91,18 @@ pub fn price_schedule(
     };
     let mut total = Ledger::new();
     for &(active, deg) in schedule {
-        let spec = IterationSpec { active, deg, ..base };
+        let spec = IterationSpec {
+            active,
+            deg,
+            ..base
+        };
         total.absorb(&iteration_events(&spec));
     }
-    let ctx = PriceCtx { scalar, flavor, gpus_per_rank };
+    let ctx = PriceCtx {
+        scalar,
+        flavor,
+        gpus_per_rank,
+    };
     chase_perfmodel::price_ledger(&total, machine, ctx)
 }
 

@@ -11,6 +11,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Element types that can participate in a sum-allreduce.
@@ -44,11 +45,19 @@ struct SlotState {
     result: Option<Result_>,
 }
 
+/// Key of one point-to-point channel: `(from, to, tag)`. Each channel is a
+/// FIFO queue, so matched send/recv pairs never reorder within a channel.
+type MailKey = (usize, usize, u64);
+
 /// Shared rendezvous point for one communicator.
 pub struct Slot {
     members: usize,
     state: Mutex<SlotState>,
     cv: Condvar,
+    /// Point-to-point mailboxes, independent of the collective epoch
+    /// machinery so sends never block behind an in-flight collective.
+    mail: Mutex<HashMap<MailKey, VecDeque<Payload>>>,
+    mail_cv: Condvar,
 }
 
 impl Slot {
@@ -63,6 +72,8 @@ impl Slot {
                 result: None,
             }),
             cv: Condvar::new(),
+            mail: Mutex::new(HashMap::new()),
+            mail_cv: Condvar::new(),
         })
     }
 }
@@ -73,12 +84,33 @@ pub struct Communicator {
     slot: Arc<Slot>,
     my_index: usize,
     epoch: Cell<u64>,
+    /// World rank of each member, in member-index order. Topology-aware
+    /// collectives use these to find the physical link a hop crosses; a
+    /// plain communicator labels members with their own indices.
+    labels: Arc<Vec<usize>>,
+    /// Per-rank counter of topology-aware collective operations, used to
+    /// derive unique p2p tags per operation (SPMD keeps it in sync).
+    op_seq: Cell<u64>,
 }
 
 impl Communicator {
     pub fn new(slot: Arc<Slot>, my_index: usize) -> Self {
+        let labels = Arc::new((0..slot.members).collect());
+        Self::with_labels(slot, my_index, labels)
+    }
+
+    /// Communicator whose members carry explicit world-rank labels (the row
+    /// and column communicators of a 2D grid are sub-sets of the world).
+    pub fn with_labels(slot: Arc<Slot>, my_index: usize, labels: Arc<Vec<usize>>) -> Self {
         assert!(my_index < slot.members);
-        Self { slot, my_index, epoch: Cell::new(0) }
+        assert_eq!(labels.len(), slot.members, "one label per member");
+        Self {
+            slot,
+            my_index,
+            epoch: Cell::new(0),
+            labels,
+            op_seq: Cell::new(0),
+        }
     }
 
     /// Number of ranks in this communicator.
@@ -91,9 +123,74 @@ impl Communicator {
         self.my_index
     }
 
+    /// World rank of each member, in member-index order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// World rank of member `idx`.
+    pub fn label_of(&self, idx: usize) -> usize {
+        self.labels[idx]
+    }
+
+    /// Fresh tag namespace for one topology-aware collective. All members
+    /// must call this the same number of times in the same order (SPMD).
+    pub fn next_op_seq(&self) -> u64 {
+        let s = self.op_seq.get();
+        self.op_seq.set(s + 1);
+        s
+    }
+
     /// Trivial communicator containing only this rank (serial builds).
     pub fn solo() -> Self {
         Self::new(Slot::new(1), 0)
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    /// Deposit `data` into the `(self, to, tag)` channel. Non-blocking
+    /// (buffered send, like `MPI_Isend` into an eager buffer).
+    pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, data: Vec<T>) {
+        assert!(to < self.size(), "send target out of range");
+        assert_ne!(to, self.my_index, "self-send is not supported");
+        let mut mail = self.slot.mail.lock();
+        mail.entry((self.my_index, to, tag))
+            .or_default()
+            .push_back(Box::new(data));
+        self.slot.mail_cv.notify_all();
+    }
+
+    /// Block until a message from `from` with `tag` is available and return
+    /// it. Messages on one channel arrive in send order.
+    pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> Vec<T> {
+        assert!(from < self.size(), "recv source out of range");
+        assert_ne!(from, self.my_index, "self-recv is not supported");
+        let key = (from, self.my_index, tag);
+        let mut mail = self.slot.mail.lock();
+        loop {
+            if let Some(q) = mail.get_mut(&key) {
+                if let Some(p) = q.pop_front() {
+                    if q.is_empty() {
+                        mail.remove(&key);
+                    }
+                    return *p.downcast::<Vec<T>>().expect("p2p payload type mismatch");
+                }
+            }
+            self.slot.mail_cv.wait(&mut mail);
+        }
+    }
+
+    /// Buffered exchange: send to `to`, then receive from `from`. Safe in
+    /// lockstep exchanges (both sides send before either blocks).
+    pub fn sendrecv<T: Send + 'static>(
+        &self,
+        to: usize,
+        from: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> Vec<T> {
+        self.send(to, tag, data);
+        self.recv(from, tag)
     }
 
     /// Generic rendezvous: every member contributes `input`; the last to
@@ -177,8 +274,11 @@ impl Communicator {
         if self.size() == 1 {
             return;
         }
-        let mine: Option<Vec<T>> =
-            if self.my_index == root { Some(buf.to_vec()) } else { None };
+        let mine: Option<Vec<T>> = if self.my_index == root {
+            Some(buf.to_vec())
+        } else {
+            None
+        };
         let shared = self.collective(mine, move |mut inputs| {
             inputs[root].take().expect("root did not contribute")
         });
@@ -275,7 +375,11 @@ mod tests {
     #[test]
     fn bcast_delivers_root_buffer() {
         let out = run_spmd(4, |c| {
-            let mut buf = if c.rank() == 2 { vec![7.0f64, 8.0] } else { vec![0.0, 0.0] };
+            let mut buf = if c.rank() == 2 {
+                vec![7.0f64, 8.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             c.bcast(&mut buf, 2);
             buf
         });
@@ -342,6 +446,89 @@ mod tests {
         for r in out {
             assert_eq!(r, 387);
         }
+    }
+
+    #[test]
+    fn p2p_ring_pass_left() {
+        let out = run_spmd(4, |c| {
+            let next = (c.rank() + 1) % 4;
+            let prev = (c.rank() + 3) % 4;
+            c.send(next, 0, vec![c.rank() as u64]);
+            c.recv::<u64>(prev, 0)[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn p2p_channels_keep_fifo_order() {
+        let out = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..50u64 {
+                    c.send(1, 7, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..50).map(|_| c.recv::<u64>(0, 7)[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn p2p_tags_do_not_cross_talk() {
+        let out = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![10u64]);
+                c.send(1, 2, vec![20u64]);
+                0
+            } else {
+                // Receive in the opposite order of the sends.
+                let b = c.recv::<u64>(0, 2)[0];
+                let a = c.recv::<u64>(0, 1)[0];
+                a * 100 + b
+            }
+        });
+        assert_eq!(out[1], 1020);
+    }
+
+    #[test]
+    fn p2p_sendrecv_exchange() {
+        let out = run_spmd(2, |c| {
+            let other = 1 - c.rank();
+            c.sendrecv(other, other, 3, vec![c.rank() as u64 + 1])[0]
+        });
+        assert_eq!(out, vec![2, 1]);
+    }
+
+    #[test]
+    fn p2p_interleaves_with_collectives() {
+        let out = run_spmd(3, |c| {
+            let next = (c.rank() + 1) % 3;
+            let prev = (c.rank() + 2) % 3;
+            c.send(next, 0, vec![c.rank() as u64]);
+            let mut v = [1u64];
+            c.allreduce_sum(&mut v);
+            let got = c.recv::<u64>(prev, 0)[0];
+            got + v[0]
+        });
+        assert_eq!(out, vec![2 + 3, 3, 1 + 3]);
+    }
+
+    #[test]
+    fn default_labels_are_identity() {
+        let c = Communicator::solo();
+        assert_eq!(c.labels(), &[0]);
+        let slot = Slot::new(3);
+        let c = Communicator::with_labels(slot, 1, Arc::new(vec![4, 9, 14]));
+        assert_eq!(c.label_of(1), 9);
+        assert_eq!(c.labels(), &[4, 9, 14]);
+    }
+
+    #[test]
+    fn op_seq_increments() {
+        let c = Communicator::solo();
+        assert_eq!(c.next_op_seq(), 0);
+        assert_eq!(c.next_op_seq(), 1);
     }
 
     #[test]

@@ -124,8 +124,17 @@ where
     let world_slot = Slot::new(n);
     let row_slots: Vec<_> = (0..shape.p).map(|_| Slot::new(shape.q)).collect();
     let col_slots: Vec<_> = (0..shape.q).map(|_| Slot::new(shape.p)).collect();
-    let ledgers: Vec<Arc<Mutex<Ledger>>> =
-        (0..n).map(|_| Arc::new(Mutex::new(Ledger::new()))).collect();
+    // World-rank labels let topology-aware collectives map members of the
+    // row/column sub-communicators onto physical nodes and links.
+    let row_labels: Vec<Arc<Vec<usize>>> = (0..shape.p)
+        .map(|i| Arc::new((0..shape.q).map(|j| i * shape.q + j).collect()))
+        .collect();
+    let col_labels: Vec<Arc<Vec<usize>>> = (0..shape.q)
+        .map(|j| Arc::new((0..shape.p).map(|i| i * shape.q + j).collect()))
+        .collect();
+    let ledgers: Vec<Arc<Mutex<Ledger>>> = (0..n)
+        .map(|_| Arc::new(Mutex::new(Ledger::new())))
+        .collect();
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
 
@@ -139,8 +148,8 @@ where
                 row: i,
                 col: j,
                 world: Communicator::new(world_slot.clone(), wr),
-                row_comm: Communicator::new(row_slots[i].clone(), j),
-                col_comm: Communicator::new(col_slots[j].clone(), i),
+                row_comm: Communicator::with_labels(row_slots[i].clone(), j, row_labels[i].clone()),
+                col_comm: Communicator::with_labels(col_slots[j].clone(), i, col_labels[j].clone()),
                 ledger: ledgers[wr].clone(),
             };
             let f = &f;
@@ -164,7 +173,10 @@ where
     });
 
     SpmdOutput {
-        results: results.into_iter().map(|r| r.expect("rank produced no result")).collect(),
+        results: results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect(),
         ledgers: ledgers.iter().map(|l| l.lock().clone()).collect(),
     }
 }
@@ -221,6 +233,22 @@ mod tests {
     }
 
     #[test]
+    fn sub_communicators_carry_world_labels() {
+        let shape = GridShape::new(2, 3);
+        let out = run_grid(shape, |ctx| {
+            (
+                ctx.row_comm.labels().to_vec(),
+                ctx.col_comm.labels().to_vec(),
+            )
+        });
+        for (wr, (row_labels, col_labels)) in out.results.iter().enumerate() {
+            let (i, j) = (wr / 3, wr % 3);
+            assert_eq!(*row_labels, (0..3).map(|jj| i * 3 + jj).collect::<Vec<_>>());
+            assert_eq!(*col_labels, (0..2).map(|ii| ii * 3 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
     fn grid_communicators_wire_up() {
         // Each rank sums its row index over the column communicator (all
         // ranks in a grid column have distinct rows 0..p) and its column
@@ -262,7 +290,9 @@ mod tests {
 
     #[test]
     fn diagonal_ranks() {
-        let out = run_grid(GridShape::new(3, 3), |ctx| (ctx.row, ctx.col, ctx.is_diagonal()));
+        let out = run_grid(GridShape::new(3, 3), |ctx| {
+            (ctx.row, ctx.col, ctx.is_diagonal())
+        });
         let diag_count = out.results.iter().filter(|(_, _, d)| *d).count();
         assert_eq!(diag_count, 3);
         for (i, j, d) in out.results {

@@ -7,11 +7,9 @@
 //! (JUWELS-Booster, 4×A100 per node), split into the computation /
 //! communication / data-movement categories of Fig. 2.
 
-use serde::{Deserialize, Serialize};
-
 /// Which ChASE kernel an event belongs to (the four bars of Fig. 2, plus
 /// Lanczos and a catch-all).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     Lanczos,
     Filter,
@@ -23,8 +21,12 @@ pub enum Region {
 
 impl Region {
     /// The four regions profiled in Fig. 2 of the paper.
-    pub const PROFILED: [Region; 4] =
-        [Region::Filter, Region::Qr, Region::RayleighRitz, Region::Residuals];
+    pub const PROFILED: [Region; 4] = [
+        Region::Filter,
+        Region::Qr,
+        Region::RayleighRitz,
+        Region::Residuals,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -36,10 +38,22 @@ impl Region {
             Region::Other => "Other",
         }
     }
+
+    pub fn parse_name(name: &str) -> Option<Region> {
+        Some(match name {
+            "Lanczos" => Region::Lanczos,
+            "Filter" => Region::Filter,
+            "QR" => Region::Qr,
+            "Rayleigh-Ritz" => Region::RayleighRitz,
+            "Residuals" => Region::Residuals,
+            "Other" => Region::Other,
+            _ => return None,
+        })
+    }
 }
 
 /// Cost category, matching the three color groups of Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Green bars: local kernel execution.
     Compute,
@@ -49,8 +63,37 @@ pub enum Category {
     Transfer,
 }
 
+/// Physical link class a point-to-point hop crosses, as assigned by the
+/// `chase-topo` topology model: NVLink within a node, InfiniBand between
+/// nodes. Pricing of a hop depends on both the link and whether the backend
+/// stages through host memory (`chase-perfmodel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Intra-node GPU-to-GPU link (NVLink3 on JUWELS-Booster).
+    NvLink,
+    /// Inter-node link (4x HDR-200 InfiniBand per node).
+    Ib,
+}
+
+impl LinkClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkClass::NvLink => "NvLink",
+            LinkClass::Ib => "IB",
+        }
+    }
+
+    pub fn parse_name(name: &str) -> Option<LinkClass> {
+        Some(match name {
+            "NvLink" => LinkClass::NvLink,
+            "IB" => LinkClass::Ib,
+            _ => return None,
+        })
+    }
+}
+
 /// One recorded operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// General matrix multiply with `2 m n k` scalar fused multiply-adds.
     Gemm { m: u64, n: u64, k: u64 },
@@ -78,6 +121,11 @@ pub enum EventKind {
     AllGather { bytes_per_rank: u64, members: u64 },
     /// Synchronization barrier.
     Barrier { members: u64 },
+    /// One point-to-point message of a topology-aware collective: `bytes`
+    /// over one `link`. The per-hop unit `chase-perfmodel` prices when a
+    /// collective runs as an explicit ring/tree/doubling hop sequence
+    /// instead of a flat formula.
+    P2p { bytes: u64, link: LinkClass },
 }
 
 impl EventKind {
@@ -94,7 +142,8 @@ impl EventKind {
             EventKind::AllReduce { .. }
             | EventKind::Bcast { .. }
             | EventKind::AllGather { .. }
-            | EventKind::Barrier { .. } => Category::Comm,
+            | EventKind::Barrier { .. }
+            | EventKind::P2p { .. } => Category::Comm,
         }
     }
 
@@ -119,30 +168,36 @@ impl EventKind {
         match *self {
             EventKind::H2D { bytes } | EventKind::D2H { bytes } => bytes,
             EventKind::AllReduce { bytes, .. } | EventKind::Bcast { bytes, .. } => bytes,
-            EventKind::AllGather { bytes_per_rank, members } => bytes_per_rank * members,
+            EventKind::AllGather {
+                bytes_per_rank,
+                members,
+            } => bytes_per_rank * members,
+            EventKind::P2p { bytes, .. } => bytes,
             _ => 0,
         }
     }
 }
 
 /// A recorded event with its kernel region.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     pub kind: EventKind,
     pub region: Region,
 }
 
 /// Per-rank event log.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Ledger {
     events: Vec<Event>,
-    #[serde(skip)]
     region: Option<Region>,
 }
 
 impl Ledger {
     pub fn new() -> Self {
-        Self { events: Vec::new(), region: None }
+        Self {
+            events: Vec::new(),
+            region: None,
+        }
     }
 
     /// Set the kernel region subsequent events are attributed to.
@@ -214,6 +269,166 @@ impl Ledger {
     pub fn absorb(&mut self, other: &Ledger) {
         self.events.extend_from_slice(other.events());
     }
+
+    /// JSON encoding of the event log: an array of flat objects, one per
+    /// event, e.g. `{"region":"Filter","kind":"Gemm","m":4,"n":5,"k":6}`.
+    /// Hand-rolled (the build environment has no serde); [`Ledger::from_json`]
+    /// round-trips exactly this format.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.events.iter().map(event_to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+
+    /// Parse a ledger from the output of [`Ledger::to_json`]. This is a
+    /// round-trip decoder for our own flat encoding, not a general JSON
+    /// parser.
+    pub fn from_json(s: &str) -> Result<Ledger, String> {
+        let body = s
+            .trim()
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or("ledger JSON must be an array")?
+            .trim();
+        let mut events = Vec::new();
+        if !body.is_empty() {
+            // Objects are flat, so "},{" cleanly separates events.
+            for obj in body.split("},{") {
+                let obj = obj.trim_start_matches('{').trim_end_matches('}');
+                events.push(event_from_json(obj)?);
+            }
+        }
+        Ok(Ledger {
+            events,
+            region: None,
+        })
+    }
+}
+
+fn event_to_json(ev: &Event) -> String {
+    let region = ev.region.name();
+    let kind = match ev.kind {
+        EventKind::Gemm { m, n, k } => format!("\"kind\":\"Gemm\",\"m\":{m},\"n\":{n},\"k\":{k}"),
+        EventKind::Herk { m, n } => format!("\"kind\":\"Herk\",\"m\":{m},\"n\":{n}"),
+        EventKind::Potrf { n } => format!("\"kind\":\"Potrf\",\"n\":{n}"),
+        EventKind::Trsm { m, n } => format!("\"kind\":\"Trsm\",\"m\":{m},\"n\":{n}"),
+        EventKind::Heevd { n } => format!("\"kind\":\"Heevd\",\"n\":{n}"),
+        EventKind::HhQr { m, n } => format!("\"kind\":\"HhQr\",\"m\":{m},\"n\":{n}"),
+        EventKind::Blas1 { n } => format!("\"kind\":\"Blas1\",\"n\":{n}"),
+        EventKind::H2D { bytes } => format!("\"kind\":\"H2D\",\"bytes\":{bytes}"),
+        EventKind::D2H { bytes } => format!("\"kind\":\"D2H\",\"bytes\":{bytes}"),
+        EventKind::AllReduce { bytes, members } => {
+            format!("\"kind\":\"AllReduce\",\"bytes\":{bytes},\"members\":{members}")
+        }
+        EventKind::Bcast { bytes, members } => {
+            format!("\"kind\":\"Bcast\",\"bytes\":{bytes},\"members\":{members}")
+        }
+        EventKind::AllGather {
+            bytes_per_rank,
+            members,
+        } => {
+            format!(
+                "\"kind\":\"AllGather\",\"bytes_per_rank\":{bytes_per_rank},\"members\":{members}"
+            )
+        }
+        EventKind::Barrier { members } => format!("\"kind\":\"Barrier\",\"members\":{members}"),
+        EventKind::P2p { bytes, link } => {
+            format!(
+                "\"kind\":\"P2p\",\"bytes\":{bytes},\"link\":\"{}\"",
+                link.name()
+            )
+        }
+    };
+    format!("{{\"region\":\"{region}\",{kind}}}")
+}
+
+fn json_str_field(obj: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key}"))?
+        + pat.len();
+    let end = obj[start..]
+        .find('"')
+        .ok_or_else(|| format!("unterminated {key}"))?
+        + start;
+    Ok(obj[start..end].to_string())
+}
+
+fn json_u64_field(obj: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let start = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key}"))?
+        + pat.len();
+    let digits: String = obj[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn event_from_json(obj: &str) -> Result<Event, String> {
+    let region = json_str_field(obj, "region")?;
+    let region = Region::parse_name(&region).ok_or_else(|| format!("unknown region {region}"))?;
+    let kind_name = json_str_field(obj, "kind")?;
+    let kind = match kind_name.as_str() {
+        "Gemm" => EventKind::Gemm {
+            m: json_u64_field(obj, "m")?,
+            n: json_u64_field(obj, "n")?,
+            k: json_u64_field(obj, "k")?,
+        },
+        "Herk" => EventKind::Herk {
+            m: json_u64_field(obj, "m")?,
+            n: json_u64_field(obj, "n")?,
+        },
+        "Potrf" => EventKind::Potrf {
+            n: json_u64_field(obj, "n")?,
+        },
+        "Trsm" => EventKind::Trsm {
+            m: json_u64_field(obj, "m")?,
+            n: json_u64_field(obj, "n")?,
+        },
+        "Heevd" => EventKind::Heevd {
+            n: json_u64_field(obj, "n")?,
+        },
+        "HhQr" => EventKind::HhQr {
+            m: json_u64_field(obj, "m")?,
+            n: json_u64_field(obj, "n")?,
+        },
+        "Blas1" => EventKind::Blas1 {
+            n: json_u64_field(obj, "n")?,
+        },
+        "H2D" => EventKind::H2D {
+            bytes: json_u64_field(obj, "bytes")?,
+        },
+        "D2H" => EventKind::D2H {
+            bytes: json_u64_field(obj, "bytes")?,
+        },
+        "AllReduce" => EventKind::AllReduce {
+            bytes: json_u64_field(obj, "bytes")?,
+            members: json_u64_field(obj, "members")?,
+        },
+        "Bcast" => EventKind::Bcast {
+            bytes: json_u64_field(obj, "bytes")?,
+            members: json_u64_field(obj, "members")?,
+        },
+        "AllGather" => EventKind::AllGather {
+            bytes_per_rank: json_u64_field(obj, "bytes_per_rank")?,
+            members: json_u64_field(obj, "members")?,
+        },
+        "Barrier" => EventKind::Barrier {
+            members: json_u64_field(obj, "members")?,
+        },
+        "P2p" => {
+            let link = json_str_field(obj, "link")?;
+            EventKind::P2p {
+                bytes: json_u64_field(obj, "bytes")?,
+                link: LinkClass::parse_name(&link).ok_or_else(|| format!("unknown link {link}"))?,
+            }
+        }
+        other => return Err(format!("unknown event kind {other}")),
+    };
+    Ok(Event { kind, region })
 }
 
 /// RAII guard restoring the previous region on drop.
@@ -242,10 +457,17 @@ mod tests {
 
     #[test]
     fn categories() {
-        assert_eq!(EventKind::Gemm { m: 1, n: 1, k: 1 }.category(), Category::Compute);
+        assert_eq!(
+            EventKind::Gemm { m: 1, n: 1, k: 1 }.category(),
+            Category::Compute
+        );
         assert_eq!(EventKind::H2D { bytes: 8 }.category(), Category::Transfer);
         assert_eq!(
-            EventKind::AllReduce { bytes: 8, members: 4 }.category(),
+            EventKind::AllReduce {
+                bytes: 8,
+                members: 4
+            }
+            .category(),
             Category::Comm
         );
     }
@@ -253,7 +475,14 @@ mod tests {
     #[test]
     fn flops_and_bytes() {
         assert_eq!(EventKind::Gemm { m: 2, n: 3, k: 4 }.flops(), 48);
-        assert_eq!(EventKind::AllGather { bytes_per_rank: 10, members: 4 }.bytes(), 40);
+        assert_eq!(
+            EventKind::AllGather {
+                bytes_per_rank: 10,
+                members: 4
+            }
+            .bytes(),
+            40
+        );
         assert_eq!(EventKind::Barrier { members: 4 }.bytes(), 0);
     }
 
@@ -261,8 +490,15 @@ mod tests {
     fn ledger_accounting() {
         let mut l = Ledger::new();
         l.set_region(Region::Filter);
-        l.record(EventKind::Gemm { m: 10, n: 10, k: 10 });
-        l.record(EventKind::AllReduce { bytes: 800, members: 2 });
+        l.record(EventKind::Gemm {
+            m: 10,
+            n: 10,
+            k: 10,
+        });
+        l.record(EventKind::AllReduce {
+            bytes: 800,
+            members: 2,
+        });
         l.set_region(Region::Qr);
         l.record(EventKind::Potrf { n: 6 });
         assert_eq!(l.events().len(), 3);
@@ -293,12 +529,36 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut l = Ledger::new();
         l.record_in(Region::Filter, EventKind::Gemm { m: 4, n: 5, k: 6 });
-        let s = serde_json::to_string(&l).unwrap();
-        let back: Ledger = serde_json::from_str(&s).unwrap();
-        assert_eq!(back.events().len(), 1);
+        l.record_in(
+            Region::Qr,
+            EventKind::P2p {
+                bytes: 512,
+                link: LinkClass::NvLink,
+            },
+        );
+        l.record_in(
+            Region::Other,
+            EventKind::AllGather {
+                bytes_per_rank: 3,
+                members: 2,
+            },
+        );
+        let s = l.to_json();
+        let back = Ledger::from_json(&s).unwrap();
+        assert_eq!(back.events().len(), 3);
         assert_eq!(back.flops_in(Region::Filter), 240);
+        assert_eq!(
+            back.events()[1].kind,
+            EventKind::P2p {
+                bytes: 512,
+                link: LinkClass::NvLink
+            }
+        );
+        assert_eq!(back.to_json(), s, "re-encoding must be stable");
+        assert_eq!(Ledger::from_json("[]").unwrap().events().len(), 0);
+        assert!(Ledger::from_json("{oops}").is_err());
     }
 }

@@ -19,5 +19,5 @@ pub mod partition;
 
 pub use collective::{Communicator, Reduce, Slot};
 pub use grid::{block_range, run_grid, solo_ctx, GridShape, RankCtx, SpmdOutput};
+pub use ledger::{Category, Event, EventKind, Ledger, LinkClass, Region, RegionGuard};
 pub use partition::{Distribution, IndexSet};
-pub use ledger::{Category, Event, EventKind, Ledger, Region, RegionGuard};

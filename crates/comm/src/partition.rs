@@ -24,7 +24,12 @@ pub enum IndexSet {
     /// Contiguous `start..end`.
     Block { start: usize, end: usize },
     /// Owner `part` of `parts` under block-cyclic dealing over `0..n`.
-    Cyclic { n: usize, block: usize, parts: usize, part: usize },
+    Cyclic {
+        n: usize,
+        block: usize,
+        parts: usize,
+        part: usize,
+    },
 }
 
 impl IndexSet {
@@ -34,11 +39,19 @@ impl IndexSet {
         match dist {
             Distribution::Block => {
                 let r = crate::grid::block_range(n, parts, idx);
-                IndexSet::Block { start: r.start, end: r.end }
+                IndexSet::Block {
+                    start: r.start,
+                    end: r.end,
+                }
             }
             Distribution::BlockCyclic { block } => {
                 assert!(block >= 1);
-                IndexSet::Cyclic { n, block, parts, part: idx }
+                IndexSet::Cyclic {
+                    n,
+                    block,
+                    parts,
+                    part: idx,
+                }
             }
         }
     }
@@ -47,7 +60,12 @@ impl IndexSet {
     pub fn len(&self) -> usize {
         match *self {
             IndexSet::Block { start, end } => end - start,
-            IndexSet::Cyclic { n, block, parts, part } => {
+            IndexSet::Cyclic {
+                n,
+                block,
+                parts,
+                part,
+            } => {
                 let total_blocks = n.div_ceil(block);
                 // Blocks with global block-index ≡ part (mod parts).
                 let owned_blocks = if total_blocks > part {
@@ -75,9 +93,9 @@ impl IndexSet {
         debug_assert!(local < self.len());
         match *self {
             IndexSet::Block { start, .. } => start + local,
-            IndexSet::Cyclic { block, parts, part, .. } => {
-                (part + (local / block) * parts) * block + local % block
-            }
+            IndexSet::Cyclic {
+                block, parts, part, ..
+            } => (part + (local / block) * parts) * block + local % block,
         }
     }
 
@@ -87,7 +105,12 @@ impl IndexSet {
             IndexSet::Block { start, end } => {
                 (start..end).contains(&global).then(|| global - start)
             }
-            IndexSet::Cyclic { n, block, parts, part } => {
+            IndexSet::Cyclic {
+                n,
+                block,
+                parts,
+                part,
+            } => {
                 if global >= n {
                     return None;
                 }
@@ -99,7 +122,11 @@ impl IndexSet {
 
     /// Iterate owned global indices in local order.
     pub fn iter(&self) -> IndexSetIter<'_> {
-        IndexSetIter { set: self, pos: 0, len: self.len() }
+        IndexSetIter {
+            set: self,
+            pos: 0,
+            len: self.len(),
+        }
     }
 
     /// The contiguous range, when this set is a block.
@@ -118,7 +145,10 @@ impl IndexSet {
 
 impl From<Range<usize>> for IndexSet {
     fn from(r: Range<usize>) -> Self {
-        IndexSet::Block { start: r.start, end: r.end }
+        IndexSet::Block {
+            start: r.start,
+            end: r.end,
+        }
     }
 }
 
@@ -154,7 +184,9 @@ mod tests {
     use super::*;
 
     fn check_partition(n: usize, parts: usize, dist: Distribution) {
-        let sets: Vec<IndexSet> = (0..parts).map(|i| IndexSet::new(n, parts, i, dist)).collect();
+        let sets: Vec<IndexSet> = (0..parts)
+            .map(|i| IndexSet::new(n, parts, i, dist))
+            .collect();
         // Disjoint cover of 0..n.
         let mut seen = vec![false; n];
         for s in &sets {

@@ -30,7 +30,10 @@ pub fn growth_factor(t: f64) -> f64 {
 /// * `locked` — number of converged, deflated columns.
 pub fn cond_est(ritzv: &[f64], c: f64, e: f64, degs: &[usize], locked: usize) -> f64 {
     assert_eq!(ritzv.len(), degs.len());
-    assert!(locked < degs.len(), "cond_est needs at least one active column");
+    assert!(
+        locked < degs.len(),
+        "cond_est needs at least one active column"
+    );
     assert!(e > 0.0, "empty filter interval");
     let t_prime = (ritzv[0] - c) / e;
     let t = (ritzv[locked] - c) / e;
@@ -110,7 +113,10 @@ mod tests {
         let degs = vec![36usize, 36];
         let got = cond_est(&ritzv, 0.0, 1.0, &degs, 0);
         assert!(got.is_finite() || got == f64::INFINITY);
-        assert!(got > 1e30, "deep eigenvalue at degree 36 must blow up the bound");
+        assert!(
+            got > 1e30,
+            "deep eigenvalue at degree 36 must blow up the bound"
+        );
     }
 
     #[test]

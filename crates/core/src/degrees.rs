@@ -25,7 +25,14 @@ pub fn optimal_degree(res: f64, tol: f64, t: f64, max_deg: usize) -> usize {
     let mut d = deg.ceil().max(2.0) as usize;
     // ChASE enforces even degrees so filtered vectors always end in C.
     d += d % 2;
-    d.clamp(2, if max_deg.is_multiple_of(2) { max_deg } else { max_deg - 1 })
+    d.clamp(
+        2,
+        if max_deg.is_multiple_of(2) {
+            max_deg
+        } else {
+            max_deg - 1
+        },
+    )
 }
 
 /// Vectorized version over the active columns.

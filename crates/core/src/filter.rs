@@ -38,7 +38,11 @@ pub struct FilterBounds<R> {
 impl<R: RealScalar> FilterBounds<R> {
     pub fn from_spectrum(mu_1: R, mu_ne: R, b_sup: R) -> Self {
         let half = R::from_f64_r(0.5);
-        Self { c: (b_sup + mu_ne) * half, e: (b_sup - mu_ne) * half, mu_1 }
+        Self {
+            c: (b_sup + mu_ne) * half,
+            e: (b_sup - mu_ne) * half,
+            mu_1,
+        }
     }
 }
 
@@ -65,11 +69,20 @@ pub fn chebyshev_filter<T: Scalar + Reduce>(
         return 0;
     }
     dev.set_region(Region::Filter);
-    assert!(degrees.windows(2).all(|w| w[0] <= w[1]), "degrees must be ascending");
-    assert!(degrees.iter().all(|&d| d >= 2 && d % 2 == 0), "degrees must be even >= 2");
+    assert!(
+        degrees.windows(2).all(|w| w[0] <= w[1]),
+        "degrees must be ascending"
+    );
+    assert!(
+        degrees.iter().all(|&d| d >= 2 && d % 2 == 0),
+        "degrees must be even >= 2"
+    );
     let dmax = *degrees.last().unwrap();
     let one = <T::Real as Scalar>::one();
-    assert!(bounds.e > <T::Real as Scalar>::zero(), "empty filter interval");
+    assert!(
+        bounds.e > <T::Real as Scalar>::zero(),
+        "empty filter interval"
+    );
 
     h.set_shift(bounds.c);
 
@@ -210,7 +223,9 @@ mod tests {
     fn distributed_filter_matches_serial() {
         let n = 12;
         let ne = 4;
-        let spec: Vec<f64> = (0..n).map(|i| -3.0 + 6.0 * i as f64 / (n - 1) as f64).collect();
+        let spec: Vec<f64> = (0..n)
+            .map(|i| -3.0 + 6.0 * i as f64 / (n - 1) as f64)
+            .collect();
         let hg = {
             let s = chase_matgen::Spectrum::from_values(spec.clone());
             chase_matgen::dense_with_spectrum::<C64>(&s, 11)
@@ -226,7 +241,9 @@ mod tests {
         let mut h = DistHerm::from_global(&hg, &ctx);
         let mut c_ref = x.clone();
         let mut b_ref = Matrix::<C64>::zeros(n, ne);
-        chebyshev_filter(&dev, &ctx, &mut h, &mut c_ref, &mut b_ref, 0, &degrees, bounds);
+        chebyshev_filter(
+            &dev, &ctx, &mut h, &mut c_ref, &mut b_ref, 0, &degrees, bounds,
+        );
 
         for shape in [GridShape::new(2, 2), GridShape::new(3, 2)] {
             let (hg, x, degrees, c_ref) = (&hg, &x, &degrees, &c_ref);
@@ -275,7 +292,13 @@ mod tests {
         let mut c = Matrix::<C64>::zeros(2, 2);
         let mut b = Matrix::<C64>::zeros(2, 2);
         chebyshev_filter(
-            &dev, &ctx, &mut h, &mut c, &mut b, 0, &[6, 4],
+            &dev,
+            &ctx,
+            &mut h,
+            &mut c,
+            &mut b,
+            0,
+            &[6, 4],
             FilterBounds::from_spectrum(0.0, 1.0, 2.0),
         );
     }

@@ -9,9 +9,9 @@
 
 use crate::layout::DistHerm;
 use chase_comm::{RankCtx, Reduce};
+use chase_device::Device;
 use chase_linalg::matrix::ColsMut;
 use chase_linalg::{Matrix, Op, Scalar};
-use chase_device::Device;
 
 /// `B[:, range] = alpha * H^H * C[:, range] + beta * B[:, range]`
 /// (C-layout in, B-layout out; allreduce over the column communicator).
@@ -99,7 +99,15 @@ pub fn matvec_replicated<T: Scalar + Reduce>(
     {
         let xv = chase_linalg::matrix::ColsRef::new(&x_rows, h.n_r(), 1);
         let pv = ColsMut::new(&mut part, h.n_c(), 1);
-        dev.gemm(Op::ConjTrans, Op::None, T::one(), h.local.as_ref(), xv, T::zero(), pv);
+        dev.gemm(
+            Op::ConjTrans,
+            Op::None,
+            T::one(),
+            h.local.as_ref(),
+            xv,
+            T::zero(),
+            pv,
+        );
     }
     dev.allreduce_sum(&ctx.col_comm, &mut part);
     // Ranks of a row communicator hold disjoint J_j sets covering 0..N;
@@ -135,14 +143,28 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let cg = Matrix::<C64>::random(n, ne, &mut rng);
         let expect = gemm_new(Op::None, Op::None, &h, &cg);
-        for shape in [GridShape::new(1, 1), GridShape::new(2, 2), GridShape::new(2, 3)] {
+        for shape in [
+            GridShape::new(1, 1),
+            GridShape::new(2, 2),
+            GridShape::new(2, 3),
+        ] {
             let (h, cg, expect) = (&h, &cg, &expect);
             let out = run_grid(shape, move |ctx| {
                 let dev = Device::new(ctx, Backend::Nccl);
                 let dh = DistHerm::from_global(h, ctx);
                 let c_loc = cg.select_rows(dh.row_set.iter());
                 let mut b_loc = Matrix::<C64>::zeros(dh.n_c(), ne);
-                hemm_c_to_b(&dev, ctx, &dh, &c_loc, &mut b_loc, 0, ne, C64::one(), C64::zero());
+                hemm_c_to_b(
+                    &dev,
+                    ctx,
+                    &dh,
+                    &c_loc,
+                    &mut b_loc,
+                    0,
+                    ne,
+                    C64::one(),
+                    C64::zero(),
+                );
                 let want = expect.select_rows(dh.col_set.iter());
                 b_loc.max_abs_diff(&want)
             });
@@ -166,7 +188,17 @@ mod tests {
             let dh = DistHerm::from_global(h, ctx);
             let b_loc = bg.select_rows(dh.col_set.iter());
             let mut c_loc = Matrix::<C64>::zeros(dh.n_r(), ne);
-            hemm_b_to_c(&dev, ctx, &dh, &b_loc, &mut c_loc, 0, ne, C64::one(), C64::zero());
+            hemm_b_to_c(
+                &dev,
+                ctx,
+                &dh,
+                &b_loc,
+                &mut c_loc,
+                0,
+                ne,
+                C64::one(),
+                C64::zero(),
+            );
             let want = expect.select_rows(dh.row_set.iter());
             c_loc.max_abs_diff(&want)
         });
@@ -196,8 +228,15 @@ mod tests {
             let c_loc = cg.select_rows(dh.row_set.iter());
             let mut b_loc = bg0.select_rows(dh.col_set.iter());
             hemm_c_to_b(
-                &dev, ctx, &dh, &c_loc, &mut b_loc, 0, 2,
-                C64::one(), C64::from_f64(3.0),
+                &dev,
+                ctx,
+                &dh,
+                &c_loc,
+                &mut b_loc,
+                0,
+                2,
+                C64::one(),
+                C64::from_f64(3.0),
             );
             b_loc.max_abs_diff(&expect.select_rows(dh.col_set.iter()))
         });

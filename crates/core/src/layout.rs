@@ -97,7 +97,15 @@ impl<T: Scalar> DistHerm<T> {
                 base_diag.push((li, lj, local[(li, lj)]));
             }
         }
-        Self { local, row_set, col_set, n, dist, shift: <T::Real as Scalar>::zero(), base_diag }
+        Self {
+            local,
+            row_set,
+            col_set,
+            n,
+            dist,
+            shift: <T::Real as Scalar>::zero(),
+            base_diag,
+        }
     }
 
     /// Local row count `n_r`.
@@ -148,12 +156,22 @@ pub struct RowDist {
 impl RowDist {
     /// C-layout partition (over the column communicator: `p` parts).
     pub fn c_layout(n: usize, shape: GridShape, dist: Distribution) -> Self {
-        Self { n, parts: (0..shape.p).map(|i| IndexSet::new(n, shape.p, i, dist)).collect() }
+        Self {
+            n,
+            parts: (0..shape.p)
+                .map(|i| IndexSet::new(n, shape.p, i, dist))
+                .collect(),
+        }
     }
 
     /// B-layout partition (over the row communicator: `q` parts).
     pub fn b_layout(n: usize, shape: GridShape, dist: Distribution) -> Self {
-        Self { n, parts: (0..shape.q).map(|j| IndexSet::new(n, shape.q, j, dist)).collect() }
+        Self {
+            n,
+            parts: (0..shape.q)
+                .map(|j| IndexSet::new(n, shape.q, j, dist))
+                .collect(),
+        }
     }
 
     /// Reassemble a full matrix from per-member blocks gathered in member

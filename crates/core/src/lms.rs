@@ -41,7 +41,12 @@ where
     T::Real: Reduce,
 {
     params.validate(h.n);
-    let dev = Device::new(ctx, Backend::Lms);
+    let dev = Device::with_collectives(
+        ctx,
+        Backend::Lms,
+        params.collective,
+        chase_device::Topology::juwels_booster(),
+    );
     let ne = params.ne();
     let nev = params.nev;
     let n = h.n;
@@ -89,8 +94,14 @@ where
         if iter > 1 {
             if params.optimize_degrees {
                 let new_degs = optimize_degrees(
-                    &resd[locked..].iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
-                    &ritzv[locked..].iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
+                    &resd[locked..]
+                        .iter()
+                        .map(|r| r.to_f64())
+                        .collect::<Vec<_>>(),
+                    &ritzv[locked..]
+                        .iter()
+                        .map(|r| r.to_f64())
+                        .collect::<Vec<_>>(),
                     c_center.to_f64(),
                     e_half.to_f64(),
                     params.tol * norm_h.to_f64(),
@@ -106,7 +117,11 @@ where
         }
 
         // --- Filter: identical distributed implementation ---
-        let fb = FilterBounds { c: c_center, e: e_half, mu_1 };
+        let fb = FilterBounds {
+            c: c_center,
+            e: e_half,
+            mu_1,
+        };
         let degrees: Vec<usize> = degs[locked..].to_vec();
         let mv = chebyshev_filter(&dev, ctx, &mut h, &mut c, &mut b, locked, &degrees, fb);
         total_matvecs += mv;
@@ -191,7 +206,9 @@ where
             matvecs: mv,
             new_locked: locked - before,
             locked,
-            min_res: active_res.iter().fold(f64::INFINITY, |m, r| m.min(r.to_f64())),
+            min_res: active_res
+                .iter()
+                .fold(f64::INFINITY, |m, r| m.min(r.to_f64())),
             max_res: active_res.iter().fold(0.0f64, |m, r| m.max(r.to_f64())),
             max_degree: *degs[locked.min(ne - 1)..].iter().max().unwrap_or(&0),
         });

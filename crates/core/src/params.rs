@@ -1,5 +1,7 @@
 //! Solver parameters (the knobs of Algorithms 1–2).
 
+use chase_device::CollectiveAlgo;
+
 /// Strategy for choosing the QR factorization each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QrStrategy {
@@ -43,6 +45,11 @@ pub struct Params {
     /// Also compute the *exact* condition number of the filtered block each
     /// iteration (expensive; drives Fig. 1).
     pub track_true_cond: bool,
+    /// Collective execution path: the flat rendezvous reference, a forced
+    /// topology-aware hop schedule, or the NCCL-style tuner. Results are
+    /// bitwise identical across all settings; only the priced hop structure
+    /// changes.
+    pub collective: CollectiveAlgo,
     /// Seed for the random starting block.
     pub seed: u64,
 }
@@ -62,6 +69,7 @@ impl Params {
             lanczos_runs: 4,
             qr: QrStrategy::Auto,
             track_true_cond: false,
+            collective: CollectiveAlgo::Flat,
             seed: 0xC4A53,
         }
     }

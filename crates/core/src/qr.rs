@@ -229,7 +229,10 @@ mod tests {
         let mut x2 = x1.clone();
         cholesky_qr(&dev, &ctx.world, &mut x1, 1).unwrap();
         cholesky_qr(&dev, &ctx.world, &mut x2, 2).unwrap();
-        assert!(orth_error(&x1) > 1e-8, "QR1 should be visibly non-orthogonal");
+        assert!(
+            orth_error(&x1) > 1e-8,
+            "QR1 should be visibly non-orthogonal"
+        );
         assert!(orth_error(&x2) < 1e-12);
     }
 
@@ -257,7 +260,10 @@ mod tests {
     fn auto_switchboard_picks_by_condition() {
         let ctx = solo_ctx();
         let dev = Device::new(&ctx, Backend::Nccl);
-        let dist = RowDist { n: 40, parts: vec![(0..40).into()] };
+        let dist = RowDist {
+            n: 40,
+            parts: vec![(0..40).into()],
+        };
 
         let mut x = conditioned(40, 5, 2.0, 5);
         let v = flexible_qr(&dev, &ctx.world, &mut x, &dist, 3.0, QrStrategy::Auto);
@@ -278,9 +284,19 @@ mod tests {
     fn householder_strategy_and_fallback() {
         let ctx = solo_ctx();
         let dev = Device::new(&ctx, Backend::Nccl);
-        let dist = RowDist { n: 30, parts: vec![(0..30).into()] };
+        let dist = RowDist {
+            n: 30,
+            parts: vec![(0..30).into()],
+        };
         let mut x = conditioned(30, 4, 1e3, 8);
-        let v = flexible_qr(&dev, &ctx.world, &mut x, &dist, 1e3, QrStrategy::AlwaysHouseholder);
+        let v = flexible_qr(
+            &dev,
+            &ctx.world,
+            &mut x,
+            &dist,
+            1e3,
+            QrStrategy::AlwaysHouseholder,
+        );
         assert_eq!(v, QrVariant::Householder);
         assert!(orth_error(&x) < 1e-12);
     }

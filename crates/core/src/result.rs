@@ -109,7 +109,12 @@ mod tests {
     #[test]
     fn assemble_covers_and_dedups() {
         // Grid 2x2: two distinct row ranges, each appearing twice.
-        let results = vec![dummy(0..3, 5), dummy(0..3, 5), dummy(3..5, 5), dummy(3..5, 5)];
+        let results = vec![
+            dummy(0..3, 5),
+            dummy(0..3, 5),
+            dummy(3..5, 5),
+            dummy(3..5, 5),
+        ];
         let full = ChaseResult::assemble_eigenvectors(&results);
         assert_eq!(full.rows(), 5);
         assert_eq!(full[(4, 1)], C64::from_f64(41.0));

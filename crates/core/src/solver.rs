@@ -188,8 +188,15 @@ where
         self.update_b2();
         // B[:, act] = H C[:, act]
         hemm_c_to_b(
-            self.dev, ctx, &self.h, &self.c, &mut self.b,
-            self.locked, act, T::one(), T::zero(),
+            self.dev,
+            ctx,
+            &self.h,
+            &self.c,
+            &mut self.b,
+            self.locked,
+            act,
+            T::one(),
+            T::zero(),
         );
         // A = B2[:, act]^H B[:, act], reduced over the row communicator.
         let mut a = Matrix::<T>::zeros(act, act);
@@ -229,8 +236,15 @@ where
         let ctx = self.dev.ctx();
         // B[:, act] = H C[:, act]
         hemm_c_to_b(
-            self.dev, ctx, &self.h, &self.c, &mut self.b,
-            self.locked, act, T::one(), T::zero(),
+            self.dev,
+            ctx,
+            &self.h,
+            &self.c,
+            &mut self.b,
+            self.locked,
+            act,
+            T::one(),
+            T::zero(),
         );
         // B -= ritzv .* B2 , column-wise (single batched BLAS-1 kernel).
         self.dev.blas1::<T>(self.h.n_c() * act * 2);
@@ -300,8 +314,14 @@ where
             if iter > 1 {
                 if self.params.optimize_degrees {
                     let new_degs = optimize_degrees(
-                        &self.resd[self.locked..].iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
-                        &self.ritzv[self.locked..].iter().map(|r| r.to_f64()).collect::<Vec<_>>(),
+                        &self.resd[self.locked..]
+                            .iter()
+                            .map(|r| r.to_f64())
+                            .collect::<Vec<_>>(),
+                        &self.ritzv[self.locked..]
+                            .iter()
+                            .map(|r| r.to_f64())
+                            .collect::<Vec<_>>(),
                         c_center.to_f64(),
                         e_half.to_f64(),
                         self.params.tol * norm_h.to_f64(),
@@ -323,11 +343,21 @@ where
             }
 
             // --- Filter (Algorithm 2 line 10) ---
-            let fb = FilterBounds { c: c_center, e: e_half, mu_1 };
+            let fb = FilterBounds {
+                c: c_center,
+                e: e_half,
+                mu_1,
+            };
             let degrees: Vec<usize> = self.degs[self.locked..].to_vec();
             let mv = chebyshev_filter(
-                self.dev, ctx, &mut self.h, &mut self.c, &mut self.b,
-                self.locked, &degrees, fb,
+                self.dev,
+                ctx,
+                &mut self.h,
+                &mut self.c,
+                &mut self.b,
+                self.locked,
+                &degrees,
+                fb,
             );
             total_matvecs += mv;
 
@@ -355,8 +385,12 @@ where
             // --- Flexible QR (Algorithm 2 line 12) ---
             self.dev.set_region(Region::Qr);
             let qr_variant = flexible_qr(
-                self.dev, &ctx.col_comm, &mut self.c, &self.c_dist,
-                est_cond, self.params.qr,
+                self.dev,
+                &ctx.col_comm,
+                &mut self.c,
+                &self.c_dist,
+                est_cond,
+                self.params.qr,
             );
             // Line 13: restore exact locked vectors, refresh C2's active part.
             if self.locked > 0 {
@@ -389,12 +423,23 @@ where
                     .iter()
                     .fold(f64::INFINITY, |m, r| m.min(r.to_f64())),
                 max_res: active_res.iter().fold(0.0f64, |m, r| m.max(r.to_f64())),
-                max_degree: *self.degs[self.locked.min(ne - 1)..].iter().max().unwrap_or(&0),
+                max_degree: *self.degs[self.locked.min(ne - 1)..]
+                    .iter()
+                    .max()
+                    .unwrap_or(&0),
             });
 
             // Bound updates (Algorithm 2, lines 5-7).
-            mu_1 = self.ritzv.iter().copied().fold(self.ritzv[0], |m, v| m.min_r(v));
-            mu_ne = self.ritzv.iter().copied().fold(self.ritzv[0], |m, v| m.max_r(v));
+            mu_1 = self
+                .ritzv
+                .iter()
+                .copied()
+                .fold(self.ritzv[0], |m, v| m.min_r(v));
+            mu_ne = self
+                .ritzv
+                .iter()
+                .copied()
+                .fold(self.ritzv[0], |m, v| m.max_r(v));
 
             if self.locked >= nev {
                 converged = true;
@@ -441,16 +486,18 @@ pub fn solve_dist<T: Scalar + Reduce>(
 where
     T::Real: Reduce,
 {
-    let dev = Device::new(ctx, backend);
+    let dev = Device::with_collectives(
+        ctx,
+        backend,
+        params.collective,
+        chase_device::Topology::juwels_booster(),
+    );
     Chase::new(&dev, h, params.clone(), initial).solve()
 }
 
 /// Serial convenience entry point: solve on a replicated matrix with a
 /// trivial 1x1 grid (still exercising the full distributed code path).
-pub fn solve_serial<T: Scalar + Reduce>(
-    h: &Matrix<T>,
-    params: &Params,
-) -> ChaseResult<T>
+pub fn solve_serial<T: Scalar + Reduce>(h: &Matrix<T>, params: &Params) -> ChaseResult<T>
 where
     T::Real: Reduce,
 {
@@ -487,10 +534,7 @@ mod tests {
         assert!(r.converged, "did not converge in {} iters", r.iterations);
         for (k, v) in r.eigenvalues.iter().enumerate() {
             let want = spec.values()[k];
-            assert!(
-                (v - want).abs() < 1e-7,
-                "lambda_{k}: got {v}, want {want}"
-            );
+            assert!((v - want).abs() < 1e-7, "lambda_{k}: got {v}, want {want}");
         }
         assert!(r.matvecs > 0);
     }

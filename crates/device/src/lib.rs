@@ -15,9 +15,12 @@
 //!   `H2D` copy (the blue data-movement bars of Fig. 2);
 //! * `Nccl` collectives record only the collective itself.
 
-use chase_comm::{Communicator, EventKind, RankCtx, Reduce, Region};
+use chase_comm::{Communicator, EventKind, LinkClass, RankCtx, Reduce, Region};
 use chase_linalg::matrix::{ColsMut, ColsRef};
 use chase_linalg::{Matrix, NotPositiveDefinite, Scalar};
+use chase_topo::{exec, CollOp, Tuner};
+
+pub use chase_topo::{Algo, CollectiveAlgo, Topology};
 
 /// Which of the paper's three builds is being simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,15 +54,50 @@ impl Backend {
 pub struct Device<'a> {
     ctx: &'a RankCtx,
     backend: Backend,
+    collective: CollectiveAlgo,
+    topo: Topology,
 }
 
 impl<'a> Device<'a> {
+    /// A device on the original flat collective path.
     pub fn new(ctx: &'a RankCtx, backend: Backend) -> Self {
-        Self { ctx, backend }
+        Self::with_collectives(
+            ctx,
+            backend,
+            CollectiveAlgo::Flat,
+            Topology::juwels_booster(),
+        )
+    }
+
+    /// A device routing its collectives through the `chase-topo` hop
+    /// schedules (unless `collective` is [`CollectiveAlgo::Flat`]). The
+    /// topo path emits chunk-granular `P2p` events over the physical links
+    /// of `topo` instead of one flat collective event; staging copies are
+    /// recorded the same way on both paths.
+    pub fn with_collectives(
+        ctx: &'a RankCtx,
+        backend: Backend,
+        collective: CollectiveAlgo,
+        topo: Topology,
+    ) -> Self {
+        Self {
+            ctx,
+            backend,
+            collective,
+            topo,
+        }
     }
 
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    pub fn collective_algo(&self) -> CollectiveAlgo {
+        self.collective
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     pub fn ctx(&self) -> &RankCtx {
@@ -97,7 +135,10 @@ impl<'a> Device<'a> {
 
     /// Gram matrix `X^H X` (cuBLAS `zherk` role).
     pub fn gram<T: Scalar>(&self, x: ColsRef<'_, T>) -> Matrix<T> {
-        self.ctx.record(EventKind::Herk { m: x.rows() as u64, n: x.cols() as u64 });
+        self.ctx.record(EventKind::Herk {
+            m: x.rows() as u64,
+            n: x.cols() as u64,
+        });
         chase_linalg::gram(x)
     }
 
@@ -109,7 +150,10 @@ impl<'a> Device<'a> {
 
     /// Triangular solve `X := X R^{-1}` (cuBLAS `ztrsm` role).
     pub fn trsm<T: Scalar>(&self, x: ColsMut<'_, T>, r: &Matrix<T>) {
-        self.ctx.record(EventKind::Trsm { m: x.rows() as u64, n: x.cols() as u64 });
+        self.ctx.record(EventKind::Trsm {
+            m: x.rows() as u64,
+            n: x.cols() as u64,
+        });
         chase_linalg::trsm_right_upper(x, r);
     }
 
@@ -124,7 +168,10 @@ impl<'a> Device<'a> {
 
     /// Householder QR returning the thin Q (cuSOLVER `zgeqrf`+`zungqr`).
     pub fn hhqr_q<T: Scalar>(&self, x: &Matrix<T>) -> Matrix<T> {
-        self.ctx.record(EventKind::HhQr { m: x.rows() as u64, n: x.cols() as u64 });
+        self.ctx.record(EventKind::HhQr {
+            m: x.rows() as u64,
+            n: x.cols() as u64,
+        });
         chase_linalg::householder_qr(x).0
     }
 
@@ -147,14 +194,48 @@ impl<'a> Device<'a> {
         }
     }
 
+    /// Whether this backend's collectives move data device-direct (the
+    /// transport the tuner and the `P2p` pricing distinguish).
+    fn device_direct(&self) -> bool {
+        !self.backend.stages_through_host()
+    }
+
+    /// Resolve the hop schedule for one collective call, or `None` for the
+    /// flat path. `bytes` must be SPMD-uniform across the communicator
+    /// (every member must resolve the same schedule).
+    fn schedule(&self, op: CollOp, bytes: u64, comm: &Communicator) -> Option<(Algo, u64)> {
+        if comm.size() <= 1 || bytes == 0 {
+            return None;
+        }
+        let tuner = Tuner::new(self.topo.clone(), self.device_direct());
+        match self.collective {
+            CollectiveAlgo::Flat => None,
+            CollectiveAlgo::Auto => {
+                let c = tuner.choose(op, bytes, comm.labels());
+                Some((c.algo, c.chunk_bytes))
+            }
+            forced => {
+                let algo = forced.forced().expect("Ring/Tree/Doubling pin a schedule");
+                Some((algo, tuner.chunk_for(op, algo, bytes, comm.labels())))
+            }
+        }
+    }
+
     /// Sum-allreduce of a device buffer over `comm`.
     pub fn allreduce_sum<T: Scalar + Reduce>(&self, comm: &Communicator, buf: &mut [T]) {
         self.stage::<T>(buf.len(), true);
-        self.ctx.record(EventKind::AllReduce {
-            bytes: size_of_val(buf) as u64,
-            members: comm.size() as u64,
-        });
-        comm.allreduce_sum(buf);
+        let bytes = size_of_val(buf) as u64;
+        if let Some((algo, chunk)) = self.schedule(CollOp::AllReduce, bytes, comm) {
+            let ctx = self.ctx;
+            let mut sink = |b: u64, link: LinkClass| ctx.record(EventKind::P2p { bytes: b, link });
+            exec::allreduce(comm, &self.topo, buf, algo, chunk, &mut sink);
+        } else {
+            self.ctx.record(EventKind::AllReduce {
+                bytes,
+                members: comm.size() as u64,
+            });
+            comm.allreduce_sum(buf);
+        }
     }
 
     /// Sum-allreduce of real workspace (residual norms, Frobenius norms).
@@ -163,11 +244,18 @@ impl<'a> Device<'a> {
         T::Real: Reduce,
     {
         self.stage::<T::Real>(buf.len(), true);
-        self.ctx.record(EventKind::AllReduce {
-            bytes: size_of_val(buf) as u64,
-            members: comm.size() as u64,
-        });
-        comm.allreduce_sum(buf);
+        let bytes = size_of_val(buf) as u64;
+        if let Some((algo, chunk)) = self.schedule(CollOp::AllReduce, bytes, comm) {
+            let ctx = self.ctx;
+            let mut sink = |b: u64, link: LinkClass| ctx.record(EventKind::P2p { bytes: b, link });
+            exec::allreduce(comm, &self.topo, buf, algo, chunk, &mut sink);
+        } else {
+            self.ctx.record(EventKind::AllReduce {
+                bytes,
+                members: comm.size() as u64,
+            });
+            comm.allreduce_sum(buf);
+        }
     }
 
     /// Broadcast a device buffer from `root`.
@@ -182,26 +270,56 @@ impl<'a> Device<'a> {
                 self.ctx.record(EventKind::H2D { bytes });
             }
         }
-        self.ctx.record(EventKind::Bcast {
-            bytes: size_of_val(buf) as u64,
-            members: comm.size() as u64,
-        });
-        comm.bcast(buf, root);
+        let bytes = size_of_val(buf) as u64;
+        if let Some((algo, chunk)) = self.schedule(CollOp::Bcast, bytes, comm) {
+            let ctx = self.ctx;
+            let mut sink = |b: u64, link: LinkClass| ctx.record(EventKind::P2p { bytes: b, link });
+            exec::bcast(comm, &self.topo, buf, root, algo, chunk, &mut sink);
+        } else {
+            self.ctx.record(EventKind::Bcast {
+                bytes,
+                members: comm.size() as u64,
+            });
+            comm.bcast(buf, root);
+        }
     }
 
     /// Allgather device blocks (used by the legacy LMS layout to replicate
     /// the distributed vector block on every rank, Section 2.3).
     pub fn allgather<T: Scalar>(&self, comm: &Communicator, mine: &[T]) -> Vec<T> {
         self.stage::<T>(mine.len(), false);
-        let out = comm.allgather(mine);
-        if self.backend.stages_through_host() {
-            self.ctx.record(EventKind::H2D { bytes: size_of_val(out.as_slice()) as u64 });
+        // Blocks may be ragged (sizes differ by one under the block
+        // distribution), so the tuner input is the *global* gathered size —
+        // known a priori in the real library, agreed here through a
+        // metadata exchange that records no events.
+        let total_bytes = if comm.size() > 1 && self.collective != CollectiveAlgo::Flat {
+            comm.allreduce_scalar(mine.len() as u64) * size_of::<T>() as u64
+        } else {
+            0
+        };
+        if let Some((algo, chunk)) = self.schedule(CollOp::AllGather, total_bytes, comm) {
+            let ctx = self.ctx;
+            let mut sink = |b: u64, link: LinkClass| ctx.record(EventKind::P2p { bytes: b, link });
+            let out = exec::allgather(comm, &self.topo, mine, algo, chunk, &mut sink);
+            if self.backend.stages_through_host() {
+                self.ctx.record(EventKind::H2D {
+                    bytes: size_of_val(out.as_slice()) as u64,
+                });
+            }
+            out
+        } else {
+            let out = comm.allgather(mine);
+            if self.backend.stages_through_host() {
+                self.ctx.record(EventKind::H2D {
+                    bytes: size_of_val(out.as_slice()) as u64,
+                });
+            }
+            self.ctx.record(EventKind::AllGather {
+                bytes_per_rank: size_of_val(mine) as u64,
+                members: comm.size() as u64,
+            });
+            out
         }
-        self.ctx.record(EventKind::AllGather {
-            bytes_per_rank: size_of_val(mine) as u64,
-            members: comm.size() as u64,
-        });
-        out
     }
 }
 
@@ -229,7 +347,15 @@ mod tests {
         let a = Matrix::<C64>::random(6, 4, &mut rng);
         let b = Matrix::<C64>::random(4, 3, &mut rng);
         let mut c = Matrix::<C64>::zeros(6, 3);
-        dev.gemm(Op::None, Op::None, C64::one(), a.as_ref(), b.as_ref(), C64::zero(), c.as_mut());
+        dev.gemm(
+            Op::None,
+            Op::None,
+            C64::one(),
+            a.as_ref(),
+            b.as_ref(),
+            C64::zero(),
+            c.as_mut(),
+        );
         let expect = chase_linalg::gemm_new(Op::None, Op::None, &a, &b);
         assert!(c.max_abs_diff(&expect) < 1e-13);
         let l = ctx.ledger_snapshot();
@@ -297,10 +423,96 @@ mod tests {
         let qhq = chase_linalg::gram(q.as_ref());
         assert!(qhq.orthogonality_error() < 1e-8);
         let (vals, _) = dev.heevd(&g).unwrap();
-        assert!(vals.iter().all(|v| *v > 0.0), "gram matrix eigenvalues positive");
+        assert!(
+            vals.iter().all(|v| *v > 0.0),
+            "gram matrix eigenvalues positive"
+        );
         let l = ctx.ledger_snapshot();
         // gram, potrf, trsm, gram(check is outside device), heevd -> 4 device events
         assert_eq!(l.events().len(), 4);
+    }
+
+    #[test]
+    fn topo_allreduce_matches_flat_bitwise_and_emits_hops() {
+        for algo in [
+            CollectiveAlgo::Ring,
+            CollectiveAlgo::Tree,
+            CollectiveAlgo::Doubling,
+            CollectiveAlgo::Auto,
+        ] {
+            let flat = run_grid(GridShape::new(2, 2), |ctx| {
+                let dev = Device::new(ctx, Backend::Nccl);
+                let mut v: Vec<f64> = (0..12)
+                    .map(|i| ((ctx.world_rank() * 11 + i) as f64).cos())
+                    .collect();
+                dev.allreduce_sum(&ctx.world, &mut v);
+                v
+            });
+            let topo = run_grid(GridShape::new(2, 2), move |ctx| {
+                let dev =
+                    Device::with_collectives(ctx, Backend::Nccl, algo, Topology::juwels_booster());
+                let mut v: Vec<f64> = (0..12)
+                    .map(|i| ((ctx.world_rank() * 11 + i) as f64).cos())
+                    .collect();
+                dev.allreduce_sum(&ctx.world, &mut v);
+                v
+            });
+            for (a, b) in flat.results.iter().zip(&topo.results) {
+                assert_eq!(a, b, "{}: bitwise mismatch vs flat", algo.name());
+            }
+            for l in &topo.ledgers {
+                assert_eq!(
+                    l.collective_count(),
+                    0,
+                    "topo path records hops, not collectives"
+                );
+                let p2p = l
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::P2p { .. }))
+                    .count();
+                assert!(p2p > 0, "{}: no hops emitted", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn topo_path_keeps_std_staging() {
+        let out = run_grid(GridShape::new(1, 2), |ctx| {
+            let dev = Device::with_collectives(
+                ctx,
+                Backend::Std,
+                CollectiveAlgo::Ring,
+                Topology::juwels_booster(),
+            );
+            let mut v = vec![1.0f64; 10];
+            dev.allreduce_sum(&ctx.world, &mut v);
+            v[0]
+        });
+        for (r, l) in out.results.iter().zip(&out.ledgers) {
+            assert_eq!(*r, 2.0);
+            // Staging is a backend property, not an algorithm property:
+            // 80 bytes D2H + 80 bytes H2D exactly as on the flat path.
+            assert_eq!(l.bytes_in(Category::Transfer), 160);
+        }
+    }
+
+    #[test]
+    fn topo_allgather_handles_ragged_blocks() {
+        let out = run_grid(GridShape::new(1, 3), |ctx| {
+            let dev = Device::with_collectives(
+                ctx,
+                Backend::Nccl,
+                CollectiveAlgo::Auto,
+                Topology::juwels_booster(),
+            );
+            let mine = vec![ctx.world_rank() as f64; ctx.world_rank() + 1];
+            dev.allgather(&ctx.world, &mine)
+        });
+        let want = vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0];
+        for r in &out.results {
+            assert_eq!(*r, want);
+        }
     }
 
     #[test]

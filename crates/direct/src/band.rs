@@ -277,7 +277,11 @@ mod tests {
         let a = random_hermitian(n, 1);
         for b in [1usize, 2, 4] {
             let (w, q) = reduce_to_band(&a, b);
-            assert!(bandwidth_of(&w) <= b, "bandwidth {} > {b}", bandwidth_of(&w));
+            assert!(
+                bandwidth_of(&w) <= b,
+                "bandwidth {} > {b}",
+                bandwidth_of(&w)
+            );
             check_similarity(&a, &w, &q, 1e-12);
         }
     }
@@ -298,7 +302,11 @@ mod tests {
         }
         for i in 0..n - 1 {
             assert!((w[(i + 1, i)].re() - e[i]).abs() < 1e-12);
-            assert!(w[(i + 1, i)].im().abs() < 1e-10, "subdiag not real: {}", w[(i + 1, i)]);
+            assert!(
+                w[(i + 1, i)].im().abs() < 1e-10,
+                "subdiag not real: {}",
+                w[(i + 1, i)]
+            );
         }
     }
 

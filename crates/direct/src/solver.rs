@@ -16,7 +16,10 @@ pub struct DirectResult<T: Scalar> {
 /// eigenvector accumulation, sort.
 pub fn eigh_one_stage<T: Scalar>(a: &Matrix<T>) -> DirectResult<T> {
     let (vals, vecs) = chase_linalg::heevd(a).expect("one-stage eigensolve failed");
-    DirectResult { eigenvalues: vals, eigenvectors: vecs }
+    DirectResult {
+        eigenvalues: vals,
+        eigenvectors: vecs,
+    }
 }
 
 /// Two-stage solver (ELPA2 structure): full -> band (Householder, GEMM-rich)
@@ -36,14 +39,21 @@ pub fn eigh_two_stage<T: Scalar>(a: &Matrix<T>, band: usize) -> DirectResult<T> 
     for (jnew, &jold) in idx.iter().enumerate() {
         vecs.col_mut(jnew).copy_from_slice(q.col(jold));
     }
-    DirectResult { eigenvalues: vals, eigenvectors: vecs }
+    DirectResult {
+        eigenvalues: vals,
+        eigenvectors: vecs,
+    }
 }
 
 /// Partial-spectrum convenience: the `nev` lowest pairs from either path
 /// (direct solvers always pay for the full reduction — the structural
 /// disadvantage against ChASE that Fig. 3b quantifies).
 pub fn eigh_partial<T: Scalar>(a: &Matrix<T>, nev: usize, two_stage: bool) -> DirectResult<T> {
-    let full = if two_stage { eigh_two_stage(a, 8) } else { eigh_one_stage(a) };
+    let full = if two_stage {
+        eigh_two_stage(a, 8)
+    } else {
+        eigh_one_stage(a)
+    };
     let nev = nev.min(full.eigenvalues.len());
     DirectResult {
         eigenvalues: full.eigenvalues[..nev].to_vec(),
@@ -63,7 +73,12 @@ mod tests {
         let a = dense_with_spectrum::<C64>(&spec, 21);
         let r1 = eigh_one_stage(&a);
         let r2 = eigh_two_stage(&a, 4);
-        for ((v1, v2), want) in r1.eigenvalues.iter().zip(&r2.eigenvalues).zip(spec.values()) {
+        for ((v1, v2), want) in r1
+            .eigenvalues
+            .iter()
+            .zip(&r2.eigenvalues)
+            .zip(spec.values())
+        {
             assert!((v1 - want).abs() < 1e-9, "one-stage {v1} vs {want}");
             assert!((v2 - want).abs() < 1e-9, "two-stage {v2} vs {want}");
         }

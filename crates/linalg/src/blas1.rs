@@ -77,7 +77,9 @@ pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
 /// Per-column squared norms of a column-major `rows x cols` block.
 pub fn col_norms_sqr<T: Scalar>(data: &[T], rows: usize, cols: usize) -> Vec<T::Real> {
     debug_assert_eq!(data.len(), rows * cols);
-    (0..cols).map(|j| nrm2_sqr(&data[j * rows..(j + 1) * rows])).collect()
+    (0..cols)
+        .map(|j| nrm2_sqr(&data[j * rows..(j + 1) * rows]))
+        .collect()
 }
 
 /// Index of the entry with largest modulus.

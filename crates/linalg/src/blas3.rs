@@ -28,12 +28,8 @@ const PAR_THRESHOLD: usize = 64 * 64 * 64;
 fn packed_op<T: Scalar>(op: Op, a: ColsRef<'_, T>) -> Matrix<T> {
     match op {
         Op::None => a.to_matrix(),
-        Op::Trans => {
-            Matrix::from_fn(a.cols(), a.rows(), |i, j| a.at(j, i))
-        }
-        Op::ConjTrans => {
-            Matrix::from_fn(a.cols(), a.rows(), |i, j| a.at(j, i).conj())
-        }
+        Op::Trans => Matrix::from_fn(a.cols(), a.rows(), |i, j| a.at(j, i)),
+        Op::ConjTrans => Matrix::from_fn(a.cols(), a.rows(), |i, j| a.at(j, i).conj()),
     }
 }
 
@@ -129,7 +125,15 @@ pub fn gemm_new<T: Scalar>(opa: Op, opb: Op, a: &Matrix<T>, b: &Matrix<T>) -> Ma
         _ => b.rows(),
     };
     let mut c = Matrix::zeros(m, n);
-    gemm(opa, opb, T::one(), a.as_ref(), b.as_ref(), T::zero(), c.as_mut());
+    gemm(
+        opa,
+        opb,
+        T::one(),
+        a.as_ref(),
+        b.as_ref(),
+        T::zero(),
+        c.as_mut(),
+    );
     c
 }
 
@@ -247,16 +251,40 @@ mod tests {
         let a0 = Matrix::<f64>::zeros(0, 4);
         let b = Matrix::<f64>::zeros(4, 3);
         let mut c0 = Matrix::<f64>::zeros(0, 3);
-        gemm(Op::None, Op::None, 1.0, a0.as_ref(), b.as_ref(), 0.0, c0.as_mut());
+        gemm(
+            Op::None,
+            Op::None,
+            1.0,
+            a0.as_ref(),
+            b.as_ref(),
+            0.0,
+            c0.as_mut(),
+        );
         let a = Matrix::<f64>::zeros(3, 4);
         let bn = Matrix::<f64>::zeros(4, 0);
         let mut cn = Matrix::<f64>::zeros(3, 0);
-        gemm(Op::None, Op::None, 1.0, a.as_ref(), bn.as_ref(), 0.0, cn.as_mut());
+        gemm(
+            Op::None,
+            Op::None,
+            1.0,
+            a.as_ref(),
+            bn.as_ref(),
+            0.0,
+            cn.as_mut(),
+        );
         // k == 0: C = beta * C only.
         let ak = Matrix::<f64>::zeros(2, 0);
         let bk = Matrix::<f64>::zeros(0, 2);
         let mut ck = Matrix::<f64>::from_fn(2, 2, |i, j| (i + j) as f64);
-        gemm(Op::None, Op::None, 1.0, ak.as_ref(), bk.as_ref(), 2.0, ck.as_mut());
+        gemm(
+            Op::None,
+            Op::None,
+            1.0,
+            ak.as_ref(),
+            bk.as_ref(),
+            2.0,
+            ck.as_mut(),
+        );
         assert_eq!(ck[(1, 1)], 4.0);
     }
 
@@ -290,7 +318,15 @@ mod tests {
         let b = Matrix::<f64>::random(3, 2, &mut rng);
         let mut c = Matrix::<f64>::random(4, 2, &mut rng);
         let c0 = c.clone();
-        gemm(Op::None, Op::None, 2.0, a.as_ref(), b.as_ref(), 3.0, c.as_mut());
+        gemm(
+            Op::None,
+            Op::None,
+            2.0,
+            a.as_ref(),
+            b.as_ref(),
+            3.0,
+            c.as_mut(),
+        );
         let mut expect = naive_gemm(&a, &b);
         for j in 0..2 {
             for i in 0..4 {

@@ -19,7 +19,11 @@ pub struct NoConvergence {
 
 impl std::fmt::Display for NoConvergence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QL iteration failed for eigenvalue {}", self.eigenvalue_index)
+        write!(
+            f,
+            "QL iteration failed for eigenvalue {}",
+            self.eigenvalue_index
+        )
     }
 }
 
@@ -183,7 +187,9 @@ pub fn steqr<T: Scalar>(
             }
             iter += 1;
             if iter > 80 {
-                return Err(NoConvergence { eigenvalue_index: l });
+                return Err(NoConvergence {
+                    eigenvalue_index: l,
+                });
             }
             // Wilkinson-style shift.
             let mut g = (d[l + 1] - d[l]) / (two * e[l]);

@@ -38,12 +38,7 @@ pub struct LanczosRun<R> {
 ///
 /// `matvec(x, y)` must compute `y = A x` for the Hermitian operator `A` of
 /// dimension `n`. Fewer than `m` steps are taken if the Krylov space closes.
-pub fn lanczos_run<T, F, R>(
-    n: usize,
-    m: usize,
-    mut matvec: F,
-    rng: &mut R,
-) -> LanczosRun<T::Real>
+pub fn lanczos_run<T, F, R>(n: usize, m: usize, mut matvec: F, rng: &mut R) -> LanczosRun<T::Real>
 where
     T: Scalar,
     F: FnMut(&[T], &mut [T]),
@@ -108,7 +103,11 @@ where
         .map(|&i| last_beta * z[(k - 1, i)].abs_r())
         .collect();
 
-    LanczosRun { ritz, weights, residual_bounds }
+    LanczosRun {
+        ritz,
+        weights,
+        residual_bounds,
+    }
 }
 
 /// Estimate the three bounds ChASE needs, using `nvec` independent Lanczos
@@ -189,10 +188,16 @@ mod tests {
     #[test]
     fn bounds_contain_spectrum_diag() {
         let n = 200;
-        let spec: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 10.0 - 2.0).collect();
+        let spec: Vec<f64> = (0..n)
+            .map(|i| i as f64 / (n - 1) as f64 * 10.0 - 2.0)
+            .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let b = estimate_bounds::<C64, _, _>(n, 40, 25, 6, diag_operator(spec.clone()), &mut rng);
-        assert!(b.b_sup >= 8.0 - 1e-6, "b_sup {} must bound lambda_max 8", b.b_sup);
+        assert!(
+            b.b_sup >= 8.0 - 1e-6,
+            "b_sup {} must bound lambda_max 8",
+            b.b_sup
+        );
         assert!(b.mu_1 <= -1.5, "mu_1 {} should approach -2", b.mu_1);
         assert!(b.mu_ne > b.mu_1 && b.mu_ne < b.b_sup);
         // the 40th of 200 uniform values on [-2, 8] is near -2 + 10*(40/200) = 0
@@ -208,7 +213,8 @@ mod tests {
         let q = crate::qr::random_orthonormal::<C64, _>(n, n, &mut rng);
         let d = Matrix::<C64>::from_diag(&spec);
         let qd = crate::blas3::gemm_new(crate::blas3::Op::None, crate::blas3::Op::None, &q, &d);
-        let a = crate::blas3::gemm_new(crate::blas3::Op::None, crate::blas3::Op::ConjTrans, &qd, &q);
+        let a =
+            crate::blas3::gemm_new(crate::blas3::Op::None, crate::blas3::Op::ConjTrans, &qd, &q);
         let run = lanczos_run::<C64, _, _>(
             n,
             n,
@@ -233,10 +239,13 @@ mod tests {
     #[test]
     fn upper_bound_is_safe_across_seeds() {
         let n = 150;
-        let spec: Vec<f64> = (0..n).map(|i| -5.0 + 10.0 * (i as f64) / (n as f64 - 1.0)).collect();
+        let spec: Vec<f64> = (0..n)
+            .map(|i| -5.0 + 10.0 * (i as f64) / (n as f64 - 1.0))
+            .collect();
         for seed in 0..8u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let b = estimate_bounds::<C64, _, _>(n, 15, 25, 4, diag_operator(spec.clone()), &mut rng);
+            let b =
+                estimate_bounds::<C64, _, _>(n, 15, 25, 4, diag_operator(spec.clone()), &mut rng);
             assert!(b.b_sup >= 5.0 - 1e-6, "seed {seed}: b_sup {} < 5", b.b_sup);
         }
     }

@@ -21,7 +21,11 @@ pub struct Matrix<T> {
 impl<T: Scalar> Matrix<T> {
     /// `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![T::zero(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
     }
 
     /// Identity-like rectangle: ones on the main diagonal.
@@ -154,7 +158,11 @@ impl<T: Scalar> Matrix<T> {
     /// Copy of a column range as an owned matrix.
     pub fn copy_cols(&self, range: Range<usize>) -> Matrix<T> {
         let v = self.cols_ref(range);
-        Matrix { rows: v.rows, cols: v.cols, data: v.data.to_vec() }
+        Matrix {
+            rows: v.rows,
+            cols: v.cols,
+            data: v.data.to_vec(),
+        }
     }
 
     /// Overwrite columns `dst_start..dst_start + src.cols()` with `src`.
@@ -296,7 +304,11 @@ impl<'a, T: Scalar> ColsRef<'a, T> {
     }
     /// Materialize as an owned matrix.
     pub fn to_matrix(&self) -> Matrix<T> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.to_vec() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.to_vec(),
+        }
     }
 }
 
@@ -338,7 +350,11 @@ impl<'a, T: Scalar> ColsMut<'a, T> {
     }
     /// Reborrow as an immutable view.
     pub fn as_ref(&self) -> ColsRef<'_, T> {
-        ColsRef { rows: self.rows, cols: self.cols, data: self.data }
+        ColsRef {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data,
+        }
     }
     /// Overwrite from a view of identical shape.
     pub fn copy_from(&mut self, src: ColsRef<'_, T>) {

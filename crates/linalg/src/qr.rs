@@ -37,13 +37,7 @@ fn larfg<T: Scalar>(alpha: T, x: &mut [T]) -> (T::Real, T) {
 
 /// Apply `H^H = I - conj(tau) v v^H` to the sub-block of `a` spanning rows
 /// `row0..` and columns `col0..`, with `v` stored as `[1, tail...]`.
-fn apply_reflector_h<T: Scalar>(
-    a: &mut Matrix<T>,
-    row0: usize,
-    col0: usize,
-    tail: &[T],
-    tau: T,
-) {
+fn apply_reflector_h<T: Scalar>(a: &mut Matrix<T>, row0: usize, col0: usize, tail: &[T], tau: T) {
     if tau == T::zero() {
         return;
     }
@@ -111,7 +105,13 @@ impl<T: Scalar> HouseholderQr<T> {
     /// The `n x n` upper-triangular factor `R`.
     pub fn r(&self) -> Matrix<T> {
         let n = self.factors.cols();
-        Matrix::from_fn(n, n, |i, j| if i <= j { self.factors[(i, j)] } else { T::zero() })
+        Matrix::from_fn(n, n, |i, j| {
+            if i <= j {
+                self.factors[(i, j)]
+            } else {
+                T::zero()
+            }
+        })
     }
 
     /// The thin orthonormal factor `Q` (`m x n`), formed by accumulating the

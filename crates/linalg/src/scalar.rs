@@ -264,7 +264,7 @@ macro_rules! impl_complex {
             }
             #[inline]
             fn sqrt(self) -> Self {
-                Complex::sqrt(self)
+                <Complex<$t>>::sqrt(self)
             }
             #[inline]
             fn from_f64(x: f64) -> Self {
@@ -275,10 +275,7 @@ macro_rules! impl_complex {
                 // Variance split so E|x|^2 = 1, matching ChASE's complex
                 // random start vectors.
                 let s = std::f64::consts::FRAC_1_SQRT_2;
-                Complex::new(
-                    (normal_f64(rng) * s) as $t,
-                    (normal_f64(rng) * s) as $t,
-                )
+                Complex::new((normal_f64(rng) * s) as $t, (normal_f64(rng) * s) as $t)
             }
             #[inline]
             fn is_finite(self) -> bool {

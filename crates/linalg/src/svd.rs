@@ -67,8 +67,7 @@ pub fn singular_values<T: Scalar>(x: &Matrix<T>) -> JacobiSvd<T::Real> {
                         mag
                     }
                 };
-                let c = <T::Real as Scalar>::one()
-                    / (t * t + <T::Real as Scalar>::one()).sqrt_r();
+                let c = <T::Real as Scalar>::one() / (t * t + <T::Real as Scalar>::one()).sqrt_r();
                 let s = t * c;
                 let (xp, xq) = w.two_cols_mut(p, q);
                 for (a, b) in xp.iter_mut().zip(xq.iter_mut()) {
@@ -87,7 +86,11 @@ pub fn singular_values<T: Scalar>(x: &Matrix<T>) -> JacobiSvd<T::Real> {
 
     let mut values: Vec<T::Real> = (0..n).map(|j| crate::blas1::nrm2(w.col(j))).collect();
     values.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    JacobiSvd { values, sweeps, converged }
+    JacobiSvd {
+        values,
+        sweeps,
+        converged,
+    }
 }
 
 /// Spectral (2-norm) condition number `sigma_max / sigma_min`.
@@ -95,8 +98,16 @@ pub fn singular_values<T: Scalar>(x: &Matrix<T>) -> JacobiSvd<T::Real> {
 /// Returns `infinity` for numerically rank-deficient inputs.
 pub fn cond2<T: Scalar>(x: &Matrix<T>) -> T::Real {
     let sv = singular_values(x);
-    let smax = sv.values.first().copied().unwrap_or_else(<T::Real as Scalar>::zero);
-    let smin = sv.values.last().copied().unwrap_or_else(<T::Real as Scalar>::zero);
+    let smax = sv
+        .values
+        .first()
+        .copied()
+        .unwrap_or_else(<T::Real as Scalar>::zero);
+    let smin = sv
+        .values
+        .last()
+        .copied()
+        .unwrap_or_else(<T::Real as Scalar>::zero);
     if smin <= <T::Real as Scalar>::zero() {
         T::Real::from_f64_r(f64::INFINITY)
     } else {

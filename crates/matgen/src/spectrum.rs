@@ -116,7 +116,10 @@ impl Spectrum {
 }
 
 fn to_real_vec<T: Scalar>(spec: &Spectrum) -> Vec<T::Real> {
-    spec.values().iter().map(|&v| T::Real::from_f64_r(v)).collect()
+    spec.values()
+        .iter()
+        .map(|&v| T::Real::from_f64_r(v))
+        .collect()
 }
 
 /// Dense Hermitian matrix with exactly the prescribed spectrum, built by
@@ -255,7 +258,7 @@ mod tests {
     }
 
     #[test]
-    fn bse_like_is_positive(){
+    fn bse_like_is_positive() {
         let s = Spectrum::bse_like(64);
         assert!(s.min() > 0.0);
         assert_eq!(s.len(), 64);

@@ -52,7 +52,9 @@ impl Problem {
         let seed = self
             .name
             .bytes()
-            .fold(0xC4A5Eu64 ^ self.n as u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+            .fold(0xC4A5Eu64 ^ self.n as u64, |acc, b| {
+                acc.wrapping_mul(31).wrapping_add(b as u64)
+            });
         dense_with_spectrum::<T>(&self.spectrum(), seed)
     }
 
@@ -100,7 +102,15 @@ pub fn scaled_suite(scale: usize) -> Vec<Problem> {
                 snev = sn / 5;
                 snex = sn / 10;
             }
-            Problem { name, paper_n: n, n: sn, nev: snev, nex: snex, kind, source }
+            Problem {
+                name,
+                paper_n: n,
+                n: sn,
+                nev: snev,
+                nex: snex,
+                kind,
+                source,
+            }
         })
         .collect()
 }

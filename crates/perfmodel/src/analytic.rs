@@ -84,29 +84,53 @@ fn bcast(l: &mut Ledger, r: Region, spec: &IterationSpec, bytes: u64, members: u
     l.record_in(r, EventKind::Bcast { bytes, members });
 }
 
-fn allgather(
-    l: &mut Ledger,
-    r: Region,
-    spec: &IterationSpec,
-    per_rank_bytes: u64,
-    members: u64,
-) {
+fn allgather(l: &mut Ledger, r: Region, spec: &IterationSpec, per_rank_bytes: u64, members: u64) {
     if spec.staged() {
-        l.record_in(r, EventKind::D2H { bytes: per_rank_bytes });
-        l.record_in(r, EventKind::H2D { bytes: per_rank_bytes * members });
+        l.record_in(
+            r,
+            EventKind::D2H {
+                bytes: per_rank_bytes,
+            },
+        );
+        l.record_in(
+            r,
+            EventKind::H2D {
+                bytes: per_rank_bytes * members,
+            },
+        );
     }
-    l.record_in(r, EventKind::AllGather { bytes_per_rank: per_rank_bytes, members });
+    l.record_in(
+        r,
+        EventKind::AllGather {
+            bytes_per_rank: per_rank_bytes,
+            members,
+        },
+    );
 }
 
 /// `B = H^H C` (C-layout to B-layout; allreduce over the column comm).
 fn hemm_c_to_b(l: &mut Ledger, r: Region, spec: &IterationSpec, cols: u64) {
-    l.record_in(r, EventKind::Gemm { m: spec.n_c(), n: cols, k: spec.n_r() });
+    l.record_in(
+        r,
+        EventKind::Gemm {
+            m: spec.n_c(),
+            n: cols,
+            k: spec.n_r(),
+        },
+    );
     allreduce(l, r, spec, spec.n_c() * cols * spec.sb(), spec.p);
 }
 
 /// `C = H B` (B-layout to C-layout; allreduce over the row comm).
 fn hemm_b_to_c(l: &mut Ledger, r: Region, spec: &IterationSpec, cols: u64) {
-    l.record_in(r, EventKind::Gemm { m: spec.n_r(), n: cols, k: spec.n_c() });
+    l.record_in(
+        r,
+        EventKind::Gemm {
+            m: spec.n_r(),
+            n: cols,
+            k: spec.n_c(),
+        },
+    );
     allreduce(l, r, spec, spec.n_r() * cols * spec.sb(), spec.q);
 }
 
@@ -132,22 +156,65 @@ pub fn iteration_events(spec: &IterationSpec) -> Ledger {
         Layout::New => {
             // --- QR: CholeskyQR2 on the full ne columns ---
             for _ in 0..2 {
-                l.record_in(Region::Qr, EventKind::Herk { m: spec.n_r(), n: ne });
+                l.record_in(
+                    Region::Qr,
+                    EventKind::Herk {
+                        m: spec.n_r(),
+                        n: ne,
+                    },
+                );
                 allreduce(&mut l, Region::Qr, spec, ne * ne * sb, spec.p);
                 l.record_in(Region::Qr, EventKind::Potrf { n: ne });
-                l.record_in(Region::Qr, EventKind::Trsm { m: spec.n_r(), n: ne });
+                l.record_in(
+                    Region::Qr,
+                    EventKind::Trsm {
+                        m: spec.n_r(),
+                        n: ne,
+                    },
+                );
             }
             // --- Rayleigh-Ritz ---
-            bcast(&mut l, Region::RayleighRitz, spec, spec.n_c() * ne * sb, spec.p);
+            bcast(
+                &mut l,
+                Region::RayleighRitz,
+                spec,
+                spec.n_c() * ne * sb,
+                spec.p,
+            );
             hemm_c_to_b(&mut l, Region::RayleighRitz, spec, act);
-            l.record_in(Region::RayleighRitz, EventKind::Gemm { m: act, n: act, k: spec.n_c() });
+            l.record_in(
+                Region::RayleighRitz,
+                EventKind::Gemm {
+                    m: act,
+                    n: act,
+                    k: spec.n_c(),
+                },
+            );
             allreduce(&mut l, Region::RayleighRitz, spec, act * act * sb, spec.q);
             l.record_in(Region::RayleighRitz, EventKind::Heevd { n: act });
-            l.record_in(Region::RayleighRitz, EventKind::Gemm { m: spec.n_r(), n: act, k: act });
-            bcast(&mut l, Region::RayleighRitz, spec, spec.n_c() * ne * sb, spec.p);
+            l.record_in(
+                Region::RayleighRitz,
+                EventKind::Gemm {
+                    m: spec.n_r(),
+                    n: act,
+                    k: act,
+                },
+            );
+            bcast(
+                &mut l,
+                Region::RayleighRitz,
+                spec,
+                spec.n_c() * ne * sb,
+                spec.p,
+            );
             // --- Residuals ---
             hemm_c_to_b(&mut l, Region::Residuals, spec, act);
-            l.record_in(Region::Residuals, EventKind::Blas1 { n: spec.n_c() * act * 2 });
+            l.record_in(
+                Region::Residuals,
+                EventKind::Blas1 {
+                    n: spec.n_c() * act * 2,
+                },
+            );
             allreduce(&mut l, Region::Residuals, spec, act * spec.srb(), spec.q);
         }
         Layout::Lms => {
@@ -156,14 +223,45 @@ pub fn iteration_events(spec: &IterationSpec) -> Ledger {
             l.record_in(Region::Qr, EventKind::HhQr { m: spec.n, n: ne });
             // --- Rayleigh-Ritz: gather + redundant quotient/back-transform ---
             hemm_c_to_b(&mut l, Region::RayleighRitz, spec, act);
-            allgather(&mut l, Region::RayleighRitz, spec, spec.n_c() * ne * sb, spec.q);
-            l.record_in(Region::RayleighRitz, EventKind::Gemm { m: act, n: act, k: spec.n });
+            allgather(
+                &mut l,
+                Region::RayleighRitz,
+                spec,
+                spec.n_c() * ne * sb,
+                spec.q,
+            );
+            l.record_in(
+                Region::RayleighRitz,
+                EventKind::Gemm {
+                    m: act,
+                    n: act,
+                    k: spec.n,
+                },
+            );
             l.record_in(Region::RayleighRitz, EventKind::Heevd { n: act });
-            l.record_in(Region::RayleighRitz, EventKind::Gemm { m: spec.n, n: act, k: act });
+            l.record_in(
+                Region::RayleighRitz,
+                EventKind::Gemm {
+                    m: spec.n,
+                    n: act,
+                    k: act,
+                },
+            );
             // --- Residuals: gather + redundant norms ---
             hemm_c_to_b(&mut l, Region::Residuals, spec, act);
-            allgather(&mut l, Region::Residuals, spec, spec.n_c() * ne * sb, spec.q);
-            l.record_in(Region::Residuals, EventKind::Blas1 { n: spec.n * act * 2 });
+            allgather(
+                &mut l,
+                Region::Residuals,
+                spec,
+                spec.n_c() * ne * sb,
+                spec.q,
+            );
+            l.record_in(
+                Region::Residuals,
+                EventKind::Blas1 {
+                    n: spec.n * act * 2,
+                },
+            );
         }
     }
     l
@@ -174,7 +272,11 @@ pub fn iteration_events(spec: &IterationSpec) -> Ledger {
 pub fn solve_events(base: &IterationSpec, schedule: &[(u64, u64)]) -> Ledger {
     let mut total = Ledger::new();
     for &(active, deg) in schedule {
-        let spec = IterationSpec { active, deg, ..*base };
+        let spec = IterationSpec {
+            active,
+            deg,
+            ..*base
+        };
         total.absorb(&iteration_events(&spec));
     }
     total
@@ -238,6 +340,9 @@ mod tests {
         let base = spec(Layout::New, CommFlavor::NcclDeviceDirect);
         let single = iteration_events(&base);
         let triple = solve_events(&base, &[(120, 20), (120, 20), (120, 20)]);
-        assert_eq!(triple.flops_in(Region::Filter), 3 * single.flops_in(Region::Filter));
+        assert_eq!(
+            triple.flops_in(Region::Filter),
+            3 * single.flops_in(Region::Filter)
+        );
     }
 }

@@ -10,10 +10,9 @@
 //! (Section 4.5.2) and documented in EXPERIMENTS.md.
 
 use crate::machine::{Machine, ScalarKind};
-use serde::{Deserialize, Serialize};
 
 /// Which ELPA algorithm to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ElpaKind {
     /// One-stage: direct full->tridiagonal Householder reduction.
     Elpa1,
@@ -22,7 +21,7 @@ pub enum ElpaKind {
 }
 
 /// Modeled breakdown of one ELPA solve.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ElpaTime {
     pub reduction: f64,
     pub bulge_chasing: f64,
@@ -85,13 +84,18 @@ pub fn elpa_time(machine: &Machine, kind: ElpaKind, n: u64, nev: u64, gpus: u64)
     let tridiagonal_solve = (nf * nf + nf * nevf) * fm / DC_RATE / p.sqrt().max(1.0);
 
     // Back-transform of nev vectors: 2 n^2 nev flops each, GEMM-rich.
-    let back_transform =
-        back_transforms * 2.0 * nf * nf * nevf * fm / (p * machine.gemm_rate);
+    let back_transform = back_transforms * 2.0 * nf * nf * nevf * fm / (p * machine.gemm_rate);
 
     // Panel-synchronization latency floor: n panels, log2(P) hops each.
     let sync_floor = nf * PANEL_SYNC * (p.log2().max(1.0));
 
-    ElpaTime { reduction, bulge_chasing, tridiagonal_solve, back_transform, sync_floor }
+    ElpaTime {
+        reduction,
+        bulge_chasing,
+        tridiagonal_solve,
+        back_transform,
+        sync_floor,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +136,10 @@ mod tests {
         // Direct solvers barely benefit from asking for fewer pairs.
         let t_small = elpa_time(&m(), ElpaKind::Elpa2, 50_000, 100, 64).total();
         let t_large = elpa_time(&m(), ElpaKind::Elpa2, 50_000, 5_000, 64).total();
-        assert!(t_large < 3.0 * t_small, "direct cost dominated by reduction");
+        assert!(
+            t_large < 3.0 * t_small,
+            "direct cost dominated by reduction"
+        );
     }
 
     #[test]

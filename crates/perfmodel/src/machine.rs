@@ -8,11 +8,11 @@
 //! documented as such in EXPERIMENTS.md.
 
 use chase_comm::{Category, Event, EventKind};
-use serde::{Deserialize, Serialize};
+use chase_topo::Topology;
 
 /// Which of the four ChASE scalar types is being priced (flop multiplier
 /// relative to the ledger's generic `2 m n k` counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalarKind {
     F32,
     F64,
@@ -41,7 +41,7 @@ impl ScalarKind {
 }
 
 /// How collectives move data (the STD-vs-NCCL axis of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommFlavor {
     /// Host-staged MPI: tree collectives on host buffers; the D2H/H2D
     /// events in the ledger carry the staging cost.
@@ -51,7 +51,7 @@ pub enum CommFlavor {
 }
 
 /// Calibrated machine model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     /// Effective large-GEMM rate per GPU, real flops/s.
     pub gemm_rate: f64,
@@ -84,6 +84,9 @@ pub struct Machine {
     pub nccl_bw: f64,
     /// NCCL per-step latency.
     pub nccl_latency: f64,
+    /// Hierarchical link topology used to price the per-hop `P2p` events
+    /// emitted by the `chase-topo` collective schedules.
+    pub topo: Topology,
 }
 
 impl Machine {
@@ -104,6 +107,7 @@ impl Machine {
             mpi_latency: 4.0e-6,
             nccl_bw: 2.2e10,
             nccl_latency: 2.0e-5,
+            topo: Topology::juwels_booster(),
         }
     }
 
@@ -113,17 +117,11 @@ impl Machine {
         let flops = kind.flops() as f64 * scalar.flop_mult();
         let t = match kind {
             EventKind::Gemm { .. } => flops / (self.gemm_rate * gpus),
-            EventKind::Herk { .. } | EventKind::Trsm { .. } => {
-                flops / (self.level3_rate * gpus)
-            }
+            EventKind::Herk { .. } | EventKind::Trsm { .. } => flops / (self.level3_rate * gpus),
             EventKind::Potrf { .. } => flops / self.potrf_rate,
             EventKind::Heevd { .. } => flops / self.heevd_rate,
-            EventKind::HhQr { n, .. } => {
-                flops / self.hhqr_rate + *n as f64 * self.hhqr_panel_sync
-            }
-            EventKind::Blas1 { n } => {
-                (*n as f64 * scalar.bytes() as f64 * 2.0) / self.hbm_bw
-            }
+            EventKind::HhQr { n, .. } => flops / self.hhqr_rate + *n as f64 * self.hhqr_panel_sync,
+            EventKind::Blas1 { n } => (*n as f64 * scalar.bytes() as f64 * 2.0) / self.hbm_bw,
             _ => return 0.0,
         };
         t + self.launch_overhead
@@ -146,10 +144,19 @@ impl Machine {
     /// produces the characteristic dips of Fig. 3a at 4/16/64/256 nodes.
     /// NCCL collectives use a ring schedule.
     pub fn comm_time(&self, kind: &EventKind, flavor: CommFlavor) -> f64 {
+        // Per-hop events carry their own link class; the topology prices
+        // them directly with the alpha-beta parameters of the chosen path.
+        if let EventKind::P2p { bytes, link } = kind {
+            let direct = matches!(flavor, CommFlavor::NcclDeviceDirect);
+            return self.topo.hop_time(*bytes, *link, direct);
+        }
         let (bytes, members) = match kind {
             EventKind::AllReduce { bytes, members } => (*bytes as f64, *members),
             EventKind::Bcast { bytes, members } => (*bytes as f64, *members),
-            EventKind::AllGather { bytes_per_rank, members } => {
+            EventKind::AllGather {
+                bytes_per_rank,
+                members,
+            } => {
                 // Modeled as the per-task broadcasts of the legacy layout:
                 // linear in the member count (Section 2.3).
                 let k = *members as f64;
@@ -202,13 +209,7 @@ impl Machine {
     }
 
     /// Total time for one event.
-    pub fn event_time(
-        &self,
-        ev: &Event,
-        scalar: ScalarKind,
-        flavor: CommFlavor,
-        gpus: f64,
-    ) -> f64 {
+    pub fn event_time(&self, ev: &Event, scalar: ScalarKind, flavor: CommFlavor, gpus: f64) -> f64 {
         match ev.kind.category() {
             Category::Compute => self.compute_time(&ev.kind, scalar, gpus),
             Category::Transfer => self.transfer_time(&ev.kind),
@@ -235,11 +236,35 @@ mod tests {
 
     #[test]
     fn gemm_time_scales_with_flops() {
-        let small = m().compute_time(&EventKind::Gemm { m: 100, n: 100, k: 100 }, ScalarKind::C64, 1.0);
-        let big = m().compute_time(&EventKind::Gemm { m: 1000, n: 1000, k: 1000 }, ScalarKind::C64, 1.0);
+        let small = m().compute_time(
+            &EventKind::Gemm {
+                m: 100,
+                n: 100,
+                k: 100,
+            },
+            ScalarKind::C64,
+            1.0,
+        );
+        let big = m().compute_time(
+            &EventKind::Gemm {
+                m: 1000,
+                n: 1000,
+                k: 1000,
+            },
+            ScalarKind::C64,
+            1.0,
+        );
         assert!(big > 100.0 * small * 0.5, "cubic growth expected");
         // 4 GPUs: ~4x faster on big GEMMs
-        let big4 = m().compute_time(&EventKind::Gemm { m: 1000, n: 1000, k: 1000 }, ScalarKind::C64, 4.0);
+        let big4 = m().compute_time(
+            &EventKind::Gemm {
+                m: 1000,
+                n: 1000,
+                k: 1000,
+            },
+            ScalarKind::C64,
+            4.0,
+        );
         assert!(big4 < big / 3.0);
     }
 
@@ -252,15 +277,36 @@ mod tests {
         let chol = mm.compute_time(&EventKind::Herk { m: rows, n: cols }, ScalarKind::C64, 1.0)
             + mm.compute_time(&EventKind::Potrf { n: cols }, ScalarKind::C64, 1.0)
             + mm.compute_time(&EventKind::Trsm { m: rows, n: cols }, ScalarKind::C64, 1.0);
-        assert!(hh > 10.0 * chol, "HHQR {hh:.3} vs CholeskyQR path {chol:.3}");
+        assert!(
+            hh > 10.0 * chol,
+            "HHQR {hh:.3} vs CholeskyQR path {chol:.3}"
+        );
     }
 
     #[test]
     fn mpi_power_of_two_dip() {
         let mm = m();
-        let t16 = mm.comm_time(&EventKind::AllReduce { bytes: 1 << 20, members: 16 }, CommFlavor::MpiHostStaged);
-        let t17 = mm.comm_time(&EventKind::AllReduce { bytes: 1 << 20, members: 17 }, CommFlavor::MpiHostStaged);
-        let t15 = mm.comm_time(&EventKind::AllReduce { bytes: 1 << 20, members: 15 }, CommFlavor::MpiHostStaged);
+        let t16 = mm.comm_time(
+            &EventKind::AllReduce {
+                bytes: 1 << 20,
+                members: 16,
+            },
+            CommFlavor::MpiHostStaged,
+        );
+        let t17 = mm.comm_time(
+            &EventKind::AllReduce {
+                bytes: 1 << 20,
+                members: 17,
+            },
+            CommFlavor::MpiHostStaged,
+        );
+        let t15 = mm.comm_time(
+            &EventKind::AllReduce {
+                bytes: 1 << 20,
+                members: 15,
+            },
+            CommFlavor::MpiHostStaged,
+        );
         assert!(t16 < t17, "power of two must be faster");
         assert!(t16 < t15, "15 ranks needs as many tree steps plus padding");
     }
@@ -268,7 +314,10 @@ mod tests {
     #[test]
     fn nccl_beats_mpi_on_large_payloads() {
         let mm = m();
-        let ev = EventKind::AllReduce { bytes: 64 << 20, members: 30 };
+        let ev = EventKind::AllReduce {
+            bytes: 64 << 20,
+            members: 30,
+        };
         let nccl = mm.comm_time(&ev, CommFlavor::NcclDeviceDirect);
         let mpi = mm.comm_time(&ev, CommFlavor::MpiHostStaged);
         assert!(nccl < mpi, "nccl {nccl} vs mpi {mpi}");
@@ -277,15 +326,59 @@ mod tests {
     #[test]
     fn solo_collectives_are_free() {
         let mm = m();
-        assert_eq!(mm.comm_time(&EventKind::AllReduce { bytes: 100, members: 1 }, CommFlavor::NcclDeviceDirect), 0.0);
+        assert_eq!(
+            mm.comm_time(
+                &EventKind::AllReduce {
+                    bytes: 100,
+                    members: 1
+                },
+                CommFlavor::NcclDeviceDirect
+            ),
+            0.0
+        );
     }
 
     #[test]
     fn event_time_dispatch() {
         let mm = m();
-        let ev = Event { kind: EventKind::D2H { bytes: 1 << 20 }, region: Region::Qr };
+        let ev = Event {
+            kind: EventKind::D2H { bytes: 1 << 20 },
+            region: Region::Qr,
+        };
         let t = mm.event_time(&ev, ScalarKind::C64, CommFlavor::MpiHostStaged, 1.0);
         assert!(t > 0.0);
         assert!((t - (mm.pcie_latency + (1u64 << 20) as f64 / mm.pcie_bw)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2p_hops_priced_by_link_and_path() {
+        use chase_comm::LinkClass;
+        let mm = m();
+        for link in [LinkClass::NvLink, LinkClass::Ib] {
+            let ev = EventKind::P2p {
+                bytes: 1 << 20,
+                link,
+            };
+            let nccl = mm.comm_time(&ev, CommFlavor::NcclDeviceDirect);
+            let mpi = mm.comm_time(&ev, CommFlavor::MpiHostStaged);
+            assert!(nccl > 0.0);
+            assert!(nccl < mpi, "device-direct hop must be cheaper on {link:?}");
+            assert!((nccl - mm.topo.hop_time(1 << 20, link, true)).abs() < 1e-15);
+        }
+        let nv = mm.comm_time(
+            &EventKind::P2p {
+                bytes: 1 << 20,
+                link: LinkClass::NvLink,
+            },
+            CommFlavor::NcclDeviceDirect,
+        );
+        let ib = mm.comm_time(
+            &EventKind::P2p {
+                bytes: 1 << 20,
+                link: LinkClass::Ib,
+            },
+            CommFlavor::NcclDeviceDirect,
+        );
+        assert!(nv < ib, "NVLink hop must beat InfiniBand hop");
     }
 }

@@ -3,11 +3,11 @@
 
 use crate::machine::{CommFlavor, Machine, ScalarKind};
 use chase_comm::{Category, Ledger, Region};
-use serde::{Deserialize, Serialize};
+
 use std::collections::HashMap;
 
 /// Modeled seconds for one kernel region, split by category.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RegionCost {
     pub compute: f64,
     pub comm: f64,
@@ -39,17 +39,29 @@ pub struct PriceCtx {
 impl PriceCtx {
     /// ChASE(NCCL): 1 GPU per rank, device-direct collectives.
     pub fn nccl() -> Self {
-        Self { scalar: ScalarKind::C64, flavor: CommFlavor::NcclDeviceDirect, gpus_per_rank: 1.0 }
+        Self {
+            scalar: ScalarKind::C64,
+            flavor: CommFlavor::NcclDeviceDirect,
+            gpus_per_rank: 1.0,
+        }
     }
 
     /// ChASE(STD): 1 GPU per rank, host-staged MPI collectives.
     pub fn std() -> Self {
-        Self { scalar: ScalarKind::C64, flavor: CommFlavor::MpiHostStaged, gpus_per_rank: 1.0 }
+        Self {
+            scalar: ScalarKind::C64,
+            flavor: CommFlavor::MpiHostStaged,
+            gpus_per_rank: 1.0,
+        }
     }
 
     /// ChASE(LMS): 1 rank per node driving 4 GPUs, host-staged MPI.
     pub fn lms() -> Self {
-        Self { scalar: ScalarKind::C64, flavor: CommFlavor::MpiHostStaged, gpus_per_rank: 4.0 }
+        Self {
+            scalar: ScalarKind::C64,
+            flavor: CommFlavor::MpiHostStaged,
+            gpus_per_rank: 4.0,
+        }
     }
 }
 
@@ -96,8 +108,21 @@ mod tests {
     #[test]
     fn price_simple_ledger() {
         let mut l = Ledger::new();
-        l.record_in(Region::Filter, EventKind::Gemm { m: 100, n: 10, k: 100 });
-        l.record_in(Region::Filter, EventKind::AllReduce { bytes: 16_000, members: 4 });
+        l.record_in(
+            Region::Filter,
+            EventKind::Gemm {
+                m: 100,
+                n: 10,
+                k: 100,
+            },
+        );
+        l.record_in(
+            Region::Filter,
+            EventKind::AllReduce {
+                bytes: 16_000,
+                members: 4,
+            },
+        );
         l.record_in(Region::Qr, EventKind::D2H { bytes: 1 << 20 });
         let m = Machine::juwels_booster();
         let costs = price_ledger(&l, &m, PriceCtx::std());
@@ -113,7 +138,13 @@ mod tests {
         // Same ledger with staging events priced: the flavor changes only
         // the collective cost; the transfer events are in the ledger itself.
         let mut l = Ledger::new();
-        l.record_in(Region::Filter, EventKind::AllReduce { bytes: 8 << 20, members: 16 });
+        l.record_in(
+            Region::Filter,
+            EventKind::AllReduce {
+                bytes: 8 << 20,
+                members: 16,
+            },
+        );
         let m = Machine::juwels_booster();
         let std = price_ledger(&l, &m, PriceCtx::std());
         let nccl = price_ledger(&l, &m, PriceCtx::nccl());
@@ -123,7 +154,14 @@ mod tests {
     #[test]
     fn lms_gets_four_gpus_on_gemm() {
         let mut l = Ledger::new();
-        l.record_in(Region::Filter, EventKind::Gemm { m: 2000, n: 2000, k: 2000 });
+        l.record_in(
+            Region::Filter,
+            EventKind::Gemm {
+                m: 2000,
+                n: 2000,
+                k: 2000,
+            },
+        );
         let m = Machine::juwels_booster();
         let lms = price_ledger(&l, &m, PriceCtx::lms());
         let std = price_ledger(&l, &m, PriceCtx::std());

@@ -1,0 +1,345 @@
+//! Analytic alpha-beta cost functions for the collective algorithms.
+//!
+//! These price the *schedule* of each algorithm — number of steps, bytes per
+//! step, link class per step, chunk pipelining — using the topology's
+//! per-link latency/bandwidth parameters. The tuner minimizes over them; the
+//! ledger later prices the hops the executed schedule actually emitted, so
+//! the two views agree on which links carry which bytes.
+//!
+//! Lockstep steps are charged at the *worst* link among the pairs active in
+//! that step (a synchronous round is as slow as its slowest hop). Chunked
+//! pipelines follow the classic `(steps + chunks - 1) * t_chunk` fill-drain
+//! form.
+
+use crate::exec::Algo;
+use crate::topology::{LinkParams, Topology};
+
+/// Which collective is being priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollOp {
+    AllReduce,
+    Bcast,
+    AllGather,
+}
+
+impl CollOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::AllReduce => "allreduce",
+            CollOp::Bcast => "bcast",
+            CollOp::AllGather => "allgather",
+        }
+    }
+}
+
+fn hop(topo: &Topology, labels: &[usize], direct: bool, a: usize, b: usize) -> LinkParams {
+    topo.hop_params(topo.link_between(labels[a], labels[b]), direct)
+}
+
+/// Worst link over the ring's consecutive edges (including wraparound).
+fn ring_params(topo: &Topology, labels: &[usize], direct: bool) -> LinkParams {
+    let k = labels.len();
+    (0..k)
+        .map(|i| hop(topo, labels, direct, i, (i + 1) % k))
+        .reduce(LinkParams::worst)
+        .expect("non-empty communicator")
+}
+
+/// Worst link over the member pairs at index distance `m` (the pairs active
+/// in a binomial level or doubling round of mask `m`).
+fn level_params(topo: &Topology, labels: &[usize], direct: bool, m: usize) -> LinkParams {
+    let k = labels.len();
+    (0..k.saturating_sub(m))
+        .map(|i| hop(topo, labels, direct, i, i + m))
+        .reduce(LinkParams::worst)
+        .unwrap_or_else(|| ring_params(topo, labels, direct))
+}
+
+/// Number of chunks and per-chunk bytes for a `bytes`-sized transfer.
+fn chunking(bytes: u64, chunk_bytes: u64) -> (u64, u64) {
+    if bytes == 0 {
+        return (0, 0);
+    }
+    let c = bytes.div_ceil(chunk_bytes.max(1));
+    (c, bytes.div_ceil(c))
+}
+
+/// Largest power of two `<= k` (the recursive-doubling core size).
+pub(crate) fn pow2_core(k: usize) -> usize {
+    if k.is_power_of_two() {
+        k
+    } else {
+        k.next_power_of_two() / 2
+    }
+}
+
+/// Cost of one chunk-pipelined binomial phase (reduce *or* bcast direction):
+/// the first chunk pays every level in sequence, the remaining chunks drain
+/// behind the slowest level.
+fn binomial_phase(topo: &Topology, labels: &[usize], direct: bool, bytes: u64, chunk: u64) -> f64 {
+    let k = labels.len();
+    let (c, cb) = chunking(bytes, chunk);
+    if c == 0 {
+        return 0.0;
+    }
+    let mut fill = 0.0f64;
+    let mut slowest = 0.0f64;
+    let mut m = 1;
+    while m < k {
+        let t = level_params(topo, labels, direct, m).time(cb);
+        fill += t;
+        slowest = slowest.max(t);
+        m <<= 1;
+    }
+    fill + (c - 1) as f64 * slowest
+}
+
+/// Predicted time of `algo` executing `op` on a communicator whose members
+/// carry world-rank `labels`, moving `bytes` payload bytes (for allgather:
+/// the total concatenated size), pipelined at `chunk_bytes` granularity.
+pub fn collective_cost(
+    topo: &Topology,
+    labels: &[usize],
+    device_direct: bool,
+    op: CollOp,
+    algo: Algo,
+    bytes: u64,
+    chunk_bytes: u64,
+) -> f64 {
+    let k = labels.len();
+    if k <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    let ring = |b: u64, steps: f64| {
+        let (c, cb) = chunking(b, chunk_bytes);
+        (steps + (c - 1) as f64) * ring_params(topo, labels, device_direct).time(cb)
+    };
+    let seg = bytes.div_ceil(k as u64);
+    match (op, algo) {
+        // Ring allreduce: 2(k-1) lockstep segment steps, chunk-pipelined.
+        (CollOp::AllReduce, Algo::Ring) => ring(seg, 2.0 * (kf - 1.0)),
+        // Tree allreduce: binomial reduce + binomial bcast, both full-size.
+        (CollOp::AllReduce, Algo::Tree) => {
+            2.0 * binomial_phase(topo, labels, device_direct, bytes, chunk_bytes)
+        }
+        // Recursive doubling: log2 full-size exchange rounds, each blocked
+        // on the previous (no chunk pipelining across rounds), plus the
+        // pre/post rounds for the non-power-of-two remainder.
+        (CollOp::AllReduce, Algo::Doubling) => {
+            let p2 = pow2_core(k);
+            let mut t = 0.0;
+            let mut m = 1;
+            while m < p2 {
+                t += level_params(topo, labels, device_direct, m).time(bytes);
+                m <<= 1;
+            }
+            if k > p2 {
+                t += 2.0 * level_params(topo, labels, device_direct, p2).time(bytes);
+            }
+            t
+        }
+        // Chain bcast: k-1 store-and-forward hops, chunk-pipelined.
+        (CollOp::Bcast, Algo::Ring) => ring(bytes, kf - 1.0),
+        (CollOp::Bcast, Algo::Tree) => {
+            binomial_phase(topo, labels, device_direct, bytes, chunk_bytes)
+        }
+        // Scatter + ring allgather (van de Geijn): halving scatter rounds,
+        // then k-1 segment steps around the ring.
+        (CollOp::Bcast, Algo::Doubling) => {
+            let mut t = 0.0;
+            let mut span = k;
+            let mut b = bytes;
+            while span > 1 {
+                let dist = span / 2;
+                b /= 2;
+                t += level_params(topo, labels, device_direct, dist).time(b.max(seg));
+                span -= dist;
+            }
+            t + ring(seg, kf - 1.0)
+        }
+        // Ring allgather: k-1 lockstep block steps.
+        (CollOp::AllGather, Algo::Ring) => ring(seg, kf - 1.0),
+        // Binomial gather of growing blocks + binomial bcast of the total.
+        (CollOp::AllGather, Algo::Tree) => {
+            let mut t = 0.0;
+            let mut m = 1;
+            while m < k {
+                let carried = (seg * m as u64).min(bytes);
+                t += level_params(topo, labels, device_direct, m).time(carried);
+                m <<= 1;
+            }
+            t + binomial_phase(topo, labels, device_direct, bytes, chunk_bytes)
+        }
+        // Doubling allgather: exchanged volume doubles each round.
+        (CollOp::AllGather, Algo::Doubling) => {
+            let p2 = pow2_core(k);
+            let mut t = 0.0;
+            let mut m = 1;
+            while m < p2 {
+                let carried = (seg * m as u64).min(bytes);
+                t += level_params(topo, labels, device_direct, m).time(carried);
+                m <<= 1;
+            }
+            if k > p2 {
+                t += level_params(topo, labels, device_direct, p2).time(seg);
+                t += level_params(topo, labels, device_direct, p2).time(bytes);
+            }
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(k: usize) -> Vec<usize> {
+        (0..k).collect()
+    }
+
+    #[test]
+    fn small_messages_favor_low_latency_trees() {
+        let topo = Topology::juwels_booster();
+        let l = labels(64);
+        let ring = collective_cost(
+            &topo,
+            &l,
+            true,
+            CollOp::AllReduce,
+            Algo::Ring,
+            1 << 10,
+            1 << 20,
+        );
+        let tree = collective_cost(
+            &topo,
+            &l,
+            true,
+            CollOp::AllReduce,
+            Algo::Tree,
+            1 << 10,
+            1 << 20,
+        );
+        assert!(
+            tree < ring,
+            "1 KiB over 64 ranks: tree ({tree:.2e}) must beat ring ({ring:.2e})"
+        );
+    }
+
+    #[test]
+    fn large_messages_favor_bandwidth_optimal_ring() {
+        let topo = Topology::juwels_booster();
+        let l = labels(64);
+        let ring = collective_cost(
+            &topo,
+            &l,
+            true,
+            CollOp::AllReduce,
+            Algo::Ring,
+            256 << 20,
+            1 << 20,
+        );
+        let tree = collective_cost(
+            &topo,
+            &l,
+            true,
+            CollOp::AllReduce,
+            Algo::Tree,
+            256 << 20,
+            1 << 20,
+        );
+        assert!(
+            ring < tree,
+            "256 MiB over 64 ranks: ring ({ring:.2e}) must beat tree ({tree:.2e})"
+        );
+    }
+
+    #[test]
+    fn device_direct_is_cheaper_everywhere() {
+        let topo = Topology::juwels_booster();
+        let l = labels(16);
+        for op in [CollOp::AllReduce, CollOp::Bcast, CollOp::AllGather] {
+            for algo in Algo::ALL {
+                let mut bytes = 1u64 << 10;
+                while bytes <= 1 << 26 {
+                    let nccl = collective_cost(&topo, &l, true, op, algo, bytes, 1 << 20);
+                    let std = collective_cost(&topo, &l, false, op, algo, bytes, 1 << 20);
+                    assert!(
+                        nccl < std,
+                        "{}/{} at {bytes} B: device-direct {nccl:.3e} !< host-staged {std:.3e}",
+                        op.name(),
+                        algo.name()
+                    );
+                    bytes <<= 4;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_node_is_cheaper_than_spanning() {
+        let topo = Topology::juwels_booster();
+        let intra: Vec<usize> = (0..4).collect();
+        let inter: Vec<usize> = (0..4).map(|i| i * 4).collect();
+        for algo in Algo::ALL {
+            let a = collective_cost(
+                &topo,
+                &intra,
+                true,
+                CollOp::AllReduce,
+                algo,
+                1 << 20,
+                1 << 18,
+            );
+            let b = collective_cost(
+                &topo,
+                &inter,
+                true,
+                CollOp::AllReduce,
+                algo,
+                1 << 20,
+                1 << 18,
+            );
+            assert!(a < b, "{}: NVLink-only {a:.3e} !< IB {b:.3e}", algo.name());
+        }
+    }
+
+    #[test]
+    fn degenerate_cases_are_free() {
+        let topo = Topology::juwels_booster();
+        assert_eq!(
+            collective_cost(
+                &topo,
+                &[0],
+                true,
+                CollOp::AllReduce,
+                Algo::Ring,
+                1 << 20,
+                1 << 20
+            ),
+            0.0
+        );
+        assert_eq!(
+            collective_cost(
+                &topo,
+                &labels(8),
+                true,
+                CollOp::Bcast,
+                Algo::Tree,
+                0,
+                1 << 20
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn pow2_core_values() {
+        assert_eq!(pow2_core(1), 1);
+        assert_eq!(pow2_core(2), 2);
+        assert_eq!(pow2_core(3), 2);
+        assert_eq!(pow2_core(5), 4);
+        assert_eq!(pow2_core(8), 8);
+        assert_eq!(pow2_core(12), 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! NCCL-style collective tuner.
+//!
+//! NCCL picks an (algorithm, protocol, chunk) triple per collective call
+//! from tuning tables parameterized by message size, communicator topology
+//! and transport. The analogue here: minimize the analytic alpha-beta cost
+//! of `cost::collective_cost` over the implemented hop schedules and a small
+//! chunk-size menu. The search space is tiny, so the tuner evaluates it
+//! exhaustively on every call; ties break toward the earlier entry of
+//! `Algo::ALL` / `CHUNK_MENU`, keeping choices deterministic.
+
+use crate::cost::{collective_cost, CollOp};
+use crate::exec::Algo;
+use crate::topology::Topology;
+
+/// Chunk sizes the tuner may pick from (bytes). Spans the range where the
+/// fill/drain trade-off of pipelined schedules actually moves: below 16 KiB
+/// per-chunk latency dominates, above 4 MiB pipelining stops helping.
+pub const CHUNK_MENU: &[u64] = &[16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+
+/// A tuner decision: which schedule to run and at what chunk granularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Choice {
+    pub algo: Algo,
+    pub chunk_bytes: u64,
+    /// Predicted time of this choice (seconds) — what the tuner minimized.
+    pub cost: f64,
+}
+
+/// Selects algorithm and chunk size per collective call.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    pub topo: Topology,
+    /// Device-direct transport (NCCL) vs host-staged (MPI) link pricing.
+    pub device_direct: bool,
+}
+
+impl Tuner {
+    pub fn new(topo: Topology, device_direct: bool) -> Self {
+        Self {
+            topo,
+            device_direct,
+        }
+    }
+
+    /// Pick the cheapest (algorithm, chunk) pair for `op` moving `bytes`
+    /// over a communicator whose members carry world-rank `labels`.
+    pub fn choose(&self, op: CollOp, bytes: u64, labels: &[usize]) -> Choice {
+        let mut best = Choice {
+            algo: Algo::Ring,
+            chunk_bytes: CHUNK_MENU[0],
+            cost: f64::INFINITY,
+        };
+        for algo in Algo::ALL {
+            for &chunk in CHUNK_MENU {
+                let cost = collective_cost(
+                    &self.topo,
+                    labels,
+                    self.device_direct,
+                    op,
+                    algo,
+                    bytes,
+                    chunk,
+                );
+                if cost < best.cost {
+                    best = Choice {
+                        algo,
+                        chunk_bytes: chunk,
+                        cost,
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// Chunk size the tuner would pair with a *fixed* algorithm choice.
+    pub fn chunk_for(&self, op: CollOp, algo: Algo, bytes: u64, labels: &[usize]) -> u64 {
+        let mut best = (CHUNK_MENU[0], f64::INFINITY);
+        for &chunk in CHUNK_MENU {
+            let cost = collective_cost(
+                &self.topo,
+                labels,
+                self.device_direct,
+                op,
+                algo,
+                bytes,
+                chunk,
+            );
+            if cost < best.1 {
+                best = (chunk, cost);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(k: usize) -> Vec<usize> {
+        (0..k).collect()
+    }
+
+    #[test]
+    fn tuner_switches_from_log_depth_to_ring_with_size() {
+        let tuner = Tuner::new(Topology::juwels_booster(), true);
+        let l = world(64);
+        // Small allreduce: recursive doubling (one log-depth phase) beats
+        // both the tree's two phases and the ring's 2(k-1) steps.
+        let small = tuner.choose(CollOp::AllReduce, 1 << 10, &l);
+        let large = tuner.choose(CollOp::AllReduce, 256 << 20, &l);
+        assert_eq!(small.algo, Algo::Doubling, "latency-bound regime");
+        assert_eq!(large.algo, Algo::Ring, "bandwidth-bound regime");
+        // Small bcast has no reduce phase: the binomial tree wins there.
+        let bc = tuner.choose(CollOp::Bcast, 1 << 10, &l);
+        assert_eq!(bc.algo, Algo::Tree, "latency-bound bcast");
+    }
+
+    #[test]
+    fn tuner_is_deterministic() {
+        let tuner = Tuner::new(Topology::juwels_booster(), false);
+        let l = world(12);
+        let a = tuner.choose(CollOp::AllGather, 3 << 20, &l);
+        let b = tuner.choose(CollOp::AllGather, 3 << 20, &l);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chosen_cost_is_the_minimum() {
+        let tuner = Tuner::new(Topology::juwels_booster(), true);
+        let l = world(20);
+        for op in [CollOp::AllReduce, CollOp::Bcast, CollOp::AllGather] {
+            let bytes = 8 << 20;
+            let c = tuner.choose(op, bytes, &l);
+            for algo in Algo::ALL {
+                for &chunk in CHUNK_MENU {
+                    let cost = collective_cost(&tuner.topo, &l, true, op, algo, bytes, chunk);
+                    assert!(
+                        c.cost <= cost,
+                        "{}: tuner missed a cheaper point",
+                        op.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_for_matches_fixed_algo_scan() {
+        let tuner = Tuner::new(Topology::juwels_booster(), true);
+        let l = world(16);
+        let chunk = tuner.chunk_for(CollOp::AllReduce, Algo::Ring, 32 << 20, &l);
+        let mut best = (0u64, f64::INFINITY);
+        for &c in CHUNK_MENU {
+            let cost = collective_cost(
+                &tuner.topo,
+                &l,
+                true,
+                CollOp::AllReduce,
+                Algo::Ring,
+                32 << 20,
+                c,
+            );
+            if cost < best.1 {
+                best = (c, cost);
+            }
+        }
+        assert_eq!(chunk, best.0);
+    }
+}

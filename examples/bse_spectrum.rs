@@ -37,7 +37,10 @@ fn main() {
     let direct = chase_direct::eigh_partial(&h, nev, true);
     let t_direct = t0.elapsed();
 
-    println!("{:>4} {:>16} {:>16} {:>11}", "k", "ChASE (eV)", "direct (eV)", "diff");
+    println!(
+        "{:>4} {:>16} {:>16} {:>11}",
+        "k", "ChASE (eV)", "direct (eV)", "diff"
+    );
     for k in 0..nev {
         println!(
             "{k:>4} {:>16.10} {:>16.10} {:>11.2e}",

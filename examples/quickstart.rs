@@ -26,14 +26,20 @@ fn main() {
     params.tol = 1e-10; // the paper's tolerance
     params.track_true_cond = false;
 
-    println!("Running ChASE (nev = {nev}, nex = {nex}, tol = {:.0e})...", params.tol);
+    println!(
+        "Running ChASE (nev = {nev}, nex = {nex}, tol = {:.0e})...",
+        params.tol
+    );
     let result = solve_serial(&h, &params);
 
     println!(
         "Converged: {} in {} iterations, {} MatVecs\n",
         result.converged, result.iterations, result.matvecs
     );
-    println!("{:>4} {:>18} {:>18} {:>12} {:>12}", "k", "computed", "exact", "abs err", "residual");
+    println!(
+        "{:>4} {:>18} {:>18} {:>12} {:>12}",
+        "k", "computed", "exact", "abs err", "residual"
+    );
     for k in 0..nev {
         let exact = spectrum.values()[k];
         println!(

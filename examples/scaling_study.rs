@@ -35,7 +35,13 @@ fn main() {
         p.qr = QrStrategy::AlwaysCholeskyQr2;
         let (href, pref) = (&h, &p);
         let out = run_grid(shape, move |ctx| {
-            solve_dist(ctx, Backend::Nccl, DistHerm::from_global(href, ctx), pref, None)
+            solve_dist(
+                ctx,
+                Backend::Nccl,
+                DistHerm::from_global(href, ctx),
+                pref,
+                None,
+            )
         });
         let bytes = out.ledgers[0].bytes_in(chase_comm::Category::Comm);
         let costs = price_ledger(&out.ledgers[0], &machine, PriceCtx::nccl());
@@ -109,7 +115,10 @@ fn main() {
     let mut pctx = PriceCtx::nccl();
     pctx.scalar = ScalarKind::F64;
     let costs = price_ledger(&iteration_events(&spec), &machine, pctx);
-    println!("{:>14} {:>12} {:>12} {:>12}", "kernel", "compute", "comm", "transfer");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "kernel", "compute", "comm", "transfer"
+    );
     for r in Region::PROFILED {
         let c = costs.get(&r).copied().unwrap_or_default();
         println!(

@@ -1,0 +1,128 @@
+//! Offline shim for `criterion`: runs each benchmark closure a configurable
+//! number of times and prints the mean wall time. Supports the API used by
+//! this workspace's `harness = false` bench targets: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! No statistics, plots, or baselines.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup { samples: 10 }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, 10, f);
+    }
+}
+
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, self.samples, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&id.0, self.samples, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+pub struct Bencher {
+    samples: usize,
+    total: std::time::Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        total: std::time::Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.total / b.iters as u32;
+        println!("{name:<40} {mean:>12.2?}/iter  ({} iters)", b.iters);
+    } else {
+        println!("{name:<40} (no iterations)");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 3);
+    }
+}

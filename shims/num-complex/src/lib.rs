@@ -1,0 +1,205 @@
+//! Offline shim for `num-complex`: the `Complex<T>` type instantiated at
+//! `f32` and `f64`, with the arithmetic and elementary functions the
+//! workspace's `Scalar` abstraction requires.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex number `re + im*i`.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+impl<T> Complex<T> {
+    pub const fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+}
+
+macro_rules! impl_complex_float {
+    ($t:ty) => {
+        impl Complex<$t> {
+            pub fn norm(self) -> $t {
+                self.re.hypot(self.im)
+            }
+
+            pub fn norm_sqr(self) -> $t {
+                self.re * self.re + self.im * self.im
+            }
+
+            pub fn conj(self) -> Self {
+                Self::new(self.re, -self.im)
+            }
+
+            pub fn arg(self) -> $t {
+                self.im.atan2(self.re)
+            }
+
+            pub fn from_polar(r: $t, theta: $t) -> Self {
+                Self::new(r * theta.cos(), r * theta.sin())
+            }
+
+            /// Principal square root.
+            pub fn sqrt(self) -> Self {
+                if self.im == 0.0 && self.re >= 0.0 {
+                    return Self::new(self.re.sqrt(), self.im);
+                }
+                Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+            }
+
+            pub fn exp(self) -> Self {
+                Self::from_polar(self.re.exp(), self.im)
+            }
+
+            pub fn powi(self, n: i32) -> Self {
+                Self::from_polar(self.norm().powi(n), self.arg() * n as $t)
+            }
+
+            pub fn powf(self, p: $t) -> Self {
+                Self::from_polar(self.norm().powf(p), self.arg() * p)
+            }
+
+            pub fn inv(self) -> Self {
+                let d = self.norm_sqr();
+                Self::new(self.re / d, -self.im / d)
+            }
+        }
+
+        impl Add for Complex<$t> {
+            type Output = Self;
+            fn add(self, o: Self) -> Self {
+                Self::new(self.re + o.re, self.im + o.im)
+            }
+        }
+
+        impl Sub for Complex<$t> {
+            type Output = Self;
+            fn sub(self, o: Self) -> Self {
+                Self::new(self.re - o.re, self.im - o.im)
+            }
+        }
+
+        impl Mul for Complex<$t> {
+            type Output = Self;
+            fn mul(self, o: Self) -> Self {
+                Self::new(
+                    self.re * o.re - self.im * o.im,
+                    self.re * o.im + self.im * o.re,
+                )
+            }
+        }
+
+        impl Div for Complex<$t> {
+            type Output = Self;
+            fn div(self, o: Self) -> Self {
+                // Smith's algorithm: avoids overflow for well-scaled inputs.
+                if o.im.abs() <= o.re.abs() {
+                    let r = o.im / o.re;
+                    let d = o.re + o.im * r;
+                    Self::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+                } else {
+                    let r = o.re / o.im;
+                    let d = o.re * r + o.im;
+                    Self::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+                }
+            }
+        }
+
+        impl Neg for Complex<$t> {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self::new(-self.re, -self.im)
+            }
+        }
+
+        impl AddAssign for Complex<$t> {
+            fn add_assign(&mut self, o: Self) {
+                *self = *self + o;
+            }
+        }
+
+        impl SubAssign for Complex<$t> {
+            fn sub_assign(&mut self, o: Self) {
+                *self = *self - o;
+            }
+        }
+
+        impl MulAssign for Complex<$t> {
+            fn mul_assign(&mut self, o: Self) {
+                *self = *self * o;
+            }
+        }
+
+        impl DivAssign for Complex<$t> {
+            fn div_assign(&mut self, o: Self) {
+                *self = *self / o;
+            }
+        }
+
+        impl Sum for Complex<$t> {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::new(0.0, 0.0), |a, b| a + b)
+            }
+        }
+
+        impl fmt::Display for Complex<$t> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.im < 0.0 {
+                    write!(f, "{}-{}i", self.re, -self.im)
+                } else {
+                    write!(f, "{}+{}i", self.re, self.im)
+                }
+            }
+        }
+    };
+}
+
+impl_complex_float!(f32);
+impl_complex_float!(f64);
+
+pub type Complex32 = Complex<f32>;
+pub type Complex64 = Complex<f64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0f64, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = (a * b) / b;
+        assert!((q - a).norm() < 1e-14);
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn sqrt_principal() {
+        let z = Complex::new(-4.0f64, 0.0);
+        let s = z.sqrt();
+        assert!((s - Complex::new(0.0, 2.0)).norm() < 1e-12);
+        let w = Complex::new(3.0f64, 4.0);
+        let r = w.sqrt();
+        assert!((r * r - w).norm() < 1e-12);
+        // Positive reals stay exact.
+        assert_eq!(Complex::new(9.0f64, 0.0).sqrt(), Complex::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn division_stability() {
+        let a = Complex::new(1e300f64, 1e300);
+        let q = a / a;
+        assert!((q - Complex::new(1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Complex::new(1.0f64, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.5f64, 2.0).to_string(), "1.5+2i");
+    }
+}

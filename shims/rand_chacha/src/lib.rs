@@ -1,0 +1,128 @@
+//! Offline shim for `rand_chacha`: a genuine ChaCha8 keystream generator
+//! with the `seed_from_u64` entry point the workspace uses. The exact
+//! stream differs from the upstream crate (seed expansion is SplitMix64
+//! here), which is fine: callers rely on determinism and statistical
+//! quality, never on upstream's bit-exact output.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// Deterministic ChaCha8-based generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// 4x4 state matrix: constants, 8 key words, block counter, 3 nonce words.
+    state: [u32; 16],
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..ROUNDS / 2 {
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for (o, (a, b)) in self.buf.iter_mut().zip(w.iter().zip(&self.state)) {
+            *o = a.wrapping_add(*b);
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit key.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..4 {
+            let w = next();
+            state[4 + 2 * i] = w as u32;
+            state[5 + 2 * i] = (w >> 32) as u32;
+        }
+        // counter = 0, nonce = 0
+        Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx >= 15 {
+            self.refill();
+        }
+        let lo = self.buf[self.idx] as u64;
+        let hi = self.buf[self.idx + 1] as u64;
+        self.idx += 2;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(ChaCha8Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let mean: f64 = (0..10_000).map(|_| r.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline shim for `rayon`: the `par_*` entry points used in this
+//! workspace, executed sequentially. The callers only rely on rayon for
+//! wall-clock speedups of large local kernels — functional behavior and
+//! the modeled (ledger-priced) performance are unaffected by running the
+//! same loops on one thread.
+
+pub mod prelude {
+    /// `par_chunks_mut` over a mutable slice, sequentially.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `par_chunks` over a shared slice, sequentially.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter`/`par_iter_mut`/`into_par_iter`, sequentially.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_is_chunks_mut() {
+        let mut v = [1, 2, 3, 4, 5];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x += i;
+            }
+        });
+        assert_eq!(v, [1, 2, 4, 5, 7]);
+    }
+}

@@ -5,12 +5,12 @@
 //! chase info     --matrix h.chasemat
 //! chase solve    --matrix h.chasemat --nev 20 [--nex 10] [--tol 1e-10]
 //!                [--grid 2x2] [--backend nccl|std|lms] [--qr auto|hhqr|cholqr1|cholqr2]
-//!                [--cyclic BLOCK] [--no-degopt]
+//!                [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
 //! ```
 
 use chase_comm::{run_grid, Distribution, GridShape};
 use chase_core::{lms::solve_lms, solve_dist, ChaseResult, DistHerm, Params, QrStrategy};
-use chase_device::Backend;
+use chase_device::{Backend, CollectiveAlgo};
 use chase_linalg::{Matrix, RealScalar, Scalar, C64};
 use chase_matgen::io::{load, save_c64, save_f64, LoadedMatrix};
 use chase_matgen::{dense_with_spectrum, Spectrum};
@@ -29,7 +29,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
-            let val = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+            let val = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
             out.insert(key.to_string(), val.clone());
             i += 2;
         }
@@ -43,7 +45,9 @@ fn get<T: std::str::FromStr>(
     default: Option<T>,
 ) -> Result<T, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         None => default.ok_or_else(|| format!("missing required --{key}")),
     }
 }
@@ -52,13 +56,20 @@ fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
     let n: usize = get(&flags, "n", None)?;
     let out: String = get(&flags, "out", None)?;
     let seed: u64 = get(&flags, "seed", Some(42))?;
-    let kind = flags.get("spectrum").map(String::as_str).unwrap_or("uniform");
+    let kind = flags
+        .get("spectrum")
+        .map(String::as_str)
+        .unwrap_or("uniform");
     let spec = match kind {
         "uniform" => Spectrum::uniform(n, -1.0, 1.0),
         "dft" => Spectrum::dft_like(n),
         "bse" => Spectrum::bse_like(n),
         "geometric" => Spectrum::geometric(n, 1e-3, 1.0),
-        other => return Err(format!("unknown spectrum '{other}' (uniform|dft|bse|geometric)")),
+        other => {
+            return Err(format!(
+                "unknown spectrum '{other}' (uniform|dft|bse|geometric)"
+            ))
+        }
     };
     if flags.contains_key("real") {
         let h = dense_with_spectrum::<f64>(&spec, seed);
@@ -148,6 +159,22 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
         "lms" => Backend::Lms,
         other => return Err(format!("unknown backend '{other}'")),
     };
+    let collective = match flags
+        .get("collective")
+        .map(String::as_str)
+        .unwrap_or("flat")
+    {
+        "flat" => CollectiveAlgo::Flat,
+        "ring" => CollectiveAlgo::Ring,
+        "tree" => CollectiveAlgo::Tree,
+        "doubling" => CollectiveAlgo::Doubling,
+        "auto" => CollectiveAlgo::Auto,
+        other => {
+            return Err(format!(
+                "unknown collective '{other}' (flat|ring|tree|doubling|auto)"
+            ))
+        }
+    };
     let qr = match flags.get("qr").map(String::as_str).unwrap_or("auto") {
         "auto" => QrStrategy::Auto,
         "hhqr" => QrStrategy::AlwaysHouseholder,
@@ -165,6 +192,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let mut params = Params::new(nev, nex);
     params.tol = tol;
     params.qr = qr;
+    params.collective = collective;
     params.optimize_degrees = !flags.contains_key("no-degopt");
 
     let m = load(&path).map_err(|e| e.to_string())?;
@@ -197,7 +225,7 @@ USAGE:
   chase info     --matrix FILE
   chase solve    --matrix FILE --nev K [--nex X] [--tol T] [--grid PxQ]
                  [--backend nccl|std|lms] [--qr auto|hhqr|cholqr1|cholqr2]
-                 [--cyclic BLOCK] [--no-degopt]
+                 [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
 ";
 
 fn main() -> ExitCode {

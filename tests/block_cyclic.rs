@@ -23,7 +23,11 @@ fn block_cyclic_solve_matches_serial() {
         Distribution::BlockCyclic { block: 7 },
         Distribution::BlockCyclic { block: 1 },
     ] {
-        for shape in [GridShape::new(2, 2), GridShape::new(2, 3), GridShape::new(3, 3)] {
+        for shape in [
+            GridShape::new(2, 2),
+            GridShape::new(2, 3),
+            GridShape::new(3, 3),
+        ] {
             let (h, p, reference) = (&h, &p, &reference);
             let out = run_grid(shape, move |ctx| {
                 let dh = DistHerm::from_global_dist(h, ctx, dist);

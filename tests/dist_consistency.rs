@@ -80,11 +80,13 @@ fn all_grids_and_backends_agree_with_serial() {
             for j in 0..p.nev {
                 let mut rmax: f64 = 0.0;
                 for i in 0..h.rows() {
-                    rmax = rmax.max(
-                        (hv[(i, j)] - full[(i, j)].scale(reference.eigenvalues[j])).abs(),
-                    );
+                    rmax =
+                        rmax.max((hv[(i, j)] - full[(i, j)].scale(reference.eigenvalues[j])).abs());
                 }
-                assert!(rmax < 1e-7, "{shape:?} {backend:?} residual col {j}: {rmax}");
+                assert!(
+                    rmax < 1e-7,
+                    "{shape:?} {backend:?} residual col {j}: {rmax}"
+                );
             }
         }
     }
@@ -120,10 +122,22 @@ fn backends_differ_only_in_ledger_not_results() {
     let href = &h;
     let pref = &p;
     let std_out = run_grid(GridShape::new(2, 2), move |ctx| {
-        solve_dist(ctx, Backend::Std, DistHerm::from_global(href, ctx), pref, None)
+        solve_dist(
+            ctx,
+            Backend::Std,
+            DistHerm::from_global(href, ctx),
+            pref,
+            None,
+        )
     });
     let nccl_out = run_grid(GridShape::new(2, 2), move |ctx| {
-        solve_dist(ctx, Backend::Nccl, DistHerm::from_global(href, ctx), pref, None)
+        solve_dist(
+            ctx,
+            Backend::Nccl,
+            DistHerm::from_global(href, ctx),
+            pref,
+            None,
+        )
     });
     // Bitwise identical math.
     for (a, b) in std_out.results.iter().zip(&nccl_out.results) {
@@ -153,7 +167,11 @@ fn dft_surrogate_problem_converges() {
     let mut p = Params::new(12, 6);
     p.tol = 1e-9;
     let r = solve_serial(&h, &p);
-    assert!(r.converged, "DFT surrogate did not converge in {} iters", r.iterations);
+    assert!(
+        r.converged,
+        "DFT surrogate did not converge in {} iters",
+        r.iterations
+    );
     for k in 0..p.nev {
         assert!(
             (r.eigenvalues[k] - spec.values()[k]).abs() < 1e-6,

@@ -43,9 +43,17 @@ fn repeated_eigenvalues() {
     let mut p = Params::new(6, 4);
     p.tol = 1e-8;
     let r = solve_serial(&h, &p);
-    assert!(r.converged, "degenerate problem stalled at iter {}", r.iterations);
+    assert!(
+        r.converged,
+        "degenerate problem stalled at iter {}",
+        r.iterations
+    );
     for k in 0..5 {
-        assert!((r.eigenvalues[k] + 2.0).abs() < 1e-6, "lambda_{k} = {}", r.eigenvalues[k]);
+        assert!(
+            (r.eigenvalues[k] + 2.0).abs() < 1e-6,
+            "lambda_{k} = {}",
+            r.eigenvalues[k]
+        );
     }
 }
 
@@ -88,7 +96,13 @@ fn tiny_matrix_many_ranks() {
     p.tol = 1e-8;
     let (href, pref) = (&h, &p);
     let out = run_grid(GridShape::new(3, 3), move |ctx| {
-        solve_dist(ctx, Backend::Nccl, DistHerm::from_global(href, ctx), pref, None)
+        solve_dist(
+            ctx,
+            Backend::Nccl,
+            DistHerm::from_global(href, ctx),
+            pref,
+            None,
+        )
     });
     for r in &out.results {
         assert!(r.converged);

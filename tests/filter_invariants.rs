@@ -25,7 +25,11 @@ fn filter_ratio(wanted: f64, damped: f64, deg: usize) -> f64 {
     let mut c = Matrix::<C64>::from_fn(2, 1, |_, _| C64::from_f64(1.0));
     let mut b = Matrix::<C64>::zeros(2, 1);
     // Damped interval [0, 2]; wanted eigenvalue below it.
-    let bounds = FilterBounds { c: 1.0, e: 1.0, mu_1: wanted };
+    let bounds = FilterBounds {
+        c: 1.0,
+        e: 1.0,
+        mu_1: wanted,
+    };
     chebyshev_filter(&dev, &ctx, &mut h, &mut c, &mut b, 0, &[deg], bounds);
     c[(0, 0)].abs() / c[(1, 0)].abs().max(1e-300)
 }

@@ -15,7 +15,11 @@ fn new_scheme_matches_eq2_exactly_on_divisible_sizes() {
     let h = dense_with_spectrum::<C64>(&spec, 3);
     let p = Params::new(4, 4); // ne = 8
     let (href, pref) = (&h, &p);
-    for shape in [GridShape::new(2, 2), GridShape::new(4, 4), GridShape::new(2, 4)] {
+    for shape in [
+        GridShape::new(2, 2),
+        GridShape::new(4, 4),
+        GridShape::new(2, 4),
+    ] {
         let out = run_grid(shape, move |ctx| {
             let dev = Device::new(ctx, Backend::Nccl);
             let dh = DistHerm::from_global(href, ctx);
@@ -58,7 +62,10 @@ fn lms_memory_exceeds_new_scheme_and_grows_with_n() {
                 new.total()
             );
             // The redundant part is exactly 2 * N * ne elements.
-            assert_eq!(lms.redundant_bytes, 2 * n * p.ne() * std::mem::size_of::<C64>());
+            assert_eq!(
+                lms.redundant_bytes,
+                2 * n * p.ne() * std::mem::size_of::<C64>()
+            );
         }
     }
 }

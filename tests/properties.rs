@@ -7,8 +7,8 @@ use chase_comm::solo_ctx;
 use chase_core::{cond_est, flexible_qr, growth_factor, optimal_degree, QrStrategy, RowDist};
 use chase_device::{Backend, Device};
 use chase_linalg::{
-    gemm_new, gram, heevd, householder_qr, potrf_upper, random_orthonormal, Scalar,
-    singular_values, Matrix, Op, C64,
+    gemm_new, gram, heevd, householder_qr, potrf_upper, random_orthonormal, singular_values,
+    Matrix, Op, Scalar, C64,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -21,7 +21,11 @@ fn conditioned(m: usize, n: usize, kappa: f64, seed: u64) -> Matrix<C64> {
     let v = random_orthonormal::<C64, _>(n, n, &mut rng);
     let mut us = u.clone();
     for j in 0..n {
-        let s = if n == 1 { 1.0 } else { kappa.powf(-(j as f64) / (n - 1) as f64) };
+        let s = if n == 1 {
+            1.0
+        } else {
+            kappa.powf(-(j as f64) / (n - 1) as f64)
+        };
         chase_linalg::blas1::rscal(s, us.col_mut(j));
     }
     gemm_new(Op::None, Op::ConjTrans, &us, &v)

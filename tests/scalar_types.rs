@@ -47,7 +47,11 @@ fn solve_f32() {
     // Single precision: the paper's 1e-10 is unreachable; use ~sqrt(eps_32).
     p.tol = 1e-4;
     let r = solve_serial(&h, &p);
-    assert!(r.converged, "f32 solve failed after {} iterations", r.iterations);
+    assert!(
+        r.converged,
+        "f32 solve failed after {} iterations",
+        r.iterations
+    );
     for k in 0..p.nev {
         assert!(
             (r.eigenvalues[k] - spec.values()[k] as f32).abs() < 1e-3,
@@ -66,7 +70,11 @@ fn solve_c32() {
     let mut p = Params::new(6, 4);
     p.tol = 1e-4;
     let r = solve_serial(&h, &p);
-    assert!(r.converged, "c32 solve failed after {} iterations", r.iterations);
+    assert!(
+        r.converged,
+        "c32 solve failed after {} iterations",
+        r.iterations
+    );
     for k in 0..p.nev {
         assert!((r.eigenvalues[k] - spec.values()[k] as f32).abs() < 1e-3);
     }
