@@ -1,0 +1,81 @@
+//! Filter micro-benchmark: flat vs pipelined Chebyshev filter wall-clock
+//! across problem sizes on a 2x2 thread grid, plus a solo (1x1) baseline
+//! showing the pipeline's overhead when there is nothing to overlap.
+//!
+//! Informational only — no pass/fail thresholds (those live in
+//! `ablation_overlap`). Emits `BENCH_filter.json`.
+
+use chase_bench::{bench_filter_grid, fmt_s, median, write_bench_json, BenchRecord};
+use chase_comm::GridShape;
+use chase_core::{FilterBounds, FilterExec};
+use chase_device::Backend;
+use chase_linalg::{Matrix, C64};
+use chase_matgen::{dense_with_spectrum, Spectrum};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cases: &[(usize, usize, usize, GridShape)] = &[
+        (120, 16, 8, GridShape::new(1, 1)),
+        (120, 16, 8, GridShape::new(2, 2)),
+        (240, 32, 8, GridShape::new(2, 2)),
+    ];
+    let (warmup, reps) = (1, 3);
+    let bounds = FilterBounds::from_spectrum(-1.0, 0.0, 1.0);
+
+    println!("Chebyshev filter: flat vs pipelined (median of {reps} reps, seconds)\n");
+    println!(
+        "{:>6} {:>4} {:>4} {:>6} {:>12} {:>12} {:>12}",
+        "n", "ne", "deg", "grid", "flat", "pipe/auto", "pipe/1"
+    );
+
+    let mut records = Vec::new();
+    for &(n, ne, deg, shape) in cases {
+        let spec = Spectrum::uniform(n, -1.0, 1.0);
+        let h = dense_with_spectrum::<C64>(&spec, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Matrix::<C64>::random(n, ne, &mut rng);
+        let degrees = vec![deg; ne];
+        let grid = format!("{}x{}", shape.p, shape.q);
+
+        let mut meds = Vec::new();
+        for (tag, exec) in [
+            ("flat", FilterExec::Flat),
+            ("pipelined/auto", FilterExec::Pipelined { panel: None }),
+            (
+                "pipelined/panel=1",
+                FilterExec::Pipelined { panel: Some(1) },
+            ),
+        ] {
+            let fb = bench_filter_grid(
+                &h,
+                &x,
+                &degrees,
+                bounds,
+                shape,
+                Backend::Nccl,
+                exec,
+                warmup,
+                reps,
+            );
+            meds.push(median(&fb.samples));
+            records.push(BenchRecord::new(
+                format!("filter/n={n}/ne={ne}/{grid}/{tag}"),
+                fb.samples,
+            ));
+        }
+        println!(
+            "{:>6} {:>4} {:>4} {:>6} {:>12} {:>12} {:>12}",
+            n,
+            ne,
+            deg,
+            grid,
+            fmt_s(meds[0]),
+            fmt_s(meds[1]),
+            fmt_s(meds[2])
+        );
+    }
+
+    write_bench_json("BENCH_filter.json", &records).expect("write BENCH_filter.json");
+    println!("\nwrote BENCH_filter.json ({} records)", records.len());
+}

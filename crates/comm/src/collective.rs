@@ -49,6 +49,123 @@ struct SlotState {
 /// FIFO queue, so matched send/recv pairs never reorder within a channel.
 type MailKey = (usize, usize, u64);
 
+/// One in-flight nonblocking collective. Unlike the blocking epoch machinery,
+/// ops are keyed by a per-rank sequence number, so a rank can post op `s+1`
+/// before anyone has waited on op `s` — the double-buffered filter pipeline
+/// depends on never blocking at post time.
+struct NbOp {
+    arrived: usize,
+    taken: usize,
+    payloads: Vec<Option<Payload>>,
+    result: Option<Payload>,
+}
+
+impl NbOp {
+    fn new(members: usize) -> Self {
+        Self {
+            arrived: 0,
+            taken: 0,
+            payloads: (0..members).map(|_| None).collect(),
+            result: None,
+        }
+    }
+}
+
+/// Shared state of the nonblocking engine: in-flight ops plus a pool of
+/// recycled type-erased staging buffers. Boxes circulate whole (never
+/// unboxed), so a steady-state collective performs zero heap allocations —
+/// the discipline NCCL enforces with its persistent communicator buffers.
+struct NbShared {
+    ops: HashMap<u64, NbOp>,
+    pool: Vec<Payload>,
+    /// Retired op skeletons (payload slot vectors) awaiting reuse.
+    free_ops: Vec<NbOp>,
+    /// Staging buffers newly allocated because the pool had no match.
+    fresh_allocs: u64,
+    /// Staging buffers served from the pool.
+    pool_hits: u64,
+}
+
+impl NbShared {
+    /// Take a pooled `Vec<T>` box (cleared, capacity retained) or allocate.
+    fn checkout<T: Send + 'static>(&mut self) -> Payload {
+        if let Some(pos) = self.pool.iter().position(|p| p.is::<Vec<T>>()) {
+            self.pool_hits += 1;
+            let mut b = self.pool.swap_remove(pos);
+            b.downcast_mut::<Vec<T>>().unwrap().clear();
+            b
+        } else {
+            self.fresh_allocs += 1;
+            Box::new(Vec::<T>::new())
+        }
+    }
+
+    /// Take a pooled `Vec<T>` box resized to `len`. Unlike [`checkout`],
+    /// the recycled contents are *not* cleared first: when the pool serves
+    /// a buffer of the same length — the steady state of a fixed-shape
+    /// pipeline — the resize is a no-op and the caller gets a writable
+    /// buffer for free (no zeroing, no copy).
+    ///
+    /// [`checkout`]: NbShared::checkout
+    fn checkout_len<T: Clone + Default + Send + 'static>(&mut self, len: usize) -> Payload {
+        let exact = self
+            .pool
+            .iter()
+            .position(|p| p.downcast_ref::<Vec<T>>().is_some_and(|v| v.len() == len));
+        let mut b =
+            if let Some(pos) = exact.or_else(|| self.pool.iter().position(|p| p.is::<Vec<T>>())) {
+                self.pool_hits += 1;
+                self.pool.swap_remove(pos)
+            } else {
+                self.fresh_allocs += 1;
+                Box::new(Vec::<T>::new()) as Payload
+            };
+        b.downcast_mut::<Vec<T>>()
+            .unwrap()
+            .resize(len, T::default());
+        b
+    }
+
+    fn checkin(&mut self, b: Payload) {
+        self.pool.push(b);
+    }
+
+    /// Fetch the in-flight op `op_id`, or start one from the recycled-op
+    /// stock. Ownership moves out of the map so the caller can mutate the op
+    /// and the pool without borrow conflicts; it must be re-inserted.
+    fn take_op(&mut self, op_id: u64, members: usize) -> NbOp {
+        self.ops
+            .remove(&op_id)
+            .unwrap_or_else(|| self.free_ops.pop().unwrap_or_else(|| NbOp::new(members)))
+    }
+
+    /// Recycle a fully-drained op (all payload boxes already back in the
+    /// pool or moved into the result).
+    fn retire(&mut self, mut op: NbOp) {
+        if let Some(r) = op.result.take() {
+            self.checkin(r);
+        }
+        debug_assert!(op.payloads.iter().all(Option::is_none));
+        op.arrived = 0;
+        op.taken = 0;
+        self.free_ops.push(op);
+    }
+}
+
+/// Buffer-pool accounting of one communicator's nonblocking engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NbPoolStats {
+    /// Staging/result buffers freshly heap-allocated (pool misses). Constant
+    /// after warm-up: the zero-steady-state-allocation invariant.
+    pub fresh_allocs: u64,
+    /// Buffers served from the pool.
+    pub pool_hits: u64,
+    /// Buffers currently parked in the pool.
+    pub pooled: usize,
+    /// Nonblocking ops posted but not fully waited.
+    pub in_flight: usize,
+}
+
 /// Shared rendezvous point for one communicator.
 pub struct Slot {
     members: usize,
@@ -58,6 +175,10 @@ pub struct Slot {
     /// machinery so sends never block behind an in-flight collective.
     mail: Mutex<HashMap<MailKey, VecDeque<Payload>>>,
     mail_cv: Condvar,
+    /// Nonblocking collective engine, independent of both of the above so
+    /// blocking and nonblocking traffic interleave freely.
+    nb: Mutex<NbShared>,
+    nb_cv: Condvar,
 }
 
 impl Slot {
@@ -74,6 +195,14 @@ impl Slot {
             cv: Condvar::new(),
             mail: Mutex::new(HashMap::new()),
             mail_cv: Condvar::new(),
+            nb: Mutex::new(NbShared {
+                ops: HashMap::new(),
+                pool: Vec::new(),
+                free_ops: Vec::new(),
+                fresh_allocs: 0,
+                pool_hits: 0,
+            }),
+            nb_cv: Condvar::new(),
         })
     }
 }
@@ -91,6 +220,10 @@ pub struct Communicator {
     /// Per-rank counter of topology-aware collective operations, used to
     /// derive unique p2p tags per operation (SPMD keeps it in sync).
     op_seq: Cell<u64>,
+    /// Per-rank counter of nonblocking collective posts. SPMD discipline
+    /// (every member posts the same nonblocking ops in the same order) keeps
+    /// it consistent across ranks, making it the op key.
+    nb_seq: Cell<u64>,
 }
 
 impl Communicator {
@@ -110,6 +243,7 @@ impl Communicator {
             epoch: Cell::new(0),
             labels,
             op_seq: Cell::new(0),
+            nb_seq: Cell::new(0),
         }
     }
 
@@ -321,6 +455,342 @@ impl Communicator {
         let [out] = b;
         out
     }
+
+    // ---- nonblocking collectives ---------------------------------------
+    //
+    // The `i*` variants return immediately with a [`Request`]; the data
+    // exchange and the combine run as members arrive, and `wait()` blocks
+    // only until the result of *that* op is ready. Ops are keyed by a
+    // per-rank sequence number, so posting never blocks behind an earlier
+    // in-flight op (unlike the blocking epoch rendezvous) — a rank may hold
+    // several outstanding requests on one communicator. SPMD contract:
+    // every member posts the same nonblocking ops in the same order, and
+    // every request must eventually be waited.
+
+    fn next_nb_seq(&self) -> u64 {
+        let s = self.nb_seq.get();
+        self.nb_seq.set(s + 1);
+        s
+    }
+
+    /// Buffer-pool statistics of this communicator's nonblocking engine.
+    pub fn nb_pool_stats(&self) -> NbPoolStats {
+        let nb = self.slot.nb.lock();
+        NbPoolStats {
+            fresh_allocs: nb.fresh_allocs,
+            pool_hits: nb.pool_hits,
+            pooled: nb.pool.len(),
+            in_flight: nb.ops.len(),
+        }
+    }
+
+    /// Check out a pooled staging buffer of `len` elements to compute a
+    /// contribution *directly into*, then post it with zero copies via
+    /// [`Communicator::iallreduce_sum_staged`]. Steady state (a recycled
+    /// buffer of the same length) this costs no allocation and no zeroing.
+    /// Dropping an unposted `SendBuf` returns the buffer to the pool.
+    pub fn nb_staging<T: Clone + Default + Send + 'static>(&self, len: usize) -> SendBuf<'_, T> {
+        let buf = self.slot.nb.lock().checkout_len::<T>(len);
+        SendBuf {
+            comm: self,
+            buf: Some(buf),
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Post a nonblocking sum-allreduce of a staged contribution, *moving*
+    /// the staging buffer in as the payload — the zero-copy twin of
+    /// [`Communicator::iallreduce_sum`]. Folding order and semantics are
+    /// identical (bitwise) to the copying path.
+    pub fn iallreduce_sum_staged<T: Reduce>(&self, mut staged: SendBuf<'_, T>) -> Request<'_, T> {
+        let mine = staged.buf.take().expect("staged buffer already posted");
+        let len = mine.downcast_ref::<Vec<T>>().unwrap().len();
+        let op_id = self.next_nb_seq();
+        self.post_allreduce_payload::<T>(op_id, mine);
+        Request {
+            comm: self,
+            op_id,
+            len,
+            done: false,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Post a nonblocking element-wise sum-allreduce of `buf`. The returned
+    /// request's [`Request::wait`] writes the sum (folded in member-index
+    /// order — bitwise identical to [`Communicator::allreduce_sum`]) into
+    /// the buffer passed to it.
+    pub fn iallreduce_sum<T: Reduce>(&self, buf: &[T]) -> Request<'_, T> {
+        let op_id = self.next_nb_seq();
+        let slot = &*self.slot;
+        let mut nb = slot.nb.lock();
+        let mut mine = nb.checkout::<T>();
+        mine.downcast_mut::<Vec<T>>()
+            .unwrap()
+            .extend_from_slice(buf);
+        drop(nb);
+        self.post_allreduce_payload::<T>(op_id, mine);
+        Request {
+            comm: self,
+            op_id,
+            len: buf.len(),
+            done: false,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Deposit one rank's allreduce contribution; the last depositor folds
+    /// all payloads in member-index order (into member 0's buffer, which
+    /// becomes the result) and wakes the waiters.
+    fn post_allreduce_payload<T: Reduce>(&self, op_id: u64, mine: Payload) {
+        let slot = &*self.slot;
+        let mut nb = slot.nb.lock();
+        let mut op = nb.take_op(op_id, slot.members);
+        debug_assert!(op.payloads[self.my_index].is_none(), "double post");
+        op.payloads[self.my_index] = Some(mine);
+        op.arrived += 1;
+        if op.arrived == slot.members {
+            // Fold in place into member 0's staging box — it becomes the
+            // result, so the reduction costs no extra buffer and no copy.
+            // Accumulation still runs in member-index order, so the bits
+            // match `allreduce_sum` exactly.
+            let mut result = op.payloads[0].take().unwrap();
+            {
+                let out = result.downcast_mut::<Vec<T>>().unwrap();
+                for p in &op.payloads[1..] {
+                    let v = p.as_ref().unwrap().downcast_ref::<Vec<T>>().unwrap();
+                    assert_eq!(v.len(), out.len(), "iallreduce length mismatch");
+                    for (a, b) in out.iter_mut().zip(v) {
+                        a.reduce(b);
+                    }
+                }
+            }
+            for p in op.payloads.iter_mut().skip(1) {
+                let b = p.take().unwrap();
+                nb.checkin(b);
+            }
+            op.result = Some(result);
+            slot.nb_cv.notify_all();
+        }
+        nb.ops.insert(op_id, op);
+    }
+
+    /// Post a nonblocking broadcast of `root`'s `buf`. Non-root callers pass
+    /// their (ignored) receive buffer so lengths can be checked at wait.
+    pub fn ibcast<T: Clone + Send + Sync + 'static>(
+        &self,
+        buf: &[T],
+        root: usize,
+    ) -> Request<'_, T> {
+        assert!(root < self.size());
+        let op_id = self.next_nb_seq();
+        let slot = &*self.slot;
+        let mut nb = slot.nb.lock();
+        let mut op = nb.take_op(op_id, slot.members);
+        if self.my_index == root {
+            let mut mine = nb.checkout::<T>();
+            mine.downcast_mut::<Vec<T>>()
+                .unwrap()
+                .extend_from_slice(buf);
+            op.payloads[root] = Some(mine);
+        }
+        op.arrived += 1;
+        if op.arrived == slot.members {
+            // The root's staging box *is* the result — no copy, no churn.
+            op.result = Some(op.payloads[root].take().expect("root did not post"));
+            slot.nb_cv.notify_all();
+        }
+        nb.ops.insert(op_id, op);
+        drop(nb);
+        Request {
+            comm: self,
+            op_id,
+            len: buf.len(),
+            done: false,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Post a nonblocking allgather of `mine`. Contributions may be ragged;
+    /// the result is the member-order concatenation, delivered through
+    /// [`GatherRequest::wait`].
+    pub fn iallgather<T: Clone + Send + Sync + 'static>(&self, mine: &[T]) -> GatherRequest<'_, T> {
+        let op_id = self.next_nb_seq();
+        let slot = &*self.slot;
+        let mut nb = slot.nb.lock();
+        let mut contrib = nb.checkout::<T>();
+        contrib
+            .downcast_mut::<Vec<T>>()
+            .unwrap()
+            .extend_from_slice(mine);
+        let mut op = nb.take_op(op_id, slot.members);
+        debug_assert!(op.payloads[self.my_index].is_none(), "double post");
+        op.payloads[self.my_index] = Some(contrib);
+        op.arrived += 1;
+        if op.arrived == slot.members {
+            // Member 0's staging box grows into the concatenation in place;
+            // later contributions append in member order and recycle.
+            let mut result = op.payloads[0].take().unwrap();
+            {
+                let out = result.downcast_mut::<Vec<T>>().unwrap();
+                for p in &op.payloads[1..] {
+                    out.extend_from_slice(p.as_ref().unwrap().downcast_ref::<Vec<T>>().unwrap());
+                }
+            }
+            for p in op.payloads.iter_mut().skip(1) {
+                let b = p.take().unwrap();
+                nb.checkin(b);
+            }
+            op.result = Some(result);
+            slot.nb_cv.notify_all();
+        }
+        nb.ops.insert(op_id, op);
+        drop(nb);
+        GatherRequest {
+            comm: self,
+            op_id,
+            done: false,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Block until op `op_id` has a result, hand it to `read` under the
+    /// lock, and drain the op (last taker recycles every buffer).
+    fn nb_wait_with<T: Send + 'static>(&self, op_id: u64, read: impl FnOnce(&Vec<T>)) {
+        let slot = &*self.slot;
+        let mut nb = slot.nb.lock();
+        while nb.ops.get(&op_id).is_none_or(|op| op.result.is_none()) {
+            slot.nb_cv.wait(&mut nb);
+        }
+        let mut op = nb.ops.remove(&op_id).unwrap();
+        read(
+            op.result
+                .as_ref()
+                .unwrap()
+                .downcast_ref::<Vec<T>>()
+                .expect("nonblocking collective type mismatch across ranks"),
+        );
+        op.taken += 1;
+        if op.taken == slot.members {
+            nb.retire(op);
+        } else {
+            nb.ops.insert(op_id, op);
+        }
+    }
+}
+
+/// A pooled staging buffer checked out with [`Communicator::nb_staging`]:
+/// compute the local contribution directly into it, then move it into a
+/// collective with [`Communicator::iallreduce_sum_staged`] — the zero-copy
+/// posting path.
+pub struct SendBuf<'c, T: Send + 'static> {
+    comm: &'c Communicator,
+    buf: Option<Payload>,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Send + 'static> SendBuf<'_, T> {
+    /// Number of elements staged.
+    pub fn len(&self) -> usize {
+        self.buf
+            .as_ref()
+            .unwrap()
+            .downcast_ref::<Vec<T>>()
+            .unwrap()
+            .len()
+    }
+
+    /// True when zero elements are staged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writable view of the staged contribution.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.buf
+            .as_mut()
+            .unwrap()
+            .downcast_mut::<Vec<T>>()
+            .unwrap()
+            .as_mut_slice()
+    }
+}
+
+impl<T: Send + 'static> Drop for SendBuf<'_, T> {
+    fn drop(&mut self) {
+        // Unposted staging goes straight back to the pool.
+        if let Some(b) = self.buf.take() {
+            self.comm.slot.nb.lock().checkin(b);
+        }
+    }
+}
+
+/// Handle to an in-flight nonblocking allreduce/bcast. Must be waited; the
+/// SPMD contract is broken (and a panic raised) if it is dropped unresolved.
+#[must_use = "a nonblocking collective must be waited"]
+pub struct Request<'c, T: Send + 'static> {
+    comm: &'c Communicator,
+    op_id: u64,
+    len: usize,
+    done: bool,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Send + 'static> Request<'_, T> {
+    /// Block until the collective completes and copy the result into `out`
+    /// (length must match the posted buffer).
+    pub fn wait(mut self, out: &mut [T])
+    where
+        T: Clone,
+    {
+        assert_eq!(self.len, out.len(), "wait buffer length mismatch");
+        self.comm.nb_wait_with::<T>(self.op_id, |r| {
+            assert_eq!(r.len(), out.len(), "posted/result length mismatch");
+            out.clone_from_slice(r);
+        });
+        self.done = true;
+    }
+}
+
+impl<T: Send + 'static> Drop for Request<'_, T> {
+    fn drop(&mut self) {
+        if !self.done && !std::thread::panicking() {
+            panic!("nonblocking Request dropped without wait()");
+        }
+    }
+}
+
+/// Handle to an in-flight nonblocking allgather (result length is only
+/// known once every contribution arrived).
+#[must_use = "a nonblocking collective must be waited"]
+pub struct GatherRequest<'c, T: Send + 'static> {
+    comm: &'c Communicator,
+    op_id: u64,
+    done: bool,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Send + 'static> GatherRequest<'_, T> {
+    /// Block until the gather completes and replace `out`'s contents with
+    /// the member-order concatenation (capacity is reused across calls).
+    pub fn wait(mut self, out: &mut Vec<T>)
+    where
+        T: Clone,
+    {
+        self.comm.nb_wait_with::<T>(self.op_id, |r| {
+            out.clear();
+            out.extend_from_slice(r);
+        });
+        self.done = true;
+    }
+}
+
+impl<T: Send + 'static> Drop for GatherRequest<'_, T> {
+    fn drop(&mut self) {
+        if !self.done && !std::thread::panicking() {
+            panic!("nonblocking GatherRequest dropped without wait()");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -529,6 +999,146 @@ mod tests {
         let c = Communicator::solo();
         assert_eq!(c.next_op_seq(), 0);
         assert_eq!(c.next_op_seq(), 1);
+    }
+
+    #[test]
+    fn iallreduce_matches_blocking_bitwise() {
+        let out = run_spmd(4, |c| {
+            let data: Vec<f64> = (0..17)
+                .map(|i| ((c.rank() * 31 + i) as f64).sin())
+                .collect();
+            let mut blocking = data.clone();
+            c.allreduce_sum(&mut blocking);
+            let req = c.iallreduce_sum(&data);
+            let mut nb = vec![0.0f64; data.len()];
+            req.wait(&mut nb);
+            (blocking, nb)
+        });
+        for (b, n) in out {
+            assert_eq!(b, n, "nonblocking must fold in the same member order");
+        }
+    }
+
+    #[test]
+    fn two_requests_in_flight_do_not_block_posts() {
+        // The double-buffered pipeline posts op k+1 before waiting op k;
+        // with the blocking epoch machinery this would deadlock.
+        let out = run_spmd(3, |c| {
+            let a = vec![c.rank() as f64; 4];
+            let b = vec![(c.rank() * 10) as f64; 2];
+            let ra = c.iallreduce_sum(&a);
+            let rb = c.iallreduce_sum(&b);
+            let mut oa = vec![0.0; 4];
+            let mut ob = vec![0.0; 2];
+            // Wait out of post order, too.
+            rb.wait(&mut ob);
+            ra.wait(&mut oa);
+            (oa, ob)
+        });
+        for (oa, ob) in out {
+            assert_eq!(oa, vec![3.0; 4]);
+            assert_eq!(ob, vec![30.0; 2]);
+        }
+    }
+
+    #[test]
+    fn ibcast_and_iallgather() {
+        let out = run_spmd(3, |c| {
+            let mine = if c.rank() == 1 {
+                vec![5u64, 6]
+            } else {
+                vec![0, 0]
+            };
+            let rb = c.ibcast(&mine, 1);
+            let rg = c.iallgather(&vec![c.rank() as u64; c.rank() + 1]);
+            let mut got = vec![0u64; 2];
+            rb.wait(&mut got);
+            let mut gathered = Vec::new();
+            rg.wait(&mut gathered);
+            (got, gathered)
+        });
+        for (got, gathered) in out {
+            assert_eq!(got, vec![5, 6]);
+            assert_eq!(gathered, vec![0, 1, 1, 2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn nonblocking_interleaves_with_blocking_on_same_communicator() {
+        // Stress: a nonblocking op stays in flight across blocking
+        // collectives and p2p traffic on the same communicator. The engines
+        // are independent, so nothing may deadlock or cross-talk.
+        let out = run_spmd(4, |c| {
+            let mut acc = 0.0f64;
+            for round in 0..50 {
+                let posted = vec![c.rank() as f64 + round as f64; 3];
+                let req = c.iallreduce_sum(&posted);
+                // Blocking traffic while the request is in flight.
+                let mut v = [1.0f64];
+                c.allreduce_sum(&mut v);
+                let next = (c.rank() + 1) % 4;
+                let prev = (c.rank() + 3) % 4;
+                c.send(next, round, vec![round]);
+                c.barrier();
+                assert_eq!(c.recv::<u64>(prev, round)[0], round);
+                let mut summed = vec![0.0f64; 3];
+                req.wait(&mut summed);
+                assert_eq!(v[0], 4.0);
+                acc += summed[0];
+            }
+            acc
+        });
+        let expect: f64 = (0..50).map(|r| 6.0 + 4.0 * r as f64).sum();
+        for r in out {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn steady_state_collectives_do_not_allocate() {
+        let out = run_spmd(2, |c| {
+            let data = vec![1.0f64; 64];
+            let mut out_buf = vec![0.0f64; 64];
+            // Warm-up: populate the pool.
+            for _ in 0..3 {
+                let r = c.iallreduce_sum(&data);
+                r.wait(&mut out_buf);
+            }
+            c.barrier();
+            let warm = c.nb_pool_stats().fresh_allocs;
+            for _ in 0..100 {
+                let r = c.iallreduce_sum(&data);
+                r.wait(&mut out_buf);
+            }
+            c.barrier();
+            let after = c.nb_pool_stats();
+            (warm, after)
+        });
+        for (warm, after) in out {
+            assert_eq!(
+                after.fresh_allocs, warm,
+                "steady-state nonblocking collectives must not allocate"
+            );
+            assert!(after.pool_hits >= 200, "pool must serve steady state");
+            assert_eq!(after.in_flight, 0);
+        }
+    }
+
+    #[test]
+    fn solo_nonblocking_completes_at_post() {
+        let c = Communicator::solo();
+        let r = c.iallreduce_sum(&[2.5f64, 1.5]);
+        let mut out = [0.0; 2];
+        r.wait(&mut out);
+        assert_eq!(out, [2.5, 1.5]);
+        let g = c.iallgather(&[7u64]);
+        let mut v = Vec::new();
+        g.wait(&mut v);
+        assert_eq!(v, vec![7]);
+        let b = c.ibcast(&[9u64], 0);
+        let mut bb = [0u64];
+        b.wait(&mut bb);
+        assert_eq!(bb, [9]);
     }
 
     #[test]

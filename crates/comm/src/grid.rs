@@ -28,13 +28,38 @@ impl GridShape {
     }
 
     /// The squarest grid for `n` ranks (the paper's preferred configuration).
+    ///
+    /// Composite `n` uses the divisor pair closest to `sqrt(n)`. A prime
+    /// `n > 3` has no such pair except the degenerate `1 x n`, which turns
+    /// every column communicator into the whole world and destroys the 2D
+    /// scheme's communication volume — so the fallback leaves ranks idle and
+    /// returns the most balanced grid covering *at most* `n` ranks (e.g.
+    /// `squarest(7) == 2 x 3`, using 6 of 7). Callers that must use every
+    /// rank can check [`GridShape::ranks`] against `n`.
     pub fn squarest(n: usize) -> Self {
         assert!(n >= 1);
-        let mut p = (n as f64).sqrt() as usize;
-        while p > 1 && !n.is_multiple_of(p) {
-            p -= 1;
+        fn exact(m: usize) -> GridShape {
+            let mut p = (m as f64).sqrt() as usize;
+            while p > 1 && !m.is_multiple_of(p) {
+                p -= 1;
+            }
+            GridShape { p, q: m / p }
         }
-        Self { p, q: n / p }
+        let s = exact(n);
+        if s.p > 1 || n <= 3 {
+            return s;
+        }
+        // Prime rank count: take the largest m < n whose divisor pair is
+        // acceptably balanced (aspect ratio about 2). m = 4 (2 x 2) always
+        // qualifies, so the scan terminates.
+        let mut m = n - 1;
+        loop {
+            let s = exact(m);
+            if s.p > 1 && s.q <= 2 * s.p + 1 {
+                return s;
+            }
+            m -= 1;
+        }
     }
 
     pub fn ranks(&self) -> usize {
@@ -97,6 +122,23 @@ impl RankCtx {
 
     pub fn set_region(&self, region: Region) {
         self.ledger.lock().set_region(region);
+    }
+
+    /// Open an overlap window on this rank's ledger (see
+    /// [`Ledger::begin_window`]); events recorded until
+    /// [`RankCtx::end_window`] share the returned id.
+    pub fn begin_window(&self) -> u32 {
+        self.ledger.lock().begin_window()
+    }
+
+    pub fn end_window(&self) {
+        self.ledger.lock().end_window();
+    }
+
+    /// Record an event that began at `t0_us` and ends now (the span of a
+    /// nonblocking collective).
+    pub fn record_spanned(&self, kind: EventKind, t0_us: u64) {
+        self.ledger.lock().record_spanned(kind, t0_us);
     }
 
     /// Snapshot of the ledger contents.
@@ -228,8 +270,37 @@ mod tests {
         assert_eq!(GridShape::squarest(4), GridShape { p: 2, q: 2 });
         assert_eq!(GridShape::squarest(6), GridShape { p: 2, q: 3 });
         assert_eq!(GridShape::squarest(9), GridShape { p: 3, q: 3 });
-        assert_eq!(GridShape::squarest(7), GridShape { p: 1, q: 7 });
         assert!(GridShape::squarest(16).is_square());
+    }
+
+    #[test]
+    fn squarest_primes_stay_balanced() {
+        // Tiny prime counts keep the exact 1 x n cover.
+        assert_eq!(GridShape::squarest(2), GridShape { p: 1, q: 2 });
+        assert_eq!(GridShape::squarest(3), GridShape { p: 1, q: 3 });
+        // Larger primes trade idle ranks for a balanced grid.
+        assert_eq!(GridShape::squarest(5), GridShape { p: 2, q: 2 });
+        assert_eq!(GridShape::squarest(7), GridShape { p: 2, q: 3 });
+        assert_eq!(GridShape::squarest(11), GridShape { p: 2, q: 5 });
+        assert_eq!(GridShape::squarest(13), GridShape { p: 3, q: 4 });
+        for n in [5usize, 7, 11, 13, 17, 19, 23, 97] {
+            let s = GridShape::squarest(n);
+            assert!(s.p > 1, "prime {n} must not degenerate to 1 x n");
+            assert!(s.ranks() <= n, "cannot use more ranks than given");
+            assert!(s.q <= 2 * s.p + 1, "shape {s:?} for {n} is unbalanced");
+        }
+    }
+
+    #[test]
+    fn rank_ctx_windows_reach_ledger() {
+        let ctx = solo_ctx();
+        let w = ctx.begin_window();
+        ctx.record(EventKind::Blas1 { n: 1 });
+        ctx.end_window();
+        ctx.record(EventKind::Blas1 { n: 1 });
+        let l = ctx.ledger_snapshot();
+        assert_eq!(l.events()[0].window, Some(w));
+        assert_eq!(l.events()[1].window, None);
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod grid;
 pub mod ledger;
 pub mod partition;
 
-pub use collective::{Communicator, Reduce, Slot};
+pub use collective::{Communicator, GatherRequest, NbPoolStats, Reduce, Request, SendBuf, Slot};
 pub use grid::{block_range, run_grid, solo_ctx, GridShape, RankCtx, SpmdOutput};
-pub use ledger::{Category, Event, EventKind, Ledger, LinkClass, Region, RegionGuard};
+pub use ledger::{now_us, Category, Event, EventKind, Ledger, LinkClass, Region, RegionGuard};
 pub use partition::{Distribution, IndexSet};

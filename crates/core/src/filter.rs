@@ -18,11 +18,27 @@
 //! sorted ascending-by-degree and shrinking the active range as steps pass
 //! each column's degree.
 
-use crate::hemm::{hemm_b_to_c, hemm_c_to_b};
+use crate::hemm::{hemm_b_to_c, hemm_b_to_c_pipelined, hemm_c_to_b, hemm_c_to_b_pipelined};
 use crate::layout::DistHerm;
 use chase_comm::{RankCtx, Reduce, Region};
 use chase_device::Device;
 use chase_linalg::{Matrix, RealScalar, Scalar};
+
+/// How the filter executes its HEMM/allreduce steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterExec {
+    /// One flat GEMM + blocking allreduce per step (the reference path).
+    #[default]
+    Flat,
+    /// Panel-chunked double-buffered steps: each step runs inside a ledger
+    /// overlap window, computing panel `k+1` while panel `k`'s nonblocking
+    /// allreduce is in flight. Bitwise identical to [`FilterExec::Flat`].
+    Pipelined {
+        /// Panel width in columns; `None` lets the topology tuner pick per
+        /// step from the pipeline model.
+        panel: Option<usize>,
+    },
+}
 
 /// Interval parameters consumed by the filter.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +81,34 @@ pub fn chebyshev_filter<T: Scalar + Reduce>(
     degrees: &[usize],
     bounds: FilterBounds<T::Real>,
 ) -> u64 {
+    chebyshev_filter_with(
+        dev,
+        ctx,
+        h,
+        c_buf,
+        b_buf,
+        offset,
+        degrees,
+        bounds,
+        FilterExec::Flat,
+    )
+}
+
+/// [`chebyshev_filter`] with an explicit execution strategy. The pipelined
+/// strategy produces bitwise-identical output to the flat one; only the
+/// schedule (and therefore the ledger) differs.
+#[allow(clippy::too_many_arguments)]
+pub fn chebyshev_filter_with<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    ctx: &RankCtx,
+    h: &mut DistHerm<T>,
+    c_buf: &mut Matrix<T>,
+    b_buf: &mut Matrix<T>,
+    offset: usize,
+    degrees: &[usize],
+    bounds: FilterBounds<T::Real>,
+    exec: FilterExec,
+) -> u64 {
     if degrees.is_empty() {
         return 0;
     }
@@ -94,7 +138,25 @@ pub fn chebyshev_filter<T: Scalar + Reduce>(
     {
         let ncols = degrees.len();
         let alpha = T::from_real(sigma1 / bounds.e);
-        hemm_c_to_b(dev, ctx, h, c_buf, b_buf, offset, ncols, alpha, T::zero());
+        match exec {
+            FilterExec::Flat => {
+                hemm_c_to_b(dev, ctx, h, c_buf, b_buf, offset, ncols, alpha, T::zero());
+            }
+            FilterExec::Pipelined { panel } => {
+                hemm_c_to_b_pipelined(
+                    dev,
+                    ctx,
+                    h,
+                    c_buf,
+                    b_buf,
+                    offset,
+                    ncols,
+                    alpha,
+                    T::zero(),
+                    panel,
+                );
+            }
+        }
         matvecs += ncols as u64;
     }
 
@@ -110,11 +172,20 @@ pub fn chebyshev_filter<T: Scalar + Reduce>(
         let alpha = T::from_real((sigma_new + sigma_new) / bounds.e);
         let beta = T::from_real(-(sigma * sigma_new));
 
-        if step % 2 == 0 {
-            // B-layout -> C-layout; X_{step-2} lives in c_buf.
-            hemm_b_to_c(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta);
-        } else {
-            hemm_c_to_b(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta);
+        match (step % 2 == 0, exec) {
+            // B-layout -> C-layout on even steps; X_{step-2} lives in c_buf.
+            (true, FilterExec::Flat) => {
+                hemm_b_to_c(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta);
+            }
+            (false, FilterExec::Flat) => {
+                hemm_c_to_b(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta);
+            }
+            (true, FilterExec::Pipelined { panel }) => {
+                hemm_b_to_c_pipelined(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta, panel);
+            }
+            (false, FilterExec::Pipelined { panel }) => {
+                hemm_c_to_b_pipelined(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta, panel);
+            }
         }
         sigma = sigma_new;
         matvecs += ncols as u64;
@@ -258,6 +329,59 @@ mod tests {
             });
             for d in out.results {
                 assert!(d < 1e-11, "shape {shape:?} diff {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_filter_matches_flat_bitwise_and_opens_windows() {
+        let n = 16;
+        let ne = 5;
+        let spec: Vec<f64> = (0..n)
+            .map(|i| -3.0 + 6.0 * i as f64 / (n - 1) as f64)
+            .collect();
+        let hg = {
+            let s = chase_matgen::Spectrum::from_values(spec);
+            chase_matgen::dense_with_spectrum::<C64>(&s, 21)
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let x = Matrix::<C64>::random(n, ne, &mut rng);
+        let bounds = FilterBounds::from_spectrum(-3.0, 0.0, 3.0);
+        let degrees = vec![2usize, 4, 4, 6, 8];
+        for panel in [Some(1), Some(3), None] {
+            let (hg, x, degrees) = (&hg, &x, &degrees);
+            let out = run_grid(GridShape::new(2, 2), move |ctx| {
+                let dev = Device::new(ctx, Backend::Nccl);
+                let mut h = DistHerm::from_global(hg, ctx);
+                let mut flat = x.select_rows(h.row_set.iter());
+                let mut b = Matrix::<C64>::zeros(h.n_c(), ne);
+                chebyshev_filter(&dev, ctx, &mut h, &mut flat, &mut b, 0, degrees, bounds);
+                let mut piped = x.select_rows(h.row_set.iter());
+                let mut b2 = Matrix::<C64>::zeros(h.n_c(), ne);
+                let mv = chebyshev_filter_with(
+                    &dev,
+                    ctx,
+                    &mut h,
+                    &mut piped,
+                    &mut b2,
+                    0,
+                    degrees,
+                    bounds,
+                    FilterExec::Pipelined { panel },
+                );
+                assert_eq!(mv, degrees.iter().map(|&d| d as u64).sum::<u64>());
+                assert_eq!(
+                    flat.as_ref().as_slice(),
+                    piped.as_ref().as_slice(),
+                    "panel {panel:?} changed bits"
+                );
+                0u8
+            });
+            for l in &out.ledgers {
+                // Every pipelined step (8 = dmax) opened its own window.
+                let windows: std::collections::HashSet<_> =
+                    l.events().iter().filter_map(|e| e.window).collect();
+                assert_eq!(windows.len(), 8, "one overlap window per filter step");
             }
         }
     }

@@ -25,7 +25,8 @@ pub mod solver;
 
 pub use condest::{cond_est, growth_factor};
 pub use degrees::{degree_sort_permutation, optimal_degree, optimize_degrees};
-pub use filter::{chebyshev_filter, FilterBounds};
+pub use filter::{chebyshev_filter, chebyshev_filter_with, FilterBounds, FilterExec};
+pub use hemm::{hemm_b_to_c, hemm_b_to_c_pipelined, hemm_c_to_b, hemm_c_to_b_pipelined};
 pub use layout::{DistHerm, MemoryReport, RowDist};
 pub use params::{Params, QrStrategy};
 pub use qr::{cholesky_qr, flexible_qr, householder_qr_dist, shifted_cholesky_qr2, QrVariant};

@@ -50,6 +50,13 @@ pub struct Params {
     /// bitwise identical across all settings; only the priced hop structure
     /// changes.
     pub collective: CollectiveAlgo,
+    /// Run the Chebyshev filter on the overlapped pipeline: panel-chunked
+    /// HEMMs double-buffered against nonblocking allreduces. Bitwise
+    /// identical to the flat filter.
+    pub overlap: bool,
+    /// Panel width (columns) for the overlapped filter; `None` lets the
+    /// topology tuner pick per step. Ignored unless `overlap` is set.
+    pub overlap_panel: Option<usize>,
     /// Seed for the random starting block.
     pub seed: u64,
 }
@@ -70,7 +77,20 @@ impl Params {
             qr: QrStrategy::Auto,
             track_true_cond: false,
             collective: CollectiveAlgo::Flat,
+            overlap: false,
+            overlap_panel: None,
             seed: 0xC4A53,
+        }
+    }
+
+    /// The filter execution strategy these parameters select.
+    pub fn filter_exec(&self) -> crate::filter::FilterExec {
+        if self.overlap {
+            crate::filter::FilterExec::Pipelined {
+                panel: self.overlap_panel,
+            }
+        } else {
+            crate::filter::FilterExec::Flat
         }
     }
 

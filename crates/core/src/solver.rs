@@ -11,7 +11,7 @@
 
 use crate::condest::cond_est;
 use crate::degrees::{degree_sort_permutation, optimize_degrees};
-use crate::filter::{chebyshev_filter, FilterBounds};
+use crate::filter::{chebyshev_filter_with, FilterBounds};
 use crate::hemm::{hemm_c_to_b, matvec_replicated};
 use crate::layout::{DistHerm, MemoryReport, RowDist};
 use crate::params::Params;
@@ -349,7 +349,7 @@ where
                 mu_1,
             };
             let degrees: Vec<usize> = self.degs[self.locked..].to_vec();
-            let mv = chebyshev_filter(
+            let mv = chebyshev_filter_with(
                 self.dev,
                 ctx,
                 &mut self.h,
@@ -358,6 +358,7 @@ where
                 self.locked,
                 &degrees,
                 fb,
+                self.params.filter_exec(),
             );
             total_matvecs += mv;
 

@@ -15,10 +15,10 @@
 //!   `H2D` copy (the blue data-movement bars of Fig. 2);
 //! * `Nccl` collectives record only the collective itself.
 
-use chase_comm::{Communicator, EventKind, LinkClass, RankCtx, Reduce, Region};
+use chase_comm::{now_us, Communicator, EventKind, LinkClass, RankCtx, Reduce, Region, Request};
 use chase_linalg::matrix::{ColsMut, ColsRef};
 use chase_linalg::{Matrix, NotPositiveDefinite, Scalar};
-use chase_topo::{exec, CollOp, Tuner};
+use chase_topo::{exec, CollOp, Tuner, NOMINAL_GEMM_FLOPS};
 
 pub use chase_topo::{Algo, CollectiveAlgo, Topology};
 
@@ -129,8 +129,29 @@ impl<'a> Device<'a> {
             chase_linalg::Op::None => a.cols(),
             _ => a.rows(),
         } as u64;
-        self.ctx.record(EventKind::Gemm { m, n, k });
+        // Spanned so the overlap metric can intersect GEMM wall-time with
+        // in-flight collectives.
+        let t0 = now_us();
         chase_linalg::gemm(opa, opb, alpha, a, b, beta, c);
+        self.ctx.record_spanned(EventKind::Gemm { m, n, k }, t0);
+    }
+
+    /// [`Device::gemm`] against a prepacked `op(A)` — the pipelined filter
+    /// packs the operand once per step and reuses it for every column panel.
+    pub fn gemm_prepacked<T: Scalar>(
+        &self,
+        a: &chase_linalg::Prepacked<'_, T>,
+        opb: chase_linalg::Op,
+        alpha: T,
+        b: ColsRef<'_, T>,
+        beta: T,
+        c: ColsMut<'_, T>,
+    ) {
+        let (m, n) = (c.rows() as u64, c.cols() as u64);
+        let k = a.k() as u64;
+        let t0 = now_us();
+        chase_linalg::gemm_prepacked(a, opb, alpha, b, beta, c);
+        self.ctx.record_spanned(EventKind::Gemm { m, n, k }, t0);
     }
 
     /// Gram matrix `X^H X` (cuBLAS `zherk` role).
@@ -258,6 +279,126 @@ impl<'a> Device<'a> {
         }
     }
 
+    // ---- nonblocking collectives and overlap windows ---------------------
+
+    /// Open an overlap window: every event recorded until [`end_overlap`]
+    /// (compute, collectives, transfers) is tagged with the window id, and
+    /// the overlap-aware perfmodel prices the window at
+    /// `max(compute, comm)` instead of their sum.
+    ///
+    /// [`end_overlap`]: Device::end_overlap
+    pub fn begin_overlap(&self) -> u32 {
+        self.ctx.begin_window()
+    }
+
+    pub fn end_overlap(&self) {
+        self.ctx.end_window();
+    }
+
+    /// Post a sum-allreduce of a device buffer without waiting for it.
+    ///
+    /// The handle's [`DevAllreduce::wait`] copies the reduced result into a
+    /// caller buffer and records the collective as a *spanned* event
+    /// covering post→wait, so the ledger can witness overlap with compute
+    /// that ran in between. Staging backends record D2H at post and H2D at
+    /// wait, bracketing the in-flight region exactly as a host-staged
+    /// `MPI_Iallreduce` would.
+    ///
+    /// The nonblocking path always moves data over the flat transport: the
+    /// `chase-topo` hop schedules are blocking rendezvous programs and
+    /// cannot run concurrently with compute on the posting thread. Results
+    /// are bitwise identical either way (both fold contributions in
+    /// member-index order), so the knob only affects the *pricing* of the
+    /// movement, which the spanned event captures.
+    pub fn iallreduce_sum<'c, T: Scalar + Reduce>(
+        &self,
+        comm: &'c Communicator,
+        buf: &[T],
+    ) -> DevAllreduce<'a, 'c, T> {
+        let bytes = size_of_val(buf) as u64;
+        let staged = if self.backend.stages_through_host() {
+            self.ctx.record(EventKind::D2H { bytes });
+            true
+        } else {
+            false
+        };
+        let t0_us = now_us();
+        DevAllreduce {
+            req: comm.iallreduce_sum(buf),
+            ctx: self.ctx,
+            staged,
+            bytes,
+            members: comm.size() as u64,
+            t0_us,
+        }
+    }
+
+    /// Check out a pooled staging buffer to compute a contribution directly
+    /// into, for zero-copy posting via
+    /// [`Device::iallreduce_sum_staged`]. Steady state this allocates and
+    /// zeroes nothing.
+    pub fn nb_staging<'c, T: Scalar>(
+        &self,
+        comm: &'c Communicator,
+        len: usize,
+    ) -> chase_comm::SendBuf<'c, T> {
+        comm.nb_staging::<T>(len)
+    }
+
+    /// Zero-copy twin of [`Device::iallreduce_sum`]: the staged buffer
+    /// *moves* into the collective as this rank's payload, skipping the
+    /// posting copy entirely. Ledger semantics are identical.
+    pub fn iallreduce_sum_staged<'c, T: Scalar + Reduce>(
+        &self,
+        comm: &'c Communicator,
+        staged: chase_comm::SendBuf<'c, T>,
+    ) -> DevAllreduce<'a, 'c, T> {
+        let bytes = (staged.len() * size_of::<T>()) as u64;
+        let staging = if self.backend.stages_through_host() {
+            self.ctx.record(EventKind::D2H { bytes });
+            true
+        } else {
+            false
+        };
+        let t0_us = now_us();
+        DevAllreduce {
+            req: comm.iallreduce_sum_staged(staged),
+            ctx: self.ctx,
+            staged: staging,
+            bytes,
+            members: comm.size() as u64,
+            t0_us,
+        }
+    }
+
+    /// Panel width (columns) for the overlapped HEMM/allreduce pipeline,
+    /// chosen by the `chase-topo` tuner from the pipeline model: a panel of
+    /// `w` columns costs one `out_rows x w x inner_k` GEMM (at the nominal
+    /// device rate) against an allreduce of `w * out_rows` scalars over
+    /// `comm`.
+    pub fn overlap_panel_cols<T: Scalar>(
+        &self,
+        comm: &Communicator,
+        total_cols: usize,
+        out_rows: usize,
+        inner_k: usize,
+    ) -> usize {
+        if total_cols <= 1 || comm.size() <= 1 {
+            return total_cols.max(1);
+        }
+        let bytes_per_col = (out_rows * size_of::<T>()) as u64;
+        let cmul = if T::IS_COMPLEX { 4.0 } else { 1.0 };
+        let flops_per_col = 2.0 * cmul * out_rows as f64 * inner_k as f64;
+        let tuner = Tuner::new(self.topo.clone(), self.device_direct());
+        tuner.overlap_panel_cols(
+            CollOp::AllReduce,
+            total_cols,
+            bytes_per_col,
+            comm.labels(),
+            flops_per_col / NOMINAL_GEMM_FLOPS,
+        )
+    }
+
     /// Broadcast a device buffer from `root`.
     pub fn bcast<T: Scalar>(&self, comm: &Communicator, buf: &mut [T], root: usize) {
         // The root only pays D2H; receivers only pay H2D. Record one copy on
@@ -319,6 +460,37 @@ impl<'a> Device<'a> {
                 members: comm.size() as u64,
             });
             out
+        }
+    }
+}
+
+/// In-flight device allreduce: a [`Request`] plus the ledger bookkeeping
+/// that turns its completion into a spanned `AllReduce` event (and the H2D
+/// upload on staging backends).
+#[must_use = "a posted collective must be waited on"]
+pub struct DevAllreduce<'a, 'c, T: Reduce> {
+    req: Request<'c, T>,
+    ctx: &'a RankCtx,
+    staged: bool,
+    bytes: u64,
+    members: u64,
+    t0_us: u64,
+}
+
+impl<T: Scalar + Reduce> DevAllreduce<'_, '_, T> {
+    /// Block until the collective completes, copy the sum into `out`
+    /// (length must match the posted buffer) and record the spanned event.
+    pub fn wait(self, out: &mut [T]) {
+        self.req.wait(out);
+        self.ctx.record_spanned(
+            EventKind::AllReduce {
+                bytes: self.bytes,
+                members: self.members,
+            },
+            self.t0_us,
+        );
+        if self.staged {
+            self.ctx.record(EventKind::H2D { bytes: self.bytes });
         }
     }
 }
@@ -512,6 +684,102 @@ mod tests {
         let want = vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0];
         for r in &out.results {
             assert_eq!(*r, want);
+        }
+    }
+
+    #[test]
+    fn iallreduce_matches_blocking_and_spans_the_window() {
+        let out = run_grid(GridShape::new(2, 2), |ctx| {
+            let dev = Device::new(ctx, Backend::Nccl);
+            let v: Vec<f64> = (0..16)
+                .map(|i| ((ctx.world_rank() * 17 + i) as f64).sin())
+                .collect();
+            let mut blocking = v.clone();
+            dev.allreduce_sum(&ctx.world, &mut blocking);
+
+            let w = dev.begin_overlap();
+            let req = dev.iallreduce_sum(&ctx.world, &v);
+            // Compute "overlapping" the in-flight collective.
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let a = Matrix::<C64>::random(24, 24, &mut rng);
+            let b = Matrix::<C64>::random(24, 24, &mut rng);
+            let mut c = Matrix::<C64>::zeros(24, 24);
+            dev.gemm(
+                Op::None,
+                Op::None,
+                C64::one(),
+                a.as_ref(),
+                b.as_ref(),
+                C64::zero(),
+                c.as_mut(),
+            );
+            let mut nb = vec![0.0f64; 16];
+            req.wait(&mut nb);
+            dev.end_overlap();
+            assert_eq!(nb, blocking, "nonblocking must match blocking bitwise");
+            w
+        });
+        for (l, w) in out.ledgers.iter().zip(&out.results) {
+            let windowed: Vec<_> = l.events().iter().filter(|e| e.window == Some(*w)).collect();
+            assert!(
+                windowed
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::AllReduce { .. })),
+                "spanned allreduce should carry the window tag"
+            );
+            assert!(
+                windowed
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::Gemm { .. })),
+                "gemm inside the window should carry the tag"
+            );
+            let ar = windowed
+                .iter()
+                .find(|e| matches!(e.kind, EventKind::AllReduce { .. }))
+                .unwrap();
+            assert!(ar.t1_us >= ar.t0_us);
+            assert_eq!(l.bytes_in(Category::Transfer), 0, "NCCL must not stage");
+        }
+    }
+
+    #[test]
+    fn std_iallreduce_stages_at_post_and_wait() {
+        let out = run_grid(GridShape::new(1, 2), |ctx| {
+            let dev = Device::new(ctx, Backend::Std);
+            let v = vec![1.0f64; 10];
+            let req = dev.iallreduce_sum(&ctx.world, &v);
+            let mut sum = vec![0.0f64; 10];
+            req.wait(&mut sum);
+            sum[0]
+        });
+        for (r, l) in out.results.iter().zip(&out.ledgers) {
+            assert_eq!(*r, 2.0);
+            assert_eq!(
+                l.bytes_in(Category::Transfer),
+                160,
+                "D2H at post, H2D at wait"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_panel_cols_solo_is_full_block() {
+        let ctx = solo_ctx();
+        let dev = Device::new(&ctx, Backend::Nccl);
+        assert_eq!(dev.overlap_panel_cols::<C64>(&ctx.world, 40, 100, 100), 40);
+        assert_eq!(dev.overlap_panel_cols::<C64>(&ctx.world, 0, 100, 100), 1);
+    }
+
+    #[test]
+    fn overlap_panel_cols_is_uniform_across_ranks() {
+        let out = run_grid(GridShape::new(2, 2), |ctx| {
+            let dev = Device::new(ctx, Backend::Nccl);
+            dev.overlap_panel_cols::<C64>(&ctx.col_comm, 64, 160, 160)
+        });
+        let first = out.results[0];
+        assert!((1..=64).contains(&first));
+        for r in &out.results {
+            assert_eq!(*r, first, "panel choice must be SPMD-uniform");
         }
     }
 

@@ -26,7 +26,9 @@ pub mod qr;
 pub mod scalar;
 pub mod svd;
 
-pub use blas3::{gemm, gemm_new, gemv, gram, trsm_right_upper, Op};
+pub use blas3::{
+    gemm, gemm_new, gemm_prepacked, gemv, gram, prepack_a, trsm_right_upper, Op, Prepacked,
+};
 pub use cholesky::{add_shift, potrf_upper, shifted_cholesky_shift, NotPositiveDefinite};
 pub use heevd::{eigvals_tridiagonal, heevd, steqr, tridiagonalize, NoConvergence};
 pub use lanczos::{estimate_bounds, lanczos_run, LanczosRun, SpectralBounds};

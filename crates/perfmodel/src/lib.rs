@@ -18,7 +18,11 @@ pub mod elpa;
 pub mod machine;
 pub mod profile;
 
-pub use analytic::{iteration_events, solve_events, IterationSpec, Layout};
+pub use analytic::{
+    iteration_events, iteration_events_with_overlap, solve_events, IterationSpec, Layout,
+};
 pub use elpa::{elpa_time, ElpaKind, ElpaTime};
 pub use machine::{CommFlavor, Machine, ScalarKind};
-pub use profile::{price_ledger, profiled_time, total_time, PriceCtx, RegionCost};
+pub use profile::{
+    price_ledger, price_ledger_overlap, profiled_time, total_time, PriceCtx, RegionCost,
+};

@@ -341,10 +341,7 @@ mod tests {
     #[test]
     fn event_time_dispatch() {
         let mm = m();
-        let ev = Event {
-            kind: EventKind::D2H { bytes: 1 << 20 },
-            region: Region::Qr,
-        };
+        let ev = Event::new(EventKind::D2H { bytes: 1 << 20 }, Region::Qr);
         let t = mm.event_time(&ev, ScalarKind::C64, CommFlavor::MpiHostStaged, 1.0);
         assert!(t > 0.0);
         assert!((t - (mm.pcie_latency + (1u64 << 20) as f64 / mm.pcie_bw)).abs() < 1e-12);

@@ -32,7 +32,7 @@ pub mod tuner;
 pub use cost::{collective_cost, CollOp};
 pub use exec::{allgather, allreduce, bcast, Algo, HopSink};
 pub use topology::{CommSpan, LinkParams, Topology};
-pub use tuner::{Choice, Tuner, CHUNK_MENU};
+pub use tuner::{Choice, Tuner, CHUNK_MENU, NOMINAL_GEMM_FLOPS, PANEL_MENU};
 
 /// Solver-facing knob: which collective execution path to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -17,6 +17,22 @@ use crate::topology::Topology;
 /// per-chunk latency dominates, above 4 MiB pipelining stops helping.
 pub const CHUNK_MENU: &[u64] = &[16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
 
+/// Panel widths (columns) the overlap tuner may pick from; the full block is
+/// always also considered.
+pub const PANEL_MENU: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Nominal device GEMM throughput (real flop/s) used to weigh per-panel
+/// compute against the alpha-beta collective cost when sizing overlap
+/// panels — the A100 rate of the paper's machine model.
+pub const NOMINAL_GEMM_FLOPS: f64 = 1.5e13;
+
+/// Fixed per-panel pipeline overhead (seconds): one kernel launch plus one
+/// nonblocking-collective post. Without this term the model degenerates to
+/// single-column panels whenever compute dominates — only the drain
+/// collective is exposed, and the smallest drain wins — which ignores the
+/// very real cost of issuing `n` tiny GEMMs and `n` collective posts.
+pub const PANEL_OVERHEAD_S: f64 = 2e-6;
+
 /// A tuner decision: which schedule to run and at what chunk granularity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Choice {
@@ -71,6 +87,54 @@ impl Tuner {
             }
         }
         best
+    }
+
+    /// Panel width (in columns) for the overlapped HEMM/allreduce pipeline.
+    ///
+    /// A panel of `w` columns costs `compute_per_col_s * w` seconds of local
+    /// GEMM and one allreduce of `w * bytes_per_col` bytes. With double
+    /// buffering, panel `k`'s collective flies while panel `k+1` computes,
+    /// so the modeled pipeline time is fill + steady-state `max` + drain:
+    ///
+    /// ```text
+    /// T(w) = p * OVH + t_comp(w) + (p - 1) * max(t_comp(w), t_comm(w)) + t_comm(w)
+    /// ```
+    ///
+    /// with `p = ceil(n/w)` panels and [`PANEL_OVERHEAD_S`] charged per
+    /// panel for the kernel launch and collective post.
+    ///
+    /// The collective term re-runs the full (algorithm, chunk) search at
+    /// panel granularity — overlap shrinks messages, which shifts the
+    /// optimal chunk (and sometimes the algorithm) relative to tuning the
+    /// unsplit block. Ties break toward wider panels (fewer collectives).
+    pub fn overlap_panel_cols(
+        &self,
+        op: CollOp,
+        total_cols: usize,
+        bytes_per_col: u64,
+        labels: &[usize],
+        compute_per_col_s: f64,
+    ) -> usize {
+        if total_cols <= 1 {
+            return 1.max(total_cols);
+        }
+        let mut best = (total_cols, f64::INFINITY);
+        let candidates = PANEL_MENU
+            .iter()
+            .copied()
+            .filter(|&w| w < total_cols)
+            .chain(std::iter::once(total_cols));
+        for w in candidates {
+            let panels = total_cols.div_ceil(w) as f64;
+            let t_comm = self.choose(op, w as u64 * bytes_per_col, labels).cost;
+            let t_comp = compute_per_col_s * w as f64;
+            let t =
+                panels * PANEL_OVERHEAD_S + t_comp + (panels - 1.0) * t_comp.max(t_comm) + t_comm;
+            if t <= best.1 {
+                best = (w, t);
+            }
+        }
+        best.0
     }
 
     /// Chunk size the tuner would pair with a *fixed* algorithm choice.
@@ -144,6 +208,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn overlap_panel_balances_compute_and_comm() {
+        let tuner = Tuner::new(Topology::juwels_booster(), true);
+        let l = world(4);
+        let bytes_per_col = 160 * 16; // 160 C64 rows
+                                      // Compute and comm comparable per panel: splitting hides the
+                                      // collective behind the next panel's GEMM, so a proper panel wins.
+        let balanced = tuner.overlap_panel_cols(CollOp::AllReduce, 128, bytes_per_col, &l, 1.5e-7);
+        assert!(
+            (8..128).contains(&balanced),
+            "panel {balanced} should split the block"
+        );
+        // Compute-dominated columns: almost everything hides, and per-panel
+        // overhead punishes narrow panels — the pick stays wide.
+        let heavy = tuner.overlap_panel_cols(CollOp::AllReduce, 128, bytes_per_col, &l, 1e-2);
+        assert!(
+            heavy >= 64,
+            "10ms/col compute wants wide panels, got {heavy}"
+        );
+        // Solo communicator: collective cost is zero, full block wins.
+        let solo = tuner.overlap_panel_cols(CollOp::AllReduce, 96, bytes_per_col, &[0], 1e-6);
+        assert_eq!(solo, 96);
+        assert_eq!(
+            tuner.overlap_panel_cols(CollOp::AllReduce, 1, bytes_per_col, &l, 1e-6),
+            1
+        );
+    }
+
+    #[test]
+    fn overlap_panel_choice_is_the_modeled_minimum() {
+        // The returned width must attain the minimum of the pipeline model
+        // over the candidate set (ties toward wider panels).
+        let tuner = Tuner::new(Topology::juwels_booster(), false);
+        let l = world(8);
+        let (total, bpc, cpc) = (64usize, 4096u64, 5e-7);
+        let t_of = |w: usize| {
+            let panels = total.div_ceil(w) as f64;
+            let t_comm = tuner.choose(CollOp::AllReduce, w as u64 * bpc, &l).cost;
+            let t_comp = cpc * w as f64;
+            panels * PANEL_OVERHEAD_S + t_comp + (panels - 1.0) * t_comp.max(t_comm) + t_comm
+        };
+        let picked = tuner.overlap_panel_cols(CollOp::AllReduce, total, bpc, &l, cpc);
+        for &w in PANEL_MENU.iter().filter(|&&w| w < total) {
+            assert!(
+                t_of(picked) <= t_of(w) + 1e-15,
+                "picked {picked} beaten by {w}"
+            );
+        }
+        assert!(t_of(picked) <= t_of(total) + 1e-15);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! chase generate --n 1000 --spectrum uniform --out h.chasemat [--seed 42] [--real]
 //! chase info     --matrix h.chasemat
 //! chase solve    --matrix h.chasemat --nev 20 [--nex 10] [--tol 1e-10]
-//!                [--grid 2x2] [--backend nccl|std|lms] [--qr auto|hhqr|cholqr1|cholqr2]
+//!                [--grid 2x2 | --ranks 6] [--backend nccl|std|lms]
+//!                [--qr auto|hhqr|cholqr1|cholqr2]
 //!                [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
+//!                [--overlap] [--panel 16]
 //! ```
 
 use chase_comm::{run_grid, Distribution, GridShape};
@@ -25,7 +27,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
         // Boolean flags take no value.
-        if matches!(key, "real" | "no-degopt") {
+        if matches!(key, "real" | "no-degopt" | "overlap") {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -152,7 +154,33 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let nev: usize = get(&flags, "nev", None)?;
     let nex: usize = get(&flags, "nex", Some(nev.div_ceil(2).max(2)))?;
     let tol: f64 = get(&flags, "tol", Some(1e-10))?;
-    let shape = parse_grid(flags.get("grid").map(String::as_str).unwrap_or("1x1"))?;
+    // `--grid PxQ` pins the process grid; `--ranks N` asks for the squarest
+    // grid covering at most N ranks (primes > 3 deliberately leave ranks
+    // idle rather than degenerate to 1 x N). Either way, log the choice —
+    // the shape decides every communicator in the run.
+    let ranks: Option<usize> = match flags.get("ranks") {
+        Some(r) => Some(r.parse().map_err(|_| "--ranks needs a rank count")?),
+        None => None,
+    };
+    let shape = match (flags.get("grid"), ranks) {
+        (Some(g), _) => parse_grid(g)?,
+        (None, Some(n)) => GridShape::squarest(n),
+        (None, None) => GridShape::new(1, 1),
+    };
+    {
+        let idle = ranks.map_or(0, |n| n.saturating_sub(shape.ranks()));
+        println!(
+            "grid: {}x{} ({} ranks{})",
+            shape.p,
+            shape.q,
+            shape.ranks(),
+            if idle > 0 {
+                format!(", {idle} idle — squarest balanced grid under --ranks")
+            } else {
+                String::new()
+            }
+        );
+    }
     let backend = match flags.get("backend").map(String::as_str).unwrap_or("nccl") {
         "nccl" => Backend::Nccl,
         "std" => Backend::Std,
@@ -194,6 +222,15 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     params.qr = qr;
     params.collective = collective;
     params.optimize_degrees = !flags.contains_key("no-degopt");
+    // `--overlap` switches the filter to the panel-chunked double-buffered
+    // pipeline; `--panel W` pins the panel width (implies --overlap, since
+    // it is meaningless on the flat path). Without --panel the topology
+    // tuner picks the width per step.
+    params.overlap = flags.contains_key("overlap") || flags.contains_key("panel");
+    params.overlap_panel = match flags.get("panel") {
+        Some(w) => Some(w.parse().map_err(|_| "--panel needs a column count")?),
+        None => None,
+    };
 
     let m = load(&path).map_err(|e| e.to_string())?;
     if params.ne() > m.rows() {
@@ -223,9 +260,10 @@ chase — Chebyshev Accelerated Subspace iteration Eigensolver (SC'23 reproducti
 USAGE:
   chase generate --n N --out FILE [--spectrum uniform|dft|bse|geometric] [--seed S] [--real]
   chase info     --matrix FILE
-  chase solve    --matrix FILE --nev K [--nex X] [--tol T] [--grid PxQ]
+  chase solve    --matrix FILE --nev K [--nex X] [--tol T] [--grid PxQ | --ranks N]
                  [--backend nccl|std|lms] [--qr auto|hhqr|cholqr1|cholqr2]
                  [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
+                 [--overlap] [--panel W]
 ";
 
 fn main() -> ExitCode {
