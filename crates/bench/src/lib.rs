@@ -160,7 +160,8 @@ pub fn bench_filter_variants(
         let mut b = Matrix::<C64>::zeros(dh.n_c(), ne);
         let run =
             |exec: FilterExec, c: &mut Matrix<C64>, b: &mut Matrix<C64>, dh: &mut DistHerm<C64>| {
-                chebyshev_filter_with(&dev, ctx, dh, c, b, 0, degrees, bounds, exec);
+                chebyshev_filter_with(&dev, ctx, dh, c, b, 0, degrees, bounds, exec)
+                    .expect("benchmark filter run timed out");
             };
         for _ in 0..warmup {
             for &exec in execs {

@@ -10,9 +10,61 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A nonblocking collective's `wait()` gave up: some member never posted its
+/// contribution within the communicator's wait timeout. In a real MPI/NCCL
+/// deployment this is the watchdog firing on a dead or wedged peer; here it
+/// turns a permanently-stalled `Request` into a typed, recoverable error
+/// instead of a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout {
+    /// Per-rank sequence number of the op that never completed.
+    pub op_id: u64,
+    /// The timeout that was exceeded, in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nonblocking collective op {} timed out after {} ms (peer never posted)",
+            self.op_id, self.timeout_ms
+        )
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
+
+/// Default watchdog on `Request::wait` — generous enough that legitimate
+/// slow collectives never trip it, small enough that a wedged peer surfaces
+/// as an error rather than a stuck CI job.
+pub const DEFAULT_WAIT_TIMEOUT_MS: u64 = 30_000;
+
+/// What a fault hook decides to do with one nonblocking post.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostAction {
+    /// Post normally.
+    Deliver,
+    /// Never post: the op stays incomplete and every member's `wait` times
+    /// out. Models a crashed/wedged peer.
+    Drop,
+    /// Sleep before posting, then deliver. Models a straggler link.
+    Delay { ms: u64 },
+}
+
+/// Fault-injection hook consulted at every nonblocking post. Installed
+/// per-communicator by the chaos harness (`chase-faults`); production runs
+/// carry no hook and pay one `RefCell` borrow per post.
+pub trait CommFaultHook: Send + Sync {
+    /// Decide the fate of nonblocking op `seq` (`op` names the collective:
+    /// "iallreduce", "ibcast", "iallgather").
+    fn on_post(&self, op: &'static str, seq: u64) -> PostAction;
+}
 
 /// Element types that can participate in a sum-allreduce.
 pub trait Reduce: Clone + Send + Sync + 'static {
@@ -224,6 +276,10 @@ pub struct Communicator {
     /// (every member posts the same nonblocking ops in the same order) keeps
     /// it consistent across ranks, making it the op key.
     nb_seq: Cell<u64>,
+    /// Watchdog for `Request::wait`, in milliseconds.
+    wait_timeout_ms: Cell<u64>,
+    /// Fault-injection hook consulted at nonblocking posts (chaos testing).
+    fault_hook: RefCell<Option<Arc<dyn CommFaultHook>>>,
 }
 
 impl Communicator {
@@ -244,6 +300,32 @@ impl Communicator {
             labels,
             op_seq: Cell::new(0),
             nb_seq: Cell::new(0),
+            wait_timeout_ms: Cell::new(DEFAULT_WAIT_TIMEOUT_MS),
+            fault_hook: RefCell::new(None),
+        }
+    }
+
+    /// Set the `wait()` watchdog for this handle, in milliseconds.
+    pub fn set_wait_timeout_ms(&self, ms: u64) {
+        self.wait_timeout_ms.set(ms);
+    }
+
+    /// Current `wait()` watchdog, in milliseconds.
+    pub fn wait_timeout_ms(&self) -> u64 {
+        self.wait_timeout_ms.get()
+    }
+
+    /// Install (or clear) the fault-injection hook consulted at every
+    /// nonblocking post on this handle.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn CommFaultHook>>) {
+        *self.fault_hook.borrow_mut() = hook;
+    }
+
+    /// Consult the fault hook for op `seq`. `Deliver` when none installed.
+    fn post_action(&self, op: &'static str, seq: u64) -> PostAction {
+        match &*self.fault_hook.borrow() {
+            Some(h) => h.on_post(op, seq),
+            None => PostAction::Deliver,
         }
     }
 
@@ -506,6 +588,22 @@ impl Communicator {
         let mine = staged.buf.take().expect("staged buffer already posted");
         let len = mine.downcast_ref::<Vec<T>>().unwrap().len();
         let op_id = self.next_nb_seq();
+        match self.post_action("iallreduce", op_id) {
+            PostAction::Drop => {
+                // Stall: recycle the staging buffer, never deposit it. The
+                // op id is consumed so later posts stay aligned across ranks.
+                self.slot.nb.lock().checkin(mine);
+                return Request {
+                    comm: self,
+                    op_id,
+                    len,
+                    done: false,
+                    _t: std::marker::PhantomData,
+                };
+            }
+            PostAction::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            PostAction::Deliver => {}
+        }
         self.post_allreduce_payload::<T>(op_id, mine);
         Request {
             comm: self,
@@ -522,6 +620,19 @@ impl Communicator {
     /// the buffer passed to it.
     pub fn iallreduce_sum<T: Reduce>(&self, buf: &[T]) -> Request<'_, T> {
         let op_id = self.next_nb_seq();
+        match self.post_action("iallreduce", op_id) {
+            PostAction::Drop => {
+                return Request {
+                    comm: self,
+                    op_id,
+                    len: buf.len(),
+                    done: false,
+                    _t: std::marker::PhantomData,
+                }
+            }
+            PostAction::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            PostAction::Deliver => {}
+        }
         let slot = &*self.slot;
         let mut nb = slot.nb.lock();
         let mut mine = nb.checkout::<T>();
@@ -584,6 +695,19 @@ impl Communicator {
     ) -> Request<'_, T> {
         assert!(root < self.size());
         let op_id = self.next_nb_seq();
+        match self.post_action("ibcast", op_id) {
+            PostAction::Drop => {
+                return Request {
+                    comm: self,
+                    op_id,
+                    len: buf.len(),
+                    done: false,
+                    _t: std::marker::PhantomData,
+                }
+            }
+            PostAction::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            PostAction::Deliver => {}
+        }
         let slot = &*self.slot;
         let mut nb = slot.nb.lock();
         let mut op = nb.take_op(op_id, slot.members);
@@ -616,6 +740,18 @@ impl Communicator {
     /// [`GatherRequest::wait`].
     pub fn iallgather<T: Clone + Send + Sync + 'static>(&self, mine: &[T]) -> GatherRequest<'_, T> {
         let op_id = self.next_nb_seq();
+        match self.post_action("iallgather", op_id) {
+            PostAction::Drop => {
+                return GatherRequest {
+                    comm: self,
+                    op_id,
+                    done: false,
+                    _t: std::marker::PhantomData,
+                }
+            }
+            PostAction::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            PostAction::Deliver => {}
+        }
         let slot = &*self.slot;
         let mut nb = slot.nb.lock();
         let mut contrib = nb.checkout::<T>();
@@ -655,12 +791,25 @@ impl Communicator {
     }
 
     /// Block until op `op_id` has a result, hand it to `read` under the
-    /// lock, and drain the op (last taker recycles every buffer).
-    fn nb_wait_with<T: Send + 'static>(&self, op_id: u64, read: impl FnOnce(&Vec<T>)) {
+    /// lock, and drain the op (last taker recycles every buffer). Gives up
+    /// with [`WaitTimeout`] once the handle's watchdog expires — the op (and
+    /// any partial payloads) stays parked in the map; after a timeout the
+    /// caller is expected to abort the computation, not retry the wait.
+    fn nb_wait_with<T: Send + 'static>(
+        &self,
+        op_id: u64,
+        read: impl FnOnce(&Vec<T>),
+    ) -> Result<(), WaitTimeout> {
         let slot = &*self.slot;
+        let timeout_ms = self.wait_timeout_ms.get();
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
         let mut nb = slot.nb.lock();
         while nb.ops.get(&op_id).is_none_or(|op| op.result.is_none()) {
-            slot.nb_cv.wait(&mut nb);
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WaitTimeout { op_id, timeout_ms });
+            }
+            slot.nb_cv.wait_for(&mut nb, deadline - now);
         }
         let mut op = nb.ops.remove(&op_id).unwrap();
         read(
@@ -676,6 +825,7 @@ impl Communicator {
         } else {
             nb.ops.insert(op_id, op);
         }
+        Ok(())
     }
 }
 
@@ -738,17 +888,21 @@ pub struct Request<'c, T: Send + 'static> {
 
 impl<T: Send + 'static> Request<'_, T> {
     /// Block until the collective completes and copy the result into `out`
-    /// (length must match the posted buffer).
-    pub fn wait(mut self, out: &mut [T])
+    /// (length must match the posted buffer). Returns [`WaitTimeout`] if
+    /// some member never posts within the communicator's watchdog — `out`
+    /// is untouched in that case.
+    pub fn wait(mut self, out: &mut [T]) -> Result<(), WaitTimeout>
     where
         T: Clone,
     {
         assert_eq!(self.len, out.len(), "wait buffer length mismatch");
+        // Resolved either way: a timed-out request must not panic on drop —
+        // the typed error *is* the resolution.
+        self.done = true;
         self.comm.nb_wait_with::<T>(self.op_id, |r| {
             assert_eq!(r.len(), out.len(), "posted/result length mismatch");
             out.clone_from_slice(r);
-        });
-        self.done = true;
+        })
     }
 }
 
@@ -773,15 +927,17 @@ pub struct GatherRequest<'c, T: Send + 'static> {
 impl<T: Send + 'static> GatherRequest<'_, T> {
     /// Block until the gather completes and replace `out`'s contents with
     /// the member-order concatenation (capacity is reused across calls).
-    pub fn wait(mut self, out: &mut Vec<T>)
+    /// Returns [`WaitTimeout`] if some member never posts; `out` is
+    /// untouched in that case.
+    pub fn wait(mut self, out: &mut Vec<T>) -> Result<(), WaitTimeout>
     where
         T: Clone,
     {
+        self.done = true;
         self.comm.nb_wait_with::<T>(self.op_id, |r| {
             out.clear();
             out.extend_from_slice(r);
-        });
-        self.done = true;
+        })
     }
 }
 
@@ -1011,7 +1167,7 @@ mod tests {
             c.allreduce_sum(&mut blocking);
             let req = c.iallreduce_sum(&data);
             let mut nb = vec![0.0f64; data.len()];
-            req.wait(&mut nb);
+            req.wait(&mut nb).unwrap();
             (blocking, nb)
         });
         for (b, n) in out {
@@ -1031,8 +1187,8 @@ mod tests {
             let mut oa = vec![0.0; 4];
             let mut ob = vec![0.0; 2];
             // Wait out of post order, too.
-            rb.wait(&mut ob);
-            ra.wait(&mut oa);
+            rb.wait(&mut ob).unwrap();
+            ra.wait(&mut oa).unwrap();
             (oa, ob)
         });
         for (oa, ob) in out {
@@ -1052,9 +1208,9 @@ mod tests {
             let rb = c.ibcast(&mine, 1);
             let rg = c.iallgather(&vec![c.rank() as u64; c.rank() + 1]);
             let mut got = vec![0u64; 2];
-            rb.wait(&mut got);
+            rb.wait(&mut got).unwrap();
             let mut gathered = Vec::new();
-            rg.wait(&mut gathered);
+            rg.wait(&mut gathered).unwrap();
             (got, gathered)
         });
         for (got, gathered) in out {
@@ -1082,7 +1238,7 @@ mod tests {
                 c.barrier();
                 assert_eq!(c.recv::<u64>(prev, round)[0], round);
                 let mut summed = vec![0.0f64; 3];
-                req.wait(&mut summed);
+                req.wait(&mut summed).unwrap();
                 assert_eq!(v[0], 4.0);
                 acc += summed[0];
             }
@@ -1102,13 +1258,13 @@ mod tests {
             // Warm-up: populate the pool.
             for _ in 0..3 {
                 let r = c.iallreduce_sum(&data);
-                r.wait(&mut out_buf);
+                r.wait(&mut out_buf).unwrap();
             }
             c.barrier();
             let warm = c.nb_pool_stats().fresh_allocs;
             for _ in 0..100 {
                 let r = c.iallreduce_sum(&data);
-                r.wait(&mut out_buf);
+                r.wait(&mut out_buf).unwrap();
             }
             c.barrier();
             let after = c.nb_pool_stats();
@@ -1129,16 +1285,109 @@ mod tests {
         let c = Communicator::solo();
         let r = c.iallreduce_sum(&[2.5f64, 1.5]);
         let mut out = [0.0; 2];
-        r.wait(&mut out);
+        r.wait(&mut out).unwrap();
         assert_eq!(out, [2.5, 1.5]);
         let g = c.iallgather(&[7u64]);
         let mut v = Vec::new();
-        g.wait(&mut v);
+        g.wait(&mut v).unwrap();
         assert_eq!(v, vec![7]);
         let b = c.ibcast(&[9u64], 0);
         let mut bb = [0u64];
-        b.wait(&mut bb);
+        b.wait(&mut bb).unwrap();
         assert_eq!(bb, [9]);
+    }
+
+    /// Hook dropping one specific nonblocking op on every rank.
+    struct DropOp(u64);
+    impl CommFaultHook for DropOp {
+        fn on_post(&self, _op: &'static str, seq: u64) -> PostAction {
+            if seq == self.0 {
+                PostAction::Drop
+            } else {
+                PostAction::Deliver
+            }
+        }
+    }
+
+    /// Hook delaying every post by a fixed number of milliseconds.
+    struct DelayAll(u64);
+    impl CommFaultHook for DelayAll {
+        fn on_post(&self, _op: &'static str, _seq: u64) -> PostAction {
+            PostAction::Delay { ms: self.0 }
+        }
+    }
+
+    #[test]
+    fn dropped_post_times_out_instead_of_hanging() {
+        let out = run_spmd(3, |c| {
+            c.set_wait_timeout_ms(50);
+            c.set_fault_hook(Some(Arc::new(DropOp(0))));
+            let req = c.iallreduce_sum(&[c.rank() as f64]);
+            let mut buf = [0.0f64];
+            let err = req.wait(&mut buf).unwrap_err();
+            // The op after the stalled one must still work once the hook
+            // stops dropping.
+            c.set_fault_hook(None);
+            let req = c.iallreduce_sum(&[1.0f64]);
+            let mut ok = [0.0f64];
+            req.wait(&mut ok).unwrap();
+            (err, buf[0], ok[0])
+        });
+        for (err, untouched, ok) in out {
+            assert_eq!(
+                err,
+                WaitTimeout {
+                    op_id: 0,
+                    timeout_ms: 50
+                }
+            );
+            assert_eq!(untouched, 0.0, "timeout must leave the out buffer alone");
+            assert_eq!(ok, 3.0);
+        }
+    }
+
+    #[test]
+    fn dropped_gather_times_out() {
+        let out = run_spmd(2, |c| {
+            c.set_wait_timeout_ms(40);
+            c.set_fault_hook(Some(Arc::new(DropOp(0))));
+            let req = c.iallgather(&[c.rank() as u64]);
+            let mut v = vec![99u64];
+            let err = req.wait(&mut v).unwrap_err();
+            (err.timeout_ms, v)
+        });
+        for (ms, v) in out {
+            assert_eq!(ms, 40);
+            assert_eq!(v, vec![99], "timeout must leave the out buffer alone");
+        }
+    }
+
+    #[test]
+    fn delayed_post_still_delivers() {
+        let out = run_spmd(2, |c| {
+            if c.rank() == 1 {
+                c.set_fault_hook(Some(Arc::new(DelayAll(10))));
+            }
+            let req = c.iallreduce_sum(&[c.rank() as f64 + 1.0]);
+            let mut buf = [0.0f64];
+            req.wait(&mut buf).unwrap();
+            buf[0]
+        });
+        for v in out {
+            assert_eq!(v, 3.0);
+        }
+    }
+
+    #[test]
+    fn dropped_ibcast_times_out() {
+        let out = run_spmd(2, |c| {
+            c.set_wait_timeout_ms(40);
+            c.set_fault_hook(Some(Arc::new(DropOp(0))));
+            let req = c.ibcast(&[c.rank() as u64], 0);
+            let mut v = [7u64];
+            req.wait(&mut v).unwrap_err().op_id
+        });
+        assert_eq!(out, vec![0, 0]);
     }
 
     #[test]

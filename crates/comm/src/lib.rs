@@ -17,7 +17,10 @@ pub mod grid;
 pub mod ledger;
 pub mod partition;
 
-pub use collective::{Communicator, GatherRequest, NbPoolStats, Reduce, Request, SendBuf, Slot};
+pub use collective::{
+    CommFaultHook, Communicator, GatherRequest, NbPoolStats, PostAction, Reduce, Request, SendBuf,
+    Slot, WaitTimeout, DEFAULT_WAIT_TIMEOUT_MS,
+};
 pub use grid::{block_range, run_grid, solo_ctx, GridShape, RankCtx, SpmdOutput};
 pub use ledger::{now_us, Category, Event, EventKind, Ledger, LinkClass, Region, RegionGuard};
 pub use partition::{Distribution, IndexSet};

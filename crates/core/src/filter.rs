@@ -20,7 +20,7 @@
 
 use crate::hemm::{hemm_b_to_c, hemm_b_to_c_pipelined, hemm_c_to_b, hemm_c_to_b_pipelined};
 use crate::layout::DistHerm;
-use chase_comm::{RankCtx, Reduce, Region};
+use chase_comm::{RankCtx, Reduce, Region, WaitTimeout};
 use chase_device::Device;
 use chase_linalg::{Matrix, RealScalar, Scalar};
 
@@ -92,11 +92,15 @@ pub fn chebyshev_filter<T: Scalar + Reduce>(
         bounds,
         FilterExec::Flat,
     )
+    .expect("flat filter uses only blocking collectives")
 }
 
 /// [`chebyshev_filter`] with an explicit execution strategy. The pipelined
 /// strategy produces bitwise-identical output to the flat one; only the
 /// schedule (and therefore the ledger) differs.
+///
+/// Only the pipelined strategy can fail: its nonblocking allreduces time
+/// out if a peer's post was dropped. The flat path never returns `Err`.
 #[allow(clippy::too_many_arguments)]
 pub fn chebyshev_filter_with<T: Scalar + Reduce>(
     dev: &Device<'_>,
@@ -108,9 +112,9 @@ pub fn chebyshev_filter_with<T: Scalar + Reduce>(
     degrees: &[usize],
     bounds: FilterBounds<T::Real>,
     exec: FilterExec,
-) -> u64 {
+) -> Result<u64, WaitTimeout> {
     if degrees.is_empty() {
-        return 0;
+        return Ok(0);
     }
     dev.set_region(Region::Filter);
     assert!(
@@ -154,7 +158,10 @@ pub fn chebyshev_filter_with<T: Scalar + Reduce>(
                     alpha,
                     T::zero(),
                     panel,
-                );
+                )
+                .inspect_err(|_e| {
+                    h.clear_shift();
+                })?;
             }
         }
         matvecs += ncols as u64;
@@ -181,10 +188,16 @@ pub fn chebyshev_filter_with<T: Scalar + Reduce>(
                 hemm_c_to_b(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta);
             }
             (true, FilterExec::Pipelined { panel }) => {
-                hemm_b_to_c_pipelined(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta, panel);
+                hemm_b_to_c_pipelined(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta, panel)
+                    .inspect_err(|_e| {
+                    h.clear_shift();
+                })?;
             }
             (false, FilterExec::Pipelined { panel }) => {
-                hemm_c_to_b_pipelined(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta, panel);
+                hemm_c_to_b_pipelined(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta, panel)
+                    .inspect_err(|_e| {
+                    h.clear_shift();
+                })?;
             }
         }
         sigma = sigma_new;
@@ -192,7 +205,7 @@ pub fn chebyshev_filter_with<T: Scalar + Reduce>(
     }
 
     h.clear_shift();
-    matvecs
+    Ok(matvecs)
 }
 
 #[cfg(test)]
@@ -368,7 +381,8 @@ mod tests {
                     degrees,
                     bounds,
                     FilterExec::Pipelined { panel },
-                );
+                )
+                .unwrap();
                 assert_eq!(mv, degrees.iter().map(|&d| d as u64).sum::<u64>());
                 assert_eq!(
                     flat.as_ref().as_slice(),

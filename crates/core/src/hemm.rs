@@ -8,7 +8,7 @@
 //! is ever re-distributed.
 
 use crate::layout::DistHerm;
-use chase_comm::{Communicator, RankCtx, Reduce};
+use chase_comm::{Communicator, RankCtx, Reduce, WaitTimeout};
 use chase_device::{DevAllreduce, Device};
 use chase_linalg::matrix::ColsMut;
 use chase_linalg::{Matrix, Op, Scalar};
@@ -90,6 +90,10 @@ pub fn hemm_b_to_c<T: Scalar + Reduce>(
 /// accumulation order is independent of column panelling, and the
 /// nonblocking allreduce folds contributions in the same member order as
 /// the blocking one.
+///
+/// Returns `Err` if an in-flight allreduce never completes (a peer's post
+/// was dropped): the overlap window is closed and the timeout propagates so
+/// the solver can abort with a typed error instead of wedging.
 #[allow(clippy::too_many_arguments)]
 fn hemm_pipelined<T: Scalar + Reduce>(
     dev: &Device<'_>,
@@ -103,7 +107,7 @@ fn hemm_pipelined<T: Scalar + Reduce>(
     alpha: T,
     beta: T,
     panel: usize,
-) {
+) -> Result<(), WaitTimeout> {
     let on_root = comm.rank() == 0;
     let eff_beta = if on_root { beta } else { T::zero() };
     let panel = panel.max(1);
@@ -139,16 +143,23 @@ fn hemm_pipelined<T: Scalar + Reduce>(
         );
         if let Some((req, done)) = pending.take() {
             let mut view = dst.cols_mut(done);
-            req.wait(view.as_mut_slice());
+            if let Err(e) = req.wait(view.as_mut_slice()) {
+                dev.end_overlap();
+                return Err(e);
+            }
         }
         pending = Some((dev.iallreduce_sum_staged(comm, stage), range));
         j0 += w;
     }
     if let Some((req, done)) = pending.take() {
         let mut view = dst.cols_mut(done);
-        req.wait(view.as_mut_slice());
+        if let Err(e) = req.wait(view.as_mut_slice()) {
+            dev.end_overlap();
+            return Err(e);
+        }
     }
     dev.end_overlap();
+    Ok(())
 }
 
 /// Pipelined variant of [`hemm_c_to_b`]: `panel = None` asks the topology
@@ -165,7 +176,7 @@ pub fn hemm_c_to_b_pipelined<T: Scalar + Reduce>(
     alpha: T,
     beta: T,
     panel: Option<usize>,
-) {
+) -> Result<(), WaitTimeout> {
     debug_assert_eq!(c_buf.rows(), h.n_r());
     debug_assert_eq!(b_buf.rows(), h.n_c());
     let panel = panel
@@ -182,7 +193,7 @@ pub fn hemm_c_to_b_pipelined<T: Scalar + Reduce>(
         alpha,
         beta,
         panel,
-    );
+    )
 }
 
 /// Pipelined variant of [`hemm_b_to_c`]: `panel = None` asks the topology
@@ -199,7 +210,7 @@ pub fn hemm_b_to_c_pipelined<T: Scalar + Reduce>(
     alpha: T,
     beta: T,
     panel: Option<usize>,
-) {
+) -> Result<(), WaitTimeout> {
     debug_assert_eq!(c_buf.rows(), h.n_r());
     debug_assert_eq!(b_buf.rows(), h.n_c());
     let panel = panel
@@ -216,7 +227,7 @@ pub fn hemm_b_to_c_pipelined<T: Scalar + Reduce>(
         alpha,
         beta,
         panel,
-    );
+    )
 }
 
 /// Distributed matvec on a *replicated* global vector: `y = H x`.
@@ -406,7 +417,8 @@ mod tests {
                 let mut piped = bg0.select_rows(dh.col_set.iter());
                 hemm_c_to_b_pipelined(
                     &dev, ctx, &dh, &c_loc, &mut piped, 0, ne, alpha, beta, panel,
-                );
+                )
+                .unwrap();
                 assert_eq!(
                     flat.as_ref().as_slice(),
                     piped.as_ref().as_slice(),
@@ -428,7 +440,8 @@ mod tests {
                     alpha,
                     beta,
                     panel,
-                );
+                )
+                .unwrap();
                 assert_eq!(flat_c.as_ref().as_slice(), piped_c.as_ref().as_slice());
                 0u8
             });

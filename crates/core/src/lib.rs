@@ -29,6 +29,14 @@ pub use filter::{chebyshev_filter, chebyshev_filter_with, FilterBounds, FilterEx
 pub use hemm::{hemm_b_to_c, hemm_b_to_c_pipelined, hemm_c_to_b, hemm_c_to_b_pipelined};
 pub use layout::{DistHerm, MemoryReport, RowDist};
 pub use params::{Params, QrStrategy};
-pub use qr::{cholesky_qr, flexible_qr, householder_qr_dist, shifted_cholesky_qr2, QrVariant};
-pub use result::{ChaseResult, IterStats};
-pub use solver::{estimate_bounds_dist, solve_dist, solve_serial, Chase};
+pub use qr::{
+    cholesky_qr, flexible_qr, householder_qr_dist, ladder_start, next_rung, qr_ladder,
+    shifted_cholesky_qr2, LadderAttempt, QrError, QrVariant, COND_SHIFTED, COND_SINGLE,
+};
+pub use result::{
+    ChaseError, ChaseErrorKind, ChaseResult, IterStats, RecoveryEvent, RecoveryEventKind,
+    RecoveryLog,
+};
+pub use solver::{
+    estimate_bounds_dist, solve_dist, solve_serial, try_solve_dist, try_solve_serial, Chase,
+};

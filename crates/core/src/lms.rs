@@ -240,6 +240,7 @@ where
         converged,
         stats,
         norm_h: norm_h.to_f64(),
+        recovery: crate::result::RecoveryLog::default(),
     }
 }
 

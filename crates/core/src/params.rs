@@ -59,6 +59,21 @@ pub struct Params {
     pub overlap_panel: Option<usize>,
     /// Seed for the random starting block.
     pub seed: u64,
+    /// Fault-injection campaign (the parsed `--inject` spec). `None` runs
+    /// clean; `Some` compiles a per-rank `FaultPlan` and wires it into the
+    /// communicators and the device layer.
+    pub inject: Option<chase_faults::FaultSpec>,
+    /// Run the detection/recovery guard layer (finite checks, residual
+    /// regression, re-filter + rollback). On by default; the guards are
+    /// collective-free on the happy path except one scalar agreement per
+    /// iteration.
+    pub guards: bool,
+    /// How many times one iteration may restore + re-filter poisoned
+    /// columns before giving up with `UnrecoverableNonFinite`.
+    pub max_refilter: usize,
+    /// Override the nonblocking-collective wait timeout (ms) on the rank's
+    /// communicators; `None` keeps [`chase_comm::DEFAULT_WAIT_TIMEOUT_MS`].
+    pub wait_timeout_ms: Option<u64>,
 }
 
 impl Params {
@@ -80,6 +95,10 @@ impl Params {
             overlap: false,
             overlap_panel: None,
             seed: 0xC4A53,
+            inject: None,
+            guards: true,
+            max_refilter: 2,
+            wait_timeout_ms: None,
         }
     }
 

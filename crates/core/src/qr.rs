@@ -14,6 +14,7 @@ use crate::params::QrStrategy;
 use chase_comm::{Communicator, Reduce};
 use chase_device::Device;
 use chase_linalg::{Matrix, NotPositiveDefinite, Scalar};
+use std::fmt;
 
 /// Which QR implementation actually ran (recorded per iteration for Table 2
 /// and the Fig. 1 narrative).
@@ -43,6 +44,56 @@ pub const COND_SHIFTED: f64 = 1e8;
 /// (Algorithm 4, line 13; "in practice set to 20").
 pub const COND_SINGLE: f64 = 20.0;
 
+/// Why a CholeskyQR rung failed.
+///
+/// `NonFiniteGram` exists because `potrf` alone cannot catch a poisoned
+/// Gram matrix: its pivot test `piv <= 0` is *false* for NaN, so Cholesky
+/// on a NaN Gram silently "succeeds" with a garbage factor. The explicit
+/// finite check before `potrf` is the guard that turns a corrupted
+/// collective into a typed, recoverable error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QrError {
+    /// The (finite) Gram matrix was not numerically positive definite —
+    /// the classic CholeskyQR breakdown of Algorithm 4.
+    NotPositiveDefinite { pivot: usize },
+    /// The Gram matrix contained NaN/Inf (corrupted block or collective).
+    NonFiniteGram { row: usize, col: usize },
+}
+
+impl fmt::Display for QrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QrError::NotPositiveDefinite { pivot } => {
+                write!(f, "Gram matrix not positive definite at pivot {pivot}")
+            }
+            QrError::NonFiniteGram { row, col } => {
+                write!(f, "non-finite Gram entry at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QrError {}
+
+impl From<NotPositiveDefinite> for QrError {
+    fn from(e: NotPositiveDefinite) -> Self {
+        QrError::NotPositiveDefinite { pivot: e.pivot }
+    }
+}
+
+/// Guard: the reduced Gram matrix must be entirely finite before it is
+/// handed to `potrf` (see [`QrError::NonFiniteGram`]).
+fn check_gram_finite<T: Scalar>(g: &Matrix<T>) -> Result<(), QrError> {
+    for j in 0..g.cols() {
+        for (i, v) in g.col(j).iter().enumerate() {
+            if !v.is_finite() {
+                return Err(QrError::NonFiniteGram { row: i, col: j });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Algorithm 3: `cholDegree` repetitions of {Gram, allreduce, POTRF, TRSM}
 /// on the row-distributed block `x`.
 pub fn cholesky_qr<T: Scalar + Reduce>(
@@ -50,10 +101,11 @@ pub fn cholesky_qr<T: Scalar + Reduce>(
     comm: &Communicator,
     x: &mut Matrix<T>,
     repetitions: usize,
-) -> Result<(), NotPositiveDefinite> {
+) -> Result<(), QrError> {
     for _ in 0..repetitions {
         let mut g = dev.gram(x.as_ref());
         dev.allreduce_sum(comm, g.as_mut_slice());
+        check_gram_finite(&g)?;
         let u = dev.potrf(&g)?;
         dev.trsm(x.as_mut(), &u);
     }
@@ -70,9 +122,10 @@ pub fn shifted_cholesky_qr2<T: Scalar + Reduce>(
     comm: &Communicator,
     x: &mut Matrix<T>,
     m_global: usize,
-) -> Result<(), NotPositiveDefinite> {
+) -> Result<(), QrError> {
     let mut g = dev.gram(x.as_ref());
     dev.allreduce_sum(comm, g.as_mut_slice());
+    check_gram_finite(&g)?;
     // ||X||_F^2 = trace(G): already globally reduced, no extra collective.
     let mut frob_sqr = <T::Real as Scalar>::zero();
     for i in 0..g.rows() {
@@ -106,8 +159,96 @@ pub fn householder_qr_dist<T: Scalar>(
     *x = q.select_rows(my.iter());
 }
 
+/// The rung the switchboard starts at (Algorithm 4's condition-number
+/// dispatch; pure — the proptest oracle for the switchboard).
+pub fn ladder_start(est_cond: f64, strategy: QrStrategy) -> QrVariant {
+    match strategy {
+        QrStrategy::AlwaysHouseholder => QrVariant::Householder,
+        QrStrategy::AlwaysCholeskyQr1 => QrVariant::CholeskyQr1,
+        QrStrategy::AlwaysCholeskyQr2 => QrVariant::CholeskyQr2,
+        QrStrategy::Auto => {
+            if est_cond > COND_SHIFTED {
+                QrVariant::ShiftedCholeskyQr2
+            } else if est_cond < COND_SINGLE {
+                QrVariant::CholeskyQr1
+            } else {
+                QrVariant::CholeskyQr2
+            }
+        }
+    }
+}
+
+/// The next (more robust, more expensive) rung after `v` fails:
+/// CholeskyQR1 → CholeskyQR2 → shifted CholeskyQR2 → HHQR → (none).
+pub fn next_rung(v: QrVariant) -> Option<QrVariant> {
+    match v {
+        QrVariant::CholeskyQr1 => Some(QrVariant::CholeskyQr2),
+        QrVariant::CholeskyQr2 => Some(QrVariant::ShiftedCholeskyQr2),
+        QrVariant::ShiftedCholeskyQr2 => Some(QrVariant::Householder),
+        QrVariant::Householder => None,
+    }
+}
+
+/// One rung execution inside [`qr_ladder`]: which variant ran and how it
+/// ended (`None` = success).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderAttempt {
+    pub variant: QrVariant,
+    pub error: Option<QrError>,
+}
+
+/// Algorithm 4 with an explicit recovery ladder: start at the rung the
+/// condition estimate picks, and on every breakdown restore `x` from a
+/// pre-factorization backup and escalate one rung. Householder QR is the
+/// terminal rung and cannot break down, so the ladder always produces an
+/// orthonormal factor. Returns the winning variant plus the full attempt
+/// trail (the solver folds failures into its `RecoveryLog`).
+pub fn qr_ladder<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    comm: &Communicator,
+    x: &mut Matrix<T>,
+    dist: &RowDist,
+    est_cond: f64,
+    strategy: QrStrategy,
+) -> (QrVariant, Vec<LadderAttempt>) {
+    let mut attempts = Vec::new();
+    let mut variant = ladder_start(est_cond, strategy);
+    // The fallible rungs mutate x in place (TRSM); keep the filtered block
+    // so each escalation refactors the original, not a half-solved wreck.
+    let backup = x.clone();
+    loop {
+        let outcome = match variant {
+            QrVariant::CholeskyQr1 => cholesky_qr(dev, comm, x, 1),
+            QrVariant::CholeskyQr2 => cholesky_qr(dev, comm, x, 2),
+            QrVariant::ShiftedCholeskyQr2 => shifted_cholesky_qr2(dev, comm, x, dist.n),
+            QrVariant::Householder => {
+                householder_qr_dist(dev, comm, x, dist);
+                Ok(())
+            }
+        };
+        match outcome {
+            Ok(()) => {
+                attempts.push(LadderAttempt {
+                    variant,
+                    error: None,
+                });
+                return (variant, attempts);
+            }
+            Err(e) => {
+                attempts.push(LadderAttempt {
+                    variant,
+                    error: Some(e),
+                });
+                x.as_mut_slice().copy_from_slice(backup.as_slice());
+                variant = next_rung(variant).expect("Householder QR cannot break down");
+            }
+        }
+    }
+}
+
 /// Algorithm 4: the flexible 1D-CAQR driven by the estimated condition
-/// number. Returns the variant that produced the final factor.
+/// number. Returns the variant that produced the final factor. Thin wrapper
+/// over [`qr_ladder`] that discards the attempt trail.
 pub fn flexible_qr<T: Scalar + Reduce>(
     dev: &Device<'_>,
     comm: &Communicator,
@@ -116,58 +257,7 @@ pub fn flexible_qr<T: Scalar + Reduce>(
     est_cond: f64,
     strategy: QrStrategy,
 ) -> QrVariant {
-    match strategy {
-        QrStrategy::AlwaysHouseholder => {
-            householder_qr_dist(dev, comm, x, dist);
-            QrVariant::Householder
-        }
-        QrStrategy::AlwaysCholeskyQr1 => match cholesky_qr(dev, comm, x, 1) {
-            Ok(()) => QrVariant::CholeskyQr1,
-            Err(_) => {
-                householder_qr_dist(dev, comm, x, dist);
-                QrVariant::Householder
-            }
-        },
-        QrStrategy::AlwaysCholeskyQr2 => match cholesky_qr(dev, comm, x, 2) {
-            Ok(()) => QrVariant::CholeskyQr2,
-            Err(_) => {
-                householder_qr_dist(dev, comm, x, dist);
-                QrVariant::Householder
-            }
-        },
-        QrStrategy::Auto => {
-            if est_cond > COND_SHIFTED {
-                match shifted_cholesky_qr2(dev, comm, x, dist.n) {
-                    Ok(()) => QrVariant::ShiftedCholeskyQr2,
-                    Err(_) => {
-                        householder_qr_dist(dev, comm, x, dist);
-                        QrVariant::Householder
-                    }
-                }
-            } else if est_cond < COND_SINGLE {
-                match cholesky_qr(dev, comm, x, 1) {
-                    Ok(()) => QrVariant::CholeskyQr1,
-                    Err(_) => {
-                        householder_qr_dist(dev, comm, x, dist);
-                        QrVariant::Householder
-                    }
-                }
-            } else {
-                match cholesky_qr(dev, comm, x, 2) {
-                    Ok(()) => QrVariant::CholeskyQr2,
-                    // Underestimated conditioning: escalate to the shifted
-                    // variant before resorting to Householder.
-                    Err(_) => match shifted_cholesky_qr2(dev, comm, x, dist.n) {
-                        Ok(()) => QrVariant::ShiftedCholeskyQr2,
-                        Err(_) => {
-                            householder_qr_dist(dev, comm, x, dist);
-                            QrVariant::Householder
-                        }
-                    },
-                }
-            }
-        }
-    }
+    qr_ladder(dev, comm, x, dist, est_cond, strategy).0
 }
 
 #[cfg(test)]

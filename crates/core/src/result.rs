@@ -1,8 +1,10 @@
-//! Solver output and per-iteration statistics.
+//! Solver output, per-iteration statistics, and the fault-recovery record.
 
 use crate::qr::QrVariant;
-use chase_comm::IndexSet;
+use chase_comm::{IndexSet, WaitTimeout};
+use chase_faults::InjectionRecord;
 use chase_linalg::{Matrix, Scalar};
+use std::fmt;
 
 /// Diagnostics for one outer ChASE iteration — the raw material for Fig. 1
 /// (condition numbers), Table 2 (MatVecs/iterations) and the convergence
@@ -30,6 +32,180 @@ pub struct IterStats {
     pub max_degree: usize,
 }
 
+/// One detection or recovery action the guarded solver took. Deterministic
+/// (no wall clock, no addresses) and fully `Eq` (float payloads are stored
+/// as raw bits — NaN-carrying events must still compare equal across two
+/// identical runs), so the chaos suite can assert bitwise log replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEventKind {
+    /// A planned fault fired (relayed from the per-rank `FaultPlan`).
+    Injected(InjectionRecord),
+    /// The post-filter finite guard found poisoned columns.
+    NonFiniteBlock { cols: usize },
+    /// Poisoned columns were restored from the pre-filter copy and
+    /// re-filtered with a degree bump.
+    Refiltered {
+        cols: usize,
+        degree: usize,
+        attempt: usize,
+    },
+    /// A CholeskyQR rung broke down (Gram not PD or non-finite).
+    QrBreakdown {
+        variant: &'static str,
+        detail: String,
+    },
+    /// The ladder escalated from one rung to the next.
+    QrEscalated {
+        from: &'static str,
+        to: &'static str,
+    },
+    /// Ritz values / residuals regressed to non-finite after Rayleigh–Ritz.
+    /// `value_bits` is the offending f64's raw bit pattern (NaN-safe `Eq`).
+    ResidualRegression { col: usize, value_bits: u64 },
+    /// Locked vectors were rolled back to the last checkpoint and the
+    /// active subspace restarted.
+    LockedRollback { kept: usize, restarted: usize },
+    /// The grid's replicas stopped agreeing (e.g. one column communicator's
+    /// QR escalated while the others' did not): the active subspace is
+    /// restarted to restore SPMD consistency.
+    ReplicaDivergence { stage: &'static str },
+    /// A nonblocking collective wait timed out.
+    Timeout { op_id: u64, timeout_ms: u64 },
+}
+
+impl fmt::Display for RecoveryEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEventKind::Injected(r) => write!(f, "injected: {r}"),
+            RecoveryEventKind::NonFiniteBlock { cols } => {
+                write!(f, "non-finite filtered block ({cols} column(s))")
+            }
+            RecoveryEventKind::Refiltered {
+                cols,
+                degree,
+                attempt,
+            } => write!(
+                f,
+                "re-filtered {cols} column(s) at degree {degree} (attempt {attempt})"
+            ),
+            RecoveryEventKind::QrBreakdown { variant, detail } => {
+                write!(f, "{variant} breakdown: {detail}")
+            }
+            RecoveryEventKind::QrEscalated { from, to } => {
+                write!(f, "QR escalated {from} -> {to}")
+            }
+            RecoveryEventKind::ResidualRegression { col, value_bits } => {
+                write!(
+                    f,
+                    "residual regression at column {col} (value {})",
+                    f64::from_bits(*value_bits)
+                )
+            }
+            RecoveryEventKind::LockedRollback { kept, restarted } => {
+                write!(
+                    f,
+                    "rolled back to {kept} locked, restarted {restarted} active"
+                )
+            }
+            RecoveryEventKind::ReplicaDivergence { stage } => {
+                write!(f, "replica divergence detected at {stage}")
+            }
+            RecoveryEventKind::Timeout { op_id, timeout_ms } => {
+                write!(f, "collective op {op_id} timed out after {timeout_ms} ms")
+            }
+        }
+    }
+}
+
+/// A [`RecoveryEventKind`] stamped with the outer iteration it happened in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// 1-based outer iteration (0 = outside the loop).
+    pub iter: usize,
+    pub kind: RecoveryEventKind,
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iter {}: {}", self.iter, self.kind)
+    }
+}
+
+/// The ordered record of everything the guard layer saw and did during one
+/// solve. Empty on a fault-free run with guards enabled.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryLog {
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryLog {
+    pub fn push(&mut self, iter: usize, kind: RecoveryEventKind) {
+        self.events.push(RecoveryEvent { iter, kind });
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True if any event matches the predicate.
+    pub fn any(&self, f: impl Fn(&RecoveryEventKind) -> bool) -> bool {
+        self.events.iter().any(|e| f(&e.kind))
+    }
+}
+
+impl fmt::Display for RecoveryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a guarded solve gave up instead of returning a (possibly wrong)
+/// result. Carries the recovery log accumulated up to the abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaseError {
+    pub kind: ChaseErrorKind,
+    /// Iteration the solver aborted in (0 = outside the loop).
+    pub iter: usize,
+    pub recovery: RecoveryLog,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseErrorKind {
+    /// A collective never completed (wedged peer / dropped post).
+    CollectiveTimeout(WaitTimeout),
+    /// Corruption persisted through every re-filter retry.
+    UnrecoverableNonFinite,
+    /// The final cross-rank verification of the returned eigenpairs failed.
+    VerificationFailed { detail: String },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ChaseErrorKind::CollectiveTimeout(t) => {
+                write!(f, "iter {}: {t}", self.iter)
+            }
+            ChaseErrorKind::UnrecoverableNonFinite => write!(
+                f,
+                "iter {}: non-finite data persisted through all re-filter retries",
+                self.iter
+            ),
+            ChaseErrorKind::VerificationFailed { detail } => {
+                write!(
+                    f,
+                    "iter {}: result verification failed: {detail}",
+                    self.iter
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
 /// Final solver output (per rank: eigenvector rows are this rank's C-layout
 /// block; eigenvalues and scalars are identical on every rank).
 #[derive(Debug, Clone)]
@@ -54,6 +230,9 @@ pub struct ChaseResult<T: Scalar> {
     pub stats: Vec<IterStats>,
     /// Spectral-norm scale used for the convergence test.
     pub norm_h: f64,
+    /// Everything the guard layer detected and repaired along the way
+    /// (empty on a clean run).
+    pub recovery: RecoveryLog,
 }
 
 impl<T: Scalar> ChaseResult<T> {
@@ -103,6 +282,7 @@ mod tests {
             converged: true,
             stats: vec![],
             norm_h: 1.0,
+            recovery: RecoveryLog::default(),
         }
     }
 

@@ -15,13 +15,17 @@ use crate::filter::{chebyshev_filter_with, FilterBounds};
 use crate::hemm::{hemm_c_to_b, matvec_replicated};
 use crate::layout::{DistHerm, MemoryReport, RowDist};
 use crate::params::Params;
-use crate::qr::flexible_qr;
-use crate::result::{ChaseResult, IterStats};
-use chase_comm::{Reduce, Region};
+use crate::qr::qr_ladder;
+use crate::result::{
+    ChaseError, ChaseErrorKind, ChaseResult, IterStats, RecoveryEventKind, RecoveryLog,
+};
+use chase_comm::{CommFaultHook, Reduce, Region};
 use chase_device::{Backend, Device};
+use chase_faults::FaultPlan;
 use chase_linalg::{Matrix, Op, RealScalar, Scalar, SpectralBounds};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Swap two columns of a matrix.
 #[allow(dead_code)]
@@ -71,6 +75,17 @@ pub fn estimate_bounds_dist<T: Scalar + Reduce>(
         |x, y| matvec_replicated(dev, ctx, h, x, y),
         &mut rng,
     )
+}
+
+/// Lightweight checkpoint of the locked eigenpairs: enough to roll the
+/// converged work back after a detected corruption without replaying the
+/// whole solve. Updated whenever new columns lock.
+struct Checkpoint<T: Scalar> {
+    locked: usize,
+    /// Local rows of the locked columns (`n_r x locked`).
+    c: Matrix<T>,
+    ritzv: Vec<T::Real>,
+    resd: Vec<T::Real>,
 }
 
 /// Solver state for one rank.
@@ -179,7 +194,13 @@ where
 
     /// One Rayleigh–Ritz projection over the active columns
     /// (Algorithm 2, lines 14–20). Returns the active Ritz values.
-    fn rayleigh_ritz(&mut self) -> Vec<T::Real> {
+    ///
+    /// With guards enabled, a poisoned (non-finite) quotient or a failed
+    /// redundant eigensolve returns `Err(())` — agreed across the whole
+    /// world first, so every rank bails before the next collective and the
+    /// SPMD call sequences stay aligned. Without guards the historic panic
+    /// behavior is kept.
+    fn rayleigh_ritz(&mut self) -> Result<Vec<T::Real>, ()> {
         self.dev.set_region(Region::RayleighRitz);
         let ne = self.params.ne();
         let act = ne - self.locked;
@@ -210,7 +231,23 @@ where
             a.as_mut(),
         );
         self.dev.allreduce_sum(&ctx.row_comm, a.as_mut_slice());
-        let (vals, y) = self.dev.heevd(&a).expect("Rayleigh-Ritz eigensolve failed");
+        let a_finite = a.as_slice().iter().all(|v| v.is_finite());
+        let solved = if a_finite {
+            self.dev.heevd(&a).ok()
+        } else {
+            None
+        };
+        if self.params.guards {
+            // Corruption may have poisoned only one grid row's replica of A;
+            // agree world-wide so all ranks take the same exit.
+            let bad = ctx
+                .world
+                .allreduce_scalar(if solved.is_some() { 0.0f64 } else { 1.0 });
+            if bad > 0.0 {
+                return Err(());
+            }
+        }
+        let (vals, y) = solved.expect("Rayleigh-Ritz eigensolve failed");
         // Back-transform: C[:, act] = C2[:, act] Y (local within column comm).
         self.dev.gemm(
             Op::None,
@@ -225,7 +262,7 @@ where
         let act_block = self.c.copy_cols(self.locked..ne);
         self.c2.set_cols(self.locked, &act_block);
         self.update_b2();
-        vals
+        Ok(vals)
     }
 
     /// Residual norms of the active columns (Algorithm 2, lines 21–25).
@@ -282,8 +319,150 @@ where
         self.locked - before
     }
 
-    /// Run the full Algorithm 2 loop.
-    pub fn solve(mut self) -> ChaseResult<T> {
+    /// Fold any fault-injection records the device/comm layers produced
+    /// since the last drain into the recovery log.
+    fn drain_faults(&self, iter: usize, recovery: &mut RecoveryLog) {
+        if let Some(plan) = self.dev.fault_plan() {
+            for r in plan.take_records() {
+                recovery.push(iter, RecoveryEventKind::Injected(r));
+            }
+        }
+    }
+
+    /// Roll the locked set back to `ckpt` and restart the active subspace
+    /// from a fresh deterministic random block. The block is generated
+    /// globally and sliced per rank — identical on every rank — so this
+    /// also restores replica consistency after a detected divergence.
+    fn rollback_and_restart(
+        &mut self,
+        iter: usize,
+        mu_1: T::Real,
+        init_deg: usize,
+        ckpt: &Checkpoint<T>,
+    ) -> (usize, usize) {
+        let ne = self.params.ne();
+        let kept = ckpt.locked;
+        for j in 0..kept {
+            self.c.col_mut(j).copy_from_slice(ckpt.c.col(j));
+            self.ritzv[j] = ckpt.ritzv[j];
+            self.resd[j] = ckpt.resd[j];
+        }
+        self.locked = kept;
+        let restarted = ne - kept;
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.params.seed ^ 0x0dd_f00d ^ (iter as u64).rotate_left(32),
+        );
+        let fresh = Matrix::<T>::random(self.h.n, restarted, &mut rng);
+        let local = fresh.select_rows(self.h.row_set.iter());
+        for (t, j) in (kept..ne).enumerate() {
+            self.c.col_mut(j).copy_from_slice(local.col(t));
+            self.ritzv[j] = mu_1;
+            self.resd[j] = <T::Real as Scalar>::one();
+            self.degs[j] = init_deg;
+        }
+        self.c2 = self.c.clone();
+        (kept, restarted)
+    }
+
+    /// Post-solve verification (fault-injection runs only): the returned
+    /// eigenvalues must agree bitwise-closely across all replicas, and the
+    /// residuals recomputed from scratch must match the reported ones. Any
+    /// violation is world-agreed before returning so every rank exits the
+    /// collectives in lockstep.
+    fn verify_returned_pairs(
+        &mut self,
+        nev: usize,
+        ritz: &[T::Real],
+        reported: &[T::Real],
+        norm_h: T::Real,
+    ) -> Result<(), String> {
+        let ctx = self.dev.ctx();
+        let scale = norm_h.to_f64().max(1.0);
+        let p = ctx.world.size() as f64;
+
+        // (a) Replica agreement: grid-row divergence shows up here.
+        let mut sums: Vec<f64> = ritz[..nev].iter().map(|v| v.to_f64()).collect();
+        ctx.world.allreduce_sum(&mut sums);
+        let mut detail = String::new();
+        for (k, s) in sums.iter().enumerate() {
+            let mine = ritz[k].to_f64();
+            let avg = s / p;
+            if !mine.is_finite() || (mine - avg).abs() > 1e-6 * scale {
+                detail =
+                    format!("eigenvalue {k} diverges across ranks (local {mine}, grid mean {avg})");
+                break;
+            }
+        }
+        let bad = ctx
+            .world
+            .allreduce_scalar(if detail.is_empty() { 0.0f64 } else { 1.0 });
+        if bad > 0.0 {
+            if detail.is_empty() {
+                detail = "eigenvalue divergence detected on another rank".into();
+            }
+            return Err(detail);
+        }
+
+        // (b) Recompute residuals of the returned pairs from scratch: a
+        // corrupted residual collective that caused a premature lock is
+        // caught here.
+        self.c2 = self.c.clone();
+        self.update_b2();
+        hemm_c_to_b(
+            self.dev,
+            ctx,
+            &self.h,
+            &self.c,
+            &mut self.b,
+            0,
+            nev,
+            T::one(),
+            T::zero(),
+        );
+        let mut nrm: Vec<T::Real> = Vec::with_capacity(nev);
+        for (k, &lambda) in ritz.iter().enumerate().take(nev) {
+            let b2col = self.b2.col(k).to_vec();
+            let bk = self.b.col_mut(k);
+            for (x, y) in bk.iter_mut().zip(&b2col) {
+                *x -= y.scale(lambda);
+            }
+            nrm.push(chase_linalg::blas1::nrm2_sqr(bk));
+        }
+        self.dev.allreduce_sum_real::<T>(&ctx.row_comm, &mut nrm);
+        let mut detail = String::new();
+        for (k, v) in nrm.into_iter().enumerate() {
+            let r = v.sqrt_r().to_f64();
+            let rep = reported[k].to_f64();
+            if !r.is_finite() || r > 100.0 * rep + 1e-8 * scale {
+                detail = format!("residual {k} recomputed as {r}, reported {rep}");
+                break;
+            }
+        }
+        let bad = ctx
+            .world
+            .allreduce_scalar(if detail.is_empty() { 0.0f64 } else { 1.0 });
+        if bad > 0.0 {
+            if detail.is_empty() {
+                detail = "residual mismatch detected on another rank".into();
+            }
+            return Err(detail);
+        }
+        Ok(())
+    }
+
+    /// Run the full Algorithm 2 loop, panicking on unrecoverable faults
+    /// (the historic infallible API).
+    pub fn solve(self) -> ChaseResult<T> {
+        self.try_solve()
+            .unwrap_or_else(|e| panic!("ChASE solve aborted: {e}"))
+    }
+
+    /// Run the full Algorithm 2 loop with the detection/recovery guard
+    /// layer. Returns a typed [`ChaseError`] (carrying the recovery log)
+    /// instead of hanging or silently returning corrupt eigenpairs.
+    pub fn try_solve(mut self) -> Result<ChaseResult<T>, ChaseError> {
+        /// Rollback-restarts tolerated before declaring the run lost.
+        const MAX_RESTARTS: usize = 3;
         let ne = self.params.ne();
         let nev = self.params.nev;
         let ctx = self.dev.ctx();
@@ -304,9 +483,20 @@ where
         let mut total_matvecs = 0u64;
         let mut converged = false;
         let mut iterations = 0;
+        let mut recovery = RecoveryLog::default();
+        let mut restarts = 0usize;
+        let mut ckpt = Checkpoint {
+            locked: 0,
+            c: Matrix::<T>::zeros(self.h.n_r(), 0),
+            ritzv: Vec::new(),
+            resd: Vec::new(),
+        };
 
         for iter in 1..=self.params.max_iter {
             iterations = iter;
+            if let Some(plan) = self.dev.fault_plan() {
+                plan.set_iter(iter as u64);
+            }
             let half = T::Real::from_f64_r(0.5);
             let c_center = (b_sup + mu_ne) * half;
             let e_half = (b_sup - mu_ne) * half;
@@ -349,7 +539,8 @@ where
                 mu_1,
             };
             let degrees: Vec<usize> = self.degs[self.locked..].to_vec();
-            let mv = chebyshev_filter_with(
+            let exec = self.params.filter_exec();
+            let mv = match chebyshev_filter_with(
                 self.dev,
                 ctx,
                 &mut self.h,
@@ -358,9 +549,125 @@ where
                 self.locked,
                 &degrees,
                 fb,
-                self.params.filter_exec(),
-            );
+                exec,
+            ) {
+                Ok(mv) => mv,
+                Err(t) => {
+                    self.drain_faults(iter, &mut recovery);
+                    recovery.push(
+                        iter,
+                        RecoveryEventKind::Timeout {
+                            op_id: t.op_id,
+                            timeout_ms: t.timeout_ms,
+                        },
+                    );
+                    return Err(ChaseError {
+                        kind: ChaseErrorKind::CollectiveTimeout(t),
+                        iter,
+                        recovery,
+                    });
+                }
+            };
             total_matvecs += mv;
+
+            // --- Inject planned block faults (chaos harness only) ---
+            if let Some(plan) = self.dev.fault_plan() {
+                plan.apply_block_faults(&mut self.c, self.locked, ne - self.locked);
+            }
+
+            // --- Guard: post-filter finite check + bounded re-filter ---
+            if self.params.guards {
+                let mut attempt = 0usize;
+                loop {
+                    let act = ne - self.locked;
+                    let mut flags = vec![0.0f64; act];
+                    for (k, f) in flags.iter_mut().enumerate() {
+                        if self.c.col(self.locked + k).iter().any(|v| !v.is_finite()) {
+                            *f = 1.0;
+                        }
+                    }
+                    // Agree world-wide on which columns are poisoned: a NaN
+                    // in one replica must trigger the same repair everywhere.
+                    ctx.world.allreduce_sum(&mut flags);
+                    let bad: Vec<usize> = flags
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| **f > 0.0)
+                        .map(|(k, _)| self.locked + k)
+                        .collect();
+                    if bad.is_empty() {
+                        break;
+                    }
+                    self.drain_faults(iter, &mut recovery);
+                    recovery.push(iter, RecoveryEventKind::NonFiniteBlock { cols: bad.len() });
+                    attempt += 1;
+                    if attempt > self.params.max_refilter {
+                        return Err(ChaseError {
+                            kind: ChaseErrorKind::UnrecoverableNonFinite,
+                            iter,
+                            recovery,
+                        });
+                    }
+                    // Restore poisoned columns from the pre-filter copy and
+                    // re-filter them at a bumped (still even) degree.
+                    let mut by_degree: Vec<(usize, usize)> = bad
+                        .iter()
+                        .map(|&j| {
+                            let mut d = (self.degs[j] + 2 * attempt).min(self.params.max_deg);
+                            d += d % 2;
+                            (d, j)
+                        })
+                        .collect();
+                    by_degree.sort_unstable();
+                    let k = by_degree.len();
+                    let mut tmp_c = Matrix::<T>::zeros(self.h.n_r(), k);
+                    let mut tmp_b = Matrix::<T>::zeros(self.h.n_c(), k);
+                    for (t, &(_, j)) in by_degree.iter().enumerate() {
+                        tmp_c.col_mut(t).copy_from_slice(self.c2.col(j));
+                    }
+                    let redegs: Vec<usize> = by_degree.iter().map(|&(d, _)| d).collect();
+                    match chebyshev_filter_with(
+                        self.dev,
+                        ctx,
+                        &mut self.h,
+                        &mut tmp_c,
+                        &mut tmp_b,
+                        0,
+                        &redegs,
+                        fb,
+                        exec,
+                    ) {
+                        Ok(mv2) => total_matvecs += mv2,
+                        Err(t) => {
+                            self.drain_faults(iter, &mut recovery);
+                            recovery.push(
+                                iter,
+                                RecoveryEventKind::Timeout {
+                                    op_id: t.op_id,
+                                    timeout_ms: t.timeout_ms,
+                                },
+                            );
+                            return Err(ChaseError {
+                                kind: ChaseErrorKind::CollectiveTimeout(t),
+                                iter,
+                                recovery,
+                            });
+                        }
+                    }
+                    for (t, &(d, j)) in by_degree.iter().enumerate() {
+                        self.c.col_mut(j).copy_from_slice(tmp_c.col(t));
+                        self.degs[j] = d;
+                    }
+                    recovery.push(
+                        iter,
+                        RecoveryEventKind::Refiltered {
+                            cols: k,
+                            degree: *redegs.last().unwrap(),
+                            attempt,
+                        },
+                    );
+                }
+            }
 
             // --- Condition estimate (Algorithm 2 line 11 / Algorithm 5) ---
             let est_cond = cond_est(
@@ -383,9 +690,9 @@ where
                 None
             };
 
-            // --- Flexible QR (Algorithm 2 line 12) ---
+            // --- Flexible QR with escalation ladder (Algorithm 2 line 12) ---
             self.dev.set_region(Region::Qr);
-            let qr_variant = flexible_qr(
+            let (qr_variant, attempts) = qr_ladder(
                 self.dev,
                 &ctx.col_comm,
                 &mut self.c,
@@ -393,6 +700,46 @@ where
                 est_cond,
                 self.params.qr,
             );
+            for (k, a) in attempts.iter().enumerate() {
+                if let Some(e) = a.error {
+                    recovery.push(
+                        iter,
+                        RecoveryEventKind::QrBreakdown {
+                            variant: a.variant.name(),
+                            detail: e.to_string(),
+                        },
+                    );
+                    recovery.push(
+                        iter,
+                        RecoveryEventKind::QrEscalated {
+                            from: a.variant.name(),
+                            to: attempts[k + 1].variant.name(),
+                        },
+                    );
+                }
+            }
+            if self.params.guards {
+                // Each column communicator ran its ladder on its own replica.
+                // If escalation counts disagree, the replicas have diverged:
+                // roll back and restart the active subspace in lockstep.
+                let esc = (attempts.len() - 1) as f64;
+                let total = ctx.world.allreduce_scalar(esc);
+                if total != esc * ctx.world.size() as f64 {
+                    self.drain_faults(iter, &mut recovery);
+                    recovery.push(iter, RecoveryEventKind::ReplicaDivergence { stage: "qr" });
+                    restarts += 1;
+                    if restarts > MAX_RESTARTS {
+                        return Err(ChaseError {
+                            kind: ChaseErrorKind::UnrecoverableNonFinite,
+                            iter,
+                            recovery,
+                        });
+                    }
+                    let (kept, restarted) = self.rollback_and_restart(iter, mu_1, init_deg, &ckpt);
+                    recovery.push(iter, RecoveryEventKind::LockedRollback { kept, restarted });
+                    continue;
+                }
+            }
             // Line 13: restore exact locked vectors, refresh C2's active part.
             if self.locked > 0 {
                 let locked_block = self.c2.copy_cols(0..self.locked);
@@ -401,15 +748,68 @@ where
             let act_block = self.c.copy_cols(self.locked..ne);
             self.c2.set_cols(self.locked, &act_block);
 
-            // --- Rayleigh-Ritz (lines 14-20) ---
-            let vals = self.rayleigh_ritz();
-            self.ritzv[self.locked..].copy_from_slice(&vals);
-
-            // --- Residuals (lines 21-25) ---
-            self.residuals();
+            // --- Rayleigh-Ritz (lines 14-20) + residuals (21-25), guarded ---
+            let mut regression: Option<(usize, u64)> = None;
+            match self.rayleigh_ritz() {
+                Ok(vals) => {
+                    self.ritzv[self.locked..].copy_from_slice(&vals);
+                    self.residuals();
+                    if self.params.guards {
+                        let mut local: Option<(usize, u64)> = None;
+                        for j in self.locked..ne {
+                            let rv = self.ritzv[j].to_f64();
+                            let rs = self.resd[j].to_f64();
+                            if !rv.is_finite() {
+                                local = Some((j, rv.to_bits()));
+                                break;
+                            }
+                            if !rs.is_finite() {
+                                local = Some((j, rs.to_bits()));
+                                break;
+                            }
+                        }
+                        let bad =
+                            ctx.world
+                                .allreduce_scalar(if local.is_some() { 1.0f64 } else { 0.0 });
+                        if bad > 0.0 {
+                            regression =
+                                Some(local.unwrap_or((self.locked, f64::INFINITY.to_bits())));
+                        }
+                    }
+                }
+                Err(()) => {
+                    regression = Some((self.locked, f64::INFINITY.to_bits()));
+                }
+            }
+            if let Some((col, value_bits)) = regression {
+                self.drain_faults(iter, &mut recovery);
+                recovery.push(
+                    iter,
+                    RecoveryEventKind::ResidualRegression { col, value_bits },
+                );
+                restarts += 1;
+                if restarts > MAX_RESTARTS {
+                    return Err(ChaseError {
+                        kind: ChaseErrorKind::UnrecoverableNonFinite,
+                        iter,
+                        recovery,
+                    });
+                }
+                let (kept, restarted) = self.rollback_and_restart(iter, mu_1, init_deg, &ckpt);
+                recovery.push(iter, RecoveryEventKind::LockedRollback { kept, restarted });
+                continue;
+            }
 
             // --- Deflation & locking (line 26) ---
             let new_locked = self.lock_converged(norm_h);
+            if new_locked > 0 {
+                ckpt = Checkpoint {
+                    locked: self.locked,
+                    c: self.c.copy_cols(0..self.locked),
+                    ritzv: self.ritzv[..self.locked].to_vec(),
+                    resd: self.resd[..self.locked].to_vec(),
+                };
+            }
 
             let active_res = &self.resd[self.locked.min(ne - 1)..];
             stats.push(IterStats {
@@ -442,11 +842,13 @@ where
                 .copied()
                 .fold(self.ritzv[0], |m, v| m.max_r(v));
 
+            self.drain_faults(iter, &mut recovery);
             if self.locked >= nev {
                 converged = true;
                 break;
             }
         }
+        self.drain_faults(iterations, &mut recovery);
 
         // Sort the locked prefix ascending by Ritz value for clean output.
         let take = self.locked.max(nev.min(ne)).min(ne);
@@ -456,7 +858,23 @@ where
         let ritz_sorted: Vec<T::Real> = order.iter().map(|&i| self.ritzv[i]).collect();
         let res_sorted: Vec<T::Real> = order.iter().map(|&i| self.resd[i]).collect();
 
-        ChaseResult {
+        // Chaos runs must never return silently-wrong eigenpairs: cross-check
+        // the replicas and the residuals before handing the result back.
+        if self.params.inject.is_some() {
+            self.dev.set_region(Region::Other);
+            if let Err(detail) = self.verify_returned_pairs(nev, &ritz_sorted, &res_sorted, norm_h)
+            {
+                self.drain_faults(iterations, &mut recovery);
+                return Err(ChaseError {
+                    kind: ChaseErrorKind::VerificationFailed { detail },
+                    iter: iterations,
+                    recovery,
+                });
+            }
+            self.drain_faults(iterations, &mut recovery);
+        }
+
+        Ok(ChaseResult {
             eigenvalues: ritz_sorted[..nev].to_vec(),
             residuals: res_sorted[..nev].to_vec(),
             eigenvectors_local: self.c.copy_cols(0..nev),
@@ -467,7 +885,8 @@ where
             converged,
             stats,
             norm_h: norm_h.to_f64(),
-        }
+            recovery,
+        })
     }
 
     /// Access the B-layout distribution (used by diagnostics).
@@ -476,7 +895,57 @@ where
     }
 }
 
-/// Solve a distributed eigenproblem from within an SPMD region.
+/// Solve a distributed eigenproblem from within an SPMD region, returning a
+/// typed error (with the recovery log) on unrecoverable faults.
+///
+/// When `params.inject` is set, a per-rank [`FaultPlan`] is compiled and
+/// wired into the rank's three communicators (payload corruption, delays,
+/// drops) and into the device layer (filtered-block corruption). The hooks
+/// are always cleared before returning.
+pub fn try_solve_dist<T: Scalar + Reduce>(
+    ctx: &chase_comm::RankCtx,
+    backend: Backend,
+    h: DistHerm<T>,
+    params: &Params,
+    initial: Option<&Matrix<T>>,
+) -> Result<ChaseResult<T>, ChaseError>
+where
+    T::Real: Reduce,
+{
+    let plan = params
+        .inject
+        .as_ref()
+        .map(|spec| Arc::new(FaultPlan::new(spec.clone(), ctx.world_rank(), ctx.row)));
+    let comms = [&ctx.world, &ctx.row_comm, &ctx.col_comm];
+    if let Some(ms) = params.wait_timeout_ms {
+        for c in comms {
+            c.set_wait_timeout_ms(ms);
+        }
+    }
+    if let Some(p) = &plan {
+        let hook: Arc<dyn CommFaultHook> = p.clone();
+        for c in comms {
+            c.set_fault_hook(Some(hook.clone()));
+        }
+    }
+    let dev = Device::with_collectives(
+        ctx,
+        backend,
+        params.collective,
+        chase_device::Topology::juwels_booster(),
+    )
+    .with_faults(plan.clone());
+    let out = Chase::new(&dev, h, params.clone(), initial).try_solve();
+    if plan.is_some() {
+        for c in comms {
+            c.set_fault_hook(None);
+        }
+    }
+    out
+}
+
+/// Solve a distributed eigenproblem from within an SPMD region (the historic
+/// infallible API; panics on unrecoverable injected faults).
 pub fn solve_dist<T: Scalar + Reduce>(
     ctx: &chase_comm::RankCtx,
     backend: Backend,
@@ -487,24 +956,30 @@ pub fn solve_dist<T: Scalar + Reduce>(
 where
     T::Real: Reduce,
 {
-    let dev = Device::with_collectives(
-        ctx,
-        backend,
-        params.collective,
-        chase_device::Topology::juwels_booster(),
-    );
-    Chase::new(&dev, h, params.clone(), initial).solve()
+    try_solve_dist(ctx, backend, h, params, initial)
+        .unwrap_or_else(|e| panic!("ChASE solve aborted: {e}"))
 }
 
-/// Serial convenience entry point: solve on a replicated matrix with a
-/// trivial 1x1 grid (still exercising the full distributed code path).
-pub fn solve_serial<T: Scalar + Reduce>(h: &Matrix<T>, params: &Params) -> ChaseResult<T>
+/// Serial fallible entry point: solve on a replicated matrix with a trivial
+/// 1x1 grid (still exercising the full distributed code path).
+pub fn try_solve_serial<T: Scalar + Reduce>(
+    h: &Matrix<T>,
+    params: &Params,
+) -> Result<ChaseResult<T>, ChaseError>
 where
     T::Real: Reduce,
 {
     let ctx = chase_comm::solo_ctx();
     let dh = DistHerm::from_global(h, &ctx);
-    solve_dist(&ctx, Backend::Nccl, dh, params, None)
+    try_solve_dist(&ctx, Backend::Nccl, dh, params, None)
+}
+
+/// Serial convenience entry point (panics on unrecoverable injected faults).
+pub fn solve_serial<T: Scalar + Reduce>(h: &Matrix<T>, params: &Params) -> ChaseResult<T>
+where
+    T::Real: Reduce,
+{
+    try_solve_serial(h, params).unwrap_or_else(|e| panic!("ChASE solve aborted: {e}"))
 }
 
 #[cfg(test)]

@@ -15,10 +15,14 @@
 //!   `H2D` copy (the blue data-movement bars of Fig. 2);
 //! * `Nccl` collectives record only the collective itself.
 
-use chase_comm::{now_us, Communicator, EventKind, LinkClass, RankCtx, Reduce, Region, Request};
+use chase_comm::{
+    now_us, Communicator, EventKind, LinkClass, RankCtx, Reduce, Region, Request, WaitTimeout,
+};
+use chase_faults::FaultPlan;
 use chase_linalg::matrix::{ColsMut, ColsRef};
 use chase_linalg::{Matrix, NotPositiveDefinite, Scalar};
 use chase_topo::{exec, CollOp, Tuner, NOMINAL_GEMM_FLOPS};
+use std::sync::Arc;
 
 pub use chase_topo::{Algo, CollectiveAlgo, Topology};
 
@@ -56,6 +60,9 @@ pub struct Device<'a> {
     backend: Backend,
     collective: CollectiveAlgo,
     topo: Topology,
+    /// Chaos harness: when present, collective payloads pass through the
+    /// plan's corruption hooks before posting. `None` in production runs.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl<'a> Device<'a> {
@@ -85,7 +92,20 @@ impl<'a> Device<'a> {
             backend,
             collective,
             topo,
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan: collective payloads are routed through its
+    /// corruption hooks and `set_region` keeps its trigger clock in sync.
+    pub fn with_faults(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     pub fn backend(&self) -> Backend {
@@ -107,6 +127,9 @@ impl<'a> Device<'a> {
     /// Attribute subsequent events to a ChASE kernel region.
     pub fn set_region(&self, region: Region) {
         self.ctx.set_region(region);
+        if let Some(plan) = &self.faults {
+            plan.set_region(region);
+        }
     }
 
     // ---- compute kernels -------------------------------------------------
@@ -244,6 +267,9 @@ impl<'a> Device<'a> {
 
     /// Sum-allreduce of a device buffer over `comm`.
     pub fn allreduce_sum<T: Scalar + Reduce>(&self, comm: &Communicator, buf: &mut [T]) {
+        if let Some(plan) = &self.faults {
+            plan.corrupt_payload("allreduce", buf);
+        }
         self.stage::<T>(buf.len(), true);
         let bytes = size_of_val(buf) as u64;
         if let Some((algo, chunk)) = self.schedule(CollOp::AllReduce, bytes, comm) {
@@ -264,6 +290,9 @@ impl<'a> Device<'a> {
     where
         T::Real: Reduce,
     {
+        if let Some(plan) = &self.faults {
+            plan.corrupt_payload("allreduce", buf);
+        }
         self.stage::<T::Real>(buf.len(), true);
         let bytes = size_of_val(buf) as u64;
         if let Some((algo, chunk)) = self.schedule(CollOp::AllReduce, bytes, comm) {
@@ -323,8 +352,22 @@ impl<'a> Device<'a> {
             false
         };
         let t0_us = now_us();
+        let req = match &self.faults {
+            Some(plan) => {
+                // Corrupt a scratch copy so the caller's buffer stays clean
+                // (the fault models a transport-level flip, not memory
+                // corruption on the source).
+                let mut tmp = buf.to_vec();
+                if plan.corrupt_payload("iallreduce", &mut tmp) {
+                    comm.iallreduce_sum(&tmp)
+                } else {
+                    comm.iallreduce_sum(buf)
+                }
+            }
+            None => comm.iallreduce_sum(buf),
+        };
         DevAllreduce {
-            req: comm.iallreduce_sum(buf),
+            req,
             ctx: self.ctx,
             staged,
             bytes,
@@ -351,8 +394,11 @@ impl<'a> Device<'a> {
     pub fn iallreduce_sum_staged<'c, T: Scalar + Reduce>(
         &self,
         comm: &'c Communicator,
-        staged: chase_comm::SendBuf<'c, T>,
+        mut staged: chase_comm::SendBuf<'c, T>,
     ) -> DevAllreduce<'a, 'c, T> {
+        if let Some(plan) = &self.faults {
+            plan.corrupt_payload("iallreduce", staged.as_mut_slice());
+        }
         let bytes = (staged.len() * size_of::<T>()) as u64;
         let staging = if self.backend.stages_through_host() {
             self.ctx.record(EventKind::D2H { bytes });
@@ -401,6 +447,13 @@ impl<'a> Device<'a> {
 
     /// Broadcast a device buffer from `root`.
     pub fn bcast<T: Scalar>(&self, comm: &Communicator, buf: &mut [T], root: usize) {
+        // Only the root's buffer is payload; corruption elsewhere would be
+        // silently overwritten by the broadcast itself.
+        if comm.rank() == root {
+            if let Some(plan) = &self.faults {
+                plan.corrupt_payload("bcast", buf);
+            }
+        }
         // The root only pays D2H; receivers only pay H2D. Record one copy on
         // each side (the ledger is per-rank).
         if self.backend.stages_through_host() {
@@ -480,8 +533,10 @@ pub struct DevAllreduce<'a, 'c, T: Reduce> {
 impl<T: Scalar + Reduce> DevAllreduce<'_, '_, T> {
     /// Block until the collective completes, copy the sum into `out`
     /// (length must match the posted buffer) and record the spanned event.
-    pub fn wait(self, out: &mut [T]) {
-        self.req.wait(out);
+    /// A [`WaitTimeout`] (peer never posted) is propagated without touching
+    /// `out` or recording completion events.
+    pub fn wait(self, out: &mut [T]) -> Result<(), WaitTimeout> {
+        self.req.wait(out)?;
         self.ctx.record_spanned(
             EventKind::AllReduce {
                 bytes: self.bytes,
@@ -492,6 +547,7 @@ impl<T: Scalar + Reduce> DevAllreduce<'_, '_, T> {
         if self.staged {
             self.ctx.record(EventKind::H2D { bytes: self.bytes });
         }
+        Ok(())
     }
 }
 
@@ -714,7 +770,7 @@ mod tests {
                 c.as_mut(),
             );
             let mut nb = vec![0.0f64; 16];
-            req.wait(&mut nb);
+            req.wait(&mut nb).unwrap();
             dev.end_overlap();
             assert_eq!(nb, blocking, "nonblocking must match blocking bitwise");
             w
@@ -749,7 +805,7 @@ mod tests {
             let v = vec![1.0f64; 10];
             let req = dev.iallreduce_sum(&ctx.world, &v);
             let mut sum = vec![0.0f64; 10];
-            req.wait(&mut sum);
+            req.wait(&mut sum).unwrap();
             sum[0]
         });
         for (r, l) in out.results.iter().zip(&out.ledgers) {
@@ -781,6 +837,31 @@ mod tests {
         for r in &out.results {
             assert_eq!(*r, first, "panel choice must be SPMD-uniform");
         }
+    }
+
+    #[test]
+    fn fault_plan_poisons_allreduce_on_every_rank() {
+        use chase_faults::FaultSpec;
+        let out = run_grid(GridShape::new(1, 2), |ctx| {
+            let spec = FaultSpec::parse("seed=3;nan@iter=1,region=filter,rank=0").unwrap();
+            let plan = Arc::new(FaultPlan::new(spec, ctx.world_rank(), ctx.row));
+            plan.set_iter(1);
+            let dev = Device::new(ctx, Backend::Nccl).with_faults(Some(plan.clone()));
+            dev.set_region(Region::Filter);
+            let mut v = vec![1.0f64; 4];
+            dev.allreduce_sum(&ctx.world, &mut v);
+            (v, plan.take_records().len())
+        });
+        for (r, nrec) in &out.results {
+            assert!(
+                r.iter().any(|x| x.is_nan()),
+                "rank 0's poisoned contribution must reach every rank through the sum"
+            );
+            assert_eq!(r.iter().filter(|x| x.is_nan()).count(), 1);
+            // Only rank 0 injected (and logged) anything.
+            assert!(*nrec <= 1);
+        }
+        assert_eq!(out.results.iter().map(|(_, n)| n).sum::<usize>(), 1);
     }
 
     #[test]

@@ -72,12 +72,38 @@ impl Condvar {
         );
     }
 
+    /// Timed wait: blocks for at most `timeout`, returning whether the wait
+    /// timed out (parking_lot's `wait_for` API over std's `wait_timeout`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard taken during wait");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     pub fn notify_all(&self) {
         self.0.notify_all();
     }
 
     pub fn notify_one(&self) {
         self.0.notify_one();
+    }
+}
+
+/// Result of a timed condvar wait (mirrors parking_lot's type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -112,5 +138,14 @@ mod tests {
             cv.notify_all();
         }
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
     }
 }

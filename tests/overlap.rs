@@ -58,7 +58,8 @@ fn assert_pipelined_matches_flat<T>(
             degrees,
             bounds,
             FilterExec::Flat,
-        );
+        )
+        .unwrap();
 
         let mut c_pipe = x_local.clone();
         let mut b_pipe = Matrix::<T>::zeros(dh.n_c(), ne);
@@ -72,7 +73,8 @@ fn assert_pipelined_matches_flat<T>(
             degrees,
             bounds,
             FilterExec::Pipelined { panel },
-        );
+        )
+        .unwrap();
 
         assert_eq!(
             c_flat.as_slice(),
@@ -166,7 +168,8 @@ fn multi_panel_schedule_overlaps_comm_with_compute() {
             degrees,
             bounds,
             FilterExec::Pipelined { panel: Some(2) },
-        );
+        )
+        .unwrap();
     });
     for (rank, ledger) in out.ledgers.iter().enumerate() {
         assert!(
