@@ -53,10 +53,4 @@ fn main() {
     );
 }
 
-fn human(bytes: u64) -> String {
-    if bytes >= 1 << 20 {
-        format!("{} MiB", bytes >> 20)
-    } else {
-        format!("{} KiB", bytes >> 10)
-    }
-}
+use chase_bench::human_bytes as human;

@@ -25,15 +25,16 @@
 //! Usage: `ablation_overlap [--tiny]`
 
 use chase_bench::{bench_filter_variants, fmt_s, write_bench_json, BenchRecord, FilterBench};
-use chase_comm::{GridShape, Region};
-use chase_core::{FilterBounds, FilterExec};
-use chase_device::Backend;
+use chase_comm::{run_grid, GridShape, Region};
+use chase_core::{chebyshev_filter_with, DistHerm, FilterBounds, FilterExec};
+use chase_device::{Backend, Device};
 use chase_linalg::{Matrix, C64};
 use chase_matgen::{dense_with_spectrum, Spectrum};
 use chase_perfmodel::{
     iteration_events, iteration_events_with_overlap, price_ledger, price_ledger_overlap,
     CommFlavor, IterationSpec, Layout, Machine, PriceCtx, ScalarKind,
 };
+use chase_trace::TraceRecorder;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -118,10 +119,7 @@ fn main() {
     let machine = Machine::juwels_booster();
     let pctx = PriceCtx::nccl();
     let filter_cost = |costs: &std::collections::HashMap<Region, chase_perfmodel::RegionCost>| {
-        costs
-            .get(&Region::Filter)
-            .expect("filter events in ledger")
-            .total()
+        chase_bench::region_cost(costs, Region::Filter)
     };
 
     println!(
@@ -285,6 +283,103 @@ fn main() {
          finer panels hide nearly the whole allreduce behind the HEMM."
     );
 
+    // --- Claim 4: disabled tracing costs nothing measurable. ---
+    // A *disabled* TraceRecorder installed as the rank's trace hook is the
+    // worst-case "tracing off" configuration: every record/collective site
+    // pays the hook dispatch plus one relaxed atomic load, and nothing else.
+    // Paired ABBA reps of the serialized filter with/without the disabled
+    // hook; the median paired slowdown must stay inside a generous noise
+    // bound (half the baseline median — real recording would blow well past
+    // it, while dispatch overhead sits in the measurement noise).
+    let ov_reps = reps.max(6);
+    let (base, hooked) =
+        bench_disabled_tracing_overhead(&h, &x, &degrees, bounds, shape, warmup, ov_reps);
+    let base_median = chase_bench::median(&base);
+    let diffs: Vec<f64> = hooked.iter().zip(&base).map(|(h, b)| h - b).collect();
+    let overhead = chase_bench::median(&diffs);
+    println!(
+        "\ntracing: serialized filter baseline {base_median:.3e} s/run; disabled-recorder \
+         overhead {overhead:+.3e} s/run (median of {ov_reps} paired reps)"
+    );
+    assert!(
+        overhead <= 0.5 * base_median,
+        "disabled tracing must be within noise: overhead {overhead:+.3e} s \
+         vs baseline {base_median:.3e} s"
+    );
+    println!("disabled tracing within noise: ok");
+    records.push(BenchRecord::new("trace/off-baseline", base));
+    records.push(BenchRecord::new("trace/off-hooked", hooked));
+
     write_bench_json("BENCH_overlap.json", &records).expect("write BENCH_overlap.json");
     println!("\nwrote BENCH_overlap.json ({} records)", records.len());
+}
+
+/// Time the serialized filter with and without a *disabled* [`TraceRecorder`]
+/// installed, ABBA-paired rep by rep on one grid (max over ranks per rep,
+/// like the main benchmark). Returns `(baseline, hooked)` samples.
+fn bench_disabled_tracing_overhead(
+    h: &Matrix<C64>,
+    x: &Matrix<C64>,
+    degrees: &[usize],
+    bounds: FilterBounds<f64>,
+    shape: GridShape,
+    warmup: usize,
+    reps: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let out = run_grid(shape, move |ctx| {
+        let dev = Device::new(ctx, Backend::Nccl);
+        let mut dh = DistHerm::from_global(h, ctx);
+        let x_local = x.select_rows(dh.row_set.iter());
+        let ne = degrees.len();
+        let mut b = Matrix::<C64>::zeros(dh.n_c(), ne);
+        let rec = std::sync::Arc::new(TraceRecorder::disabled(ctx.world_rank()));
+        let run = |c: &mut Matrix<C64>, b: &mut Matrix<C64>, dh: &mut DistHerm<C64>| {
+            chebyshev_filter_with(&dev, ctx, dh, c, b, 0, degrees, bounds, FilterExec::Flat)
+                .expect("overhead filter run timed out");
+        };
+        for _ in 0..warmup {
+            let mut c = x_local.clone();
+            run(&mut c, &mut b, &mut dh);
+        }
+        let mut base = Vec::with_capacity(reps);
+        let mut hooked = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let order = if rep % 2 == 0 {
+                [false, true]
+            } else {
+                [true, false]
+            };
+            for on in order {
+                if on {
+                    ctx.set_trace_hook(Some(
+                        rec.clone() as std::sync::Arc<dyn chase_comm::TraceHook>
+                    ));
+                }
+                let mut c = x_local.clone();
+                ctx.world.barrier();
+                let t = std::time::Instant::now();
+                run(&mut c, &mut b, &mut dh);
+                let dt = t.elapsed().as_secs_f64();
+                ctx.set_trace_hook(None);
+                if on {
+                    hooked.push(dt);
+                } else {
+                    base.push(dt);
+                }
+            }
+        }
+        (base, hooked)
+    });
+    let per_rank = out.results;
+    let slowest = |hooked: bool| -> Vec<f64> {
+        (0..reps)
+            .map(|r| {
+                per_rank
+                    .iter()
+                    .map(|p| if hooked { p.1[r] } else { p.0[r] })
+                    .fold(0.0f64, f64::max)
+            })
+            .collect()
+    };
+    (slowest(false), slowest(true))
 }

@@ -18,18 +18,7 @@ use chase_topo::{collective_cost, Algo, CollOp, Topology, Tuner};
 
 const RANKS: usize = 64;
 
-/// Host-staged collectives pay D2H before and H2D after (PCIe gen4).
-fn staging_time(m: &Machine, bytes: u64) -> f64 {
-    2.0 * (m.pcie_latency + bytes as f64 / m.pcie_bw)
-}
-
-fn human(bytes: u64) -> String {
-    if bytes >= 1 << 20 {
-        format!("{} MiB", bytes >> 20)
-    } else {
-        format!("{} KiB", bytes >> 10)
-    }
-}
+use chase_bench::{human_bytes as human, staging_time};
 
 fn main() {
     let topo = Topology::juwels_booster();

@@ -292,6 +292,33 @@ pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<
     std::fs::write(path, format!("[{}]\n", items.join(",\n ")))
 }
 
+/// Format a byte count as KiB/MiB (ablation tables).
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else {
+        format!("{} KiB", bytes >> 10)
+    }
+}
+
+/// Host-staged collectives pay D2H before and H2D after (PCIe gen4).
+pub fn staging_time(m: &Machine, bytes: u64) -> f64 {
+    2.0 * (m.pcie_latency + bytes as f64 / m.pcie_bw)
+}
+
+/// Total modeled seconds of one region in a priced profile. Panics if the
+/// region has no priced events — an ablation comparing region costs wants a
+/// loud failure, not a silent 0.0 that passes every inequality.
+pub fn region_cost(
+    costs: &std::collections::HashMap<chase_comm::Region, chase_perfmodel::RegionCost>,
+    region: chase_comm::Region,
+) -> f64 {
+    costs
+        .get(&region)
+        .unwrap_or_else(|| panic!("no {} events in priced profile", region.name()))
+        .total()
+}
+
 /// Format seconds compactly.
 pub fn fmt_s(t: f64) -> String {
     if t >= 100.0 {

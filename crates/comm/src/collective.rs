@@ -8,6 +8,7 @@
 //! machine charges for it — those are recorded in the [`Ledger`] by callers
 //! and priced by `chase-perfmodel`.
 
+use crate::trace_hook::{CommScope, TraceHook};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -280,6 +281,13 @@ pub struct Communicator {
     wait_timeout_ms: Cell<u64>,
     /// Fault-injection hook consulted at nonblocking posts (chaos testing).
     fault_hook: RefCell<Option<Arc<dyn CommFaultHook>>>,
+    /// Tracing hook notified at every collective issue (blocking call or
+    /// nonblocking post), tagged with this handle's scope in the grid.
+    trace_hook: RefCell<Option<(Arc<dyn TraceHook>, CommScope)>>,
+    /// Per-rank sequence number of traced collective issues. SPMD discipline
+    /// (every member issues the same collectives in the same order) keeps it
+    /// identical across ranks — the key the trace stitcher aligns streams on.
+    trace_seq: Cell<u64>,
 }
 
 impl Communicator {
@@ -302,6 +310,8 @@ impl Communicator {
             nb_seq: Cell::new(0),
             wait_timeout_ms: Cell::new(DEFAULT_WAIT_TIMEOUT_MS),
             fault_hook: RefCell::new(None),
+            trace_hook: RefCell::new(None),
+            trace_seq: Cell::new(0),
         }
     }
 
@@ -326,6 +336,23 @@ impl Communicator {
         match &*self.fault_hook.borrow() {
             Some(h) => h.on_post(op, seq),
             None => PostAction::Deliver,
+        }
+    }
+
+    /// Install (or clear) the tracing hook notified at every collective
+    /// issued through this handle, tagging it with `scope`.
+    pub fn set_trace_hook(&self, hook: Option<Arc<dyn TraceHook>>, scope: CommScope) {
+        *self.trace_hook.borrow_mut() = hook.map(|h| (h, scope));
+    }
+
+    /// Notify the trace hook of one collective issue (blocking call or
+    /// nonblocking post) and advance the per-communicator sequence number.
+    /// One `RefCell` borrow when no hook is installed; never a collective.
+    fn trace_collective(&self, op: &'static str, bytes: u64) {
+        if let Some((h, scope)) = &*self.trace_hook.borrow() {
+            let seq = self.trace_seq.get();
+            self.trace_seq.set(seq + 1);
+            h.collective(*scope, op, seq, bytes, self.slot.members as u64);
         }
     }
 
@@ -467,6 +494,7 @@ impl Communicator {
     /// Element-wise sum-allreduce, in place. All members must pass buffers of
     /// identical length.
     pub fn allreduce_sum<T: Reduce>(&self, buf: &mut [T]) {
+        self.trace_collective("allreduce", std::mem::size_of_val(buf) as u64);
         if self.size() == 1 {
             return;
         }
@@ -487,6 +515,7 @@ impl Communicator {
     /// Broadcast `buf` from `root` to every member, in place.
     pub fn bcast<T: Clone + Send + Sync + 'static>(&self, buf: &mut [T], root: usize) {
         assert!(root < self.size());
+        self.trace_collective("bcast", std::mem::size_of_val(buf) as u64);
         if self.size() == 1 {
             return;
         }
@@ -507,6 +536,7 @@ impl Communicator {
     /// Gather every member's contribution, concatenated in member order,
     /// replicated on all ranks. Contributions may differ in length.
     pub fn allgather<T: Clone + Send + Sync + 'static>(&self, mine: &[T]) -> Vec<T> {
+        self.trace_collective("allgather", std::mem::size_of_val(mine) as u64);
         let mine: Vec<T> = mine.to_vec();
         if self.size() == 1 {
             return mine;
@@ -524,6 +554,7 @@ impl Communicator {
 
     /// Synchronize all members.
     pub fn barrier(&self) {
+        self.trace_collective("barrier", 0);
         if self.size() == 1 {
             return;
         }
@@ -588,6 +619,7 @@ impl Communicator {
         let mine = staged.buf.take().expect("staged buffer already posted");
         let len = mine.downcast_ref::<Vec<T>>().unwrap().len();
         let op_id = self.next_nb_seq();
+        self.trace_collective("iallreduce", (len * std::mem::size_of::<T>()) as u64);
         match self.post_action("iallreduce", op_id) {
             PostAction::Drop => {
                 // Stall: recycle the staging buffer, never deposit it. The
@@ -620,6 +652,7 @@ impl Communicator {
     /// the buffer passed to it.
     pub fn iallreduce_sum<T: Reduce>(&self, buf: &[T]) -> Request<'_, T> {
         let op_id = self.next_nb_seq();
+        self.trace_collective("iallreduce", std::mem::size_of_val(buf) as u64);
         match self.post_action("iallreduce", op_id) {
             PostAction::Drop => {
                 return Request {
@@ -695,6 +728,7 @@ impl Communicator {
     ) -> Request<'_, T> {
         assert!(root < self.size());
         let op_id = self.next_nb_seq();
+        self.trace_collective("ibcast", std::mem::size_of_val(buf) as u64);
         match self.post_action("ibcast", op_id) {
             PostAction::Drop => {
                 return Request {
@@ -740,6 +774,7 @@ impl Communicator {
     /// [`GatherRequest::wait`].
     pub fn iallgather<T: Clone + Send + Sync + 'static>(&self, mine: &[T]) -> GatherRequest<'_, T> {
         let op_id = self.next_nb_seq();
+        self.trace_collective("iallgather", std::mem::size_of_val(mine) as u64);
         match self.post_action("iallgather", op_id) {
             PostAction::Drop => {
                 return GatherRequest {

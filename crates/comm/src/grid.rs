@@ -10,7 +10,9 @@
 
 use crate::collective::{Communicator, Slot};
 use crate::ledger::{EventKind, Ledger, Region};
+use crate::trace_hook::{CommScope, TraceHook};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -98,6 +100,9 @@ pub struct RankCtx {
     pub col_comm: Communicator,
     /// Event log (shared so it can be harvested after the run).
     pub ledger: Arc<Mutex<Ledger>>,
+    /// Structured-tracing hook, if installed ([`RankCtx::set_trace_hook`]).
+    /// Per-rank and purely local — recording never issues a collective.
+    pub trace: RefCell<Option<Arc<dyn TraceHook>>>,
 }
 
 impl RankCtx {
@@ -113,15 +118,65 @@ impl RankCtx {
     }
 
     pub fn record(&self, kind: EventKind) {
-        self.ledger.lock().record(kind);
+        let region = {
+            let mut l = self.ledger.lock();
+            l.record(kind);
+            l.current_region().unwrap_or(Region::Other)
+        };
+        if let Some(h) = &*self.trace.borrow() {
+            h.event(region, kind);
+        }
     }
 
     pub fn record_in(&self, region: Region, kind: EventKind) {
         self.ledger.lock().record_in(region, kind);
+        if let Some(h) = &*self.trace.borrow() {
+            h.event(region, kind);
+        }
     }
 
     pub fn set_region(&self, region: Region) {
         self.ledger.lock().set_region(region);
+        if let Some(h) = &*self.trace.borrow() {
+            h.region(region);
+        }
+    }
+
+    /// Install (or clear) the structured-tracing hook on this rank: the
+    /// context forwards ledger records, region changes and span/counter
+    /// marks, and the three grid communicators report their collective
+    /// issues tagged with their scope.
+    pub fn set_trace_hook(&self, hook: Option<Arc<dyn TraceHook>>) {
+        self.world.set_trace_hook(hook.clone(), CommScope::World);
+        self.row_comm.set_trace_hook(hook.clone(), CommScope::Row);
+        self.col_comm.set_trace_hook(hook.clone(), CommScope::Col);
+        *self.trace.borrow_mut() = hook;
+    }
+
+    /// The installed tracing hook, if any (cloned handle).
+    pub fn trace_hook(&self) -> Option<Arc<dyn TraceHook>> {
+        self.trace.borrow().clone()
+    }
+
+    /// Open a named trace span (no-op without a hook).
+    pub fn trace_span_begin(&self, name: &'static str, arg: u64) {
+        if let Some(h) = &*self.trace.borrow() {
+            h.span_begin(name, arg);
+        }
+    }
+
+    /// Close the innermost trace span named `name` (no-op without a hook).
+    pub fn trace_span_end(&self, name: &'static str) {
+        if let Some(h) = &*self.trace.borrow() {
+            h.span_end(name);
+        }
+    }
+
+    /// Increment a named trace counter (no-op without a hook).
+    pub fn trace_counter(&self, name: &'static str, delta: u64) {
+        if let Some(h) = &*self.trace.borrow() {
+            h.counter(name, delta);
+        }
     }
 
     /// Open an overlap window on this rank's ledger (see
@@ -138,7 +193,16 @@ impl RankCtx {
     /// Record an event that began at `t0_us` and ends now (the span of a
     /// nonblocking collective).
     pub fn record_spanned(&self, kind: EventKind, t0_us: u64) {
-        self.ledger.lock().record_spanned(kind, t0_us);
+        let region = {
+            let mut l = self.ledger.lock();
+            l.record_spanned(kind, t0_us);
+            l.current_region().unwrap_or(Region::Other)
+        };
+        // The trace mirror carries no wall span — only the deterministic
+        // (region, kind) payload — so replayed traces stay byte-identical.
+        if let Some(h) = &*self.trace.borrow() {
+            h.event(region, kind);
+        }
     }
 
     /// Snapshot of the ledger contents.
@@ -193,6 +257,7 @@ where
                 row_comm: Communicator::with_labels(row_slots[i].clone(), j, row_labels[i].clone()),
                 col_comm: Communicator::with_labels(col_slots[j].clone(), i, col_labels[j].clone()),
                 ledger: ledgers[wr].clone(),
+                trace: RefCell::new(None),
             };
             let f = &f;
             handles.push((
@@ -233,6 +298,7 @@ pub fn solo_ctx() -> RankCtx {
         row_comm: Communicator::solo(),
         col_comm: Communicator::solo(),
         ledger: Arc::new(Mutex::new(Ledger::new())),
+        trace: RefCell::new(None),
     }
 }
 

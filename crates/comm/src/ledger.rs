@@ -270,6 +270,11 @@ impl Ledger {
         self.window
     }
 
+    /// Region subsequent events are attributed to, if one is set.
+    pub fn current_region(&self) -> Option<Region> {
+        self.region
+    }
+
     pub fn record(&mut self, kind: EventKind) {
         let region = self.region.unwrap_or(Region::Other);
         self.events.push(Event {
@@ -441,7 +446,24 @@ impl Ledger {
 
 fn event_to_json(ev: &Event) -> String {
     let region = ev.region.name();
-    let kind = match ev.kind {
+    let kind = kind_to_json(&ev.kind);
+    // Optional fields are emitted only when informative so ledgers from
+    // analytic streams (no clock, no windows) keep the compact encoding.
+    let mut extra = String::new();
+    if let Some(w) = ev.window {
+        extra.push_str(&format!(",\"win\":{w}"));
+    }
+    if ev.t0_us != 0 || ev.t1_us != 0 {
+        extra.push_str(&format!(",\"t0\":{},\"t1\":{}", ev.t0_us, ev.t1_us));
+    }
+    format!("{{\"region\":\"{region}\",{kind}{extra}}}")
+}
+
+/// Flat JSON fields for an event kind (no surrounding braces), e.g.
+/// `"kind":"Gemm","m":4,"n":5,"k":6`. Shared with the `chase-trace` encoder
+/// so both serialize kernel shapes identically.
+pub fn kind_to_json(kind: &EventKind) -> String {
+    match *kind {
         EventKind::Gemm { m, n, k } => format!("\"kind\":\"Gemm\",\"m\":{m},\"n\":{n},\"k\":{k}"),
         EventKind::Herk { m, n } => format!("\"kind\":\"Herk\",\"m\":{m},\"n\":{n}"),
         EventKind::Potrf { n } => format!("\"kind\":\"Potrf\",\"n\":{n}"),
@@ -472,17 +494,7 @@ fn event_to_json(ev: &Event) -> String {
                 link.name()
             )
         }
-    };
-    // Optional fields are emitted only when informative so ledgers from
-    // analytic streams (no clock, no windows) keep the compact encoding.
-    let mut extra = String::new();
-    if let Some(w) = ev.window {
-        extra.push_str(&format!(",\"win\":{w}"));
     }
-    if ev.t0_us != 0 || ev.t1_us != 0 {
-        extra.push_str(&format!(",\"t0\":{},\"t1\":{}", ev.t0_us, ev.t1_us));
-    }
-    format!("{{\"region\":\"{region}\",{kind}{extra}}}")
 }
 
 fn json_str_field(obj: &str, key: &str) -> Result<String, String> {
@@ -514,6 +526,22 @@ fn json_u64_field(obj: &str, key: &str) -> Result<u64, String> {
 fn event_from_json(obj: &str) -> Result<Event, String> {
     let region = json_str_field(obj, "region")?;
     let region = Region::parse_name(&region).ok_or_else(|| format!("unknown region {region}"))?;
+    let kind = kind_from_json(obj)?;
+    let window = json_u64_field(obj, "win").ok().map(|w| w as u32);
+    let t0_us = json_u64_field(obj, "t0").unwrap_or(0);
+    let t1_us = json_u64_field(obj, "t1").unwrap_or(0);
+    Ok(Event {
+        kind,
+        region,
+        window,
+        t0_us,
+        t1_us,
+    })
+}
+
+/// Decode an [`EventKind`] from the flat fields emitted by [`kind_to_json`]
+/// (the input is the brace-stripped object body).
+pub fn kind_from_json(obj: &str) -> Result<EventKind, String> {
     let kind_name = json_str_field(obj, "kind")?;
     let kind = match kind_name.as_str() {
         "Gemm" => EventKind::Gemm {
@@ -572,16 +600,7 @@ fn event_from_json(obj: &str) -> Result<Event, String> {
         }
         other => return Err(format!("unknown event kind {other}")),
     };
-    let window = json_u64_field(obj, "win").ok().map(|w| w as u32);
-    let t0_us = json_u64_field(obj, "t0").unwrap_or(0);
-    let t1_us = json_u64_field(obj, "t1").unwrap_or(0);
-    Ok(Event {
-        kind,
-        region,
-        window,
-        t0_us,
-        t1_us,
-    })
+    Ok(kind)
 }
 
 /// RAII guard restoring the previous region on drop.

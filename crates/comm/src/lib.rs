@@ -16,11 +16,16 @@ pub mod collective;
 pub mod grid;
 pub mod ledger;
 pub mod partition;
+pub mod trace_hook;
 
 pub use collective::{
     CommFaultHook, Communicator, GatherRequest, NbPoolStats, PostAction, Reduce, Request, SendBuf,
     Slot, WaitTimeout, DEFAULT_WAIT_TIMEOUT_MS,
 };
 pub use grid::{block_range, run_grid, solo_ctx, GridShape, RankCtx, SpmdOutput};
-pub use ledger::{now_us, Category, Event, EventKind, Ledger, LinkClass, Region, RegionGuard};
+pub use ledger::{
+    kind_from_json, kind_to_json, now_us, Category, Event, EventKind, Ledger, LinkClass, Region,
+    RegionGuard,
+};
 pub use partition::{Distribution, IndexSet};
+pub use trace_hook::{CommScope, TraceHook};

@@ -466,6 +466,9 @@ where
         let ne = self.params.ne();
         let nev = self.params.nev;
         let ctx = self.dev.ctx();
+        ctx.trace_span_begin("solve", 0);
+        // Recovery events already mirrored into the trace counter stream.
+        let mut traced_recovery = 0usize;
 
         let bounds = estimate_bounds_dist(self.dev, &self.h, ne, &self.params);
         let b_sup = bounds.b_sup;
@@ -494,6 +497,16 @@ where
 
         for iter in 1..=self.params.max_iter {
             iterations = iter;
+            // Re-opening "iteration" auto-closes the previous iteration span,
+            // so the recovery `continue` paths need no explicit span end.
+            ctx.trace_span_begin("iteration", iter as u64);
+            if recovery.events.len() > traced_recovery {
+                ctx.trace_counter(
+                    "recovery_events",
+                    (recovery.events.len() - traced_recovery) as u64,
+                );
+                traced_recovery = recovery.events.len();
+            }
             if let Some(plan) = self.dev.fault_plan() {
                 plan.set_iter(iter as u64);
             }
@@ -700,6 +713,9 @@ where
                 est_cond,
                 self.params.qr,
             );
+            if attempts.len() > 1 {
+                ctx.trace_counter("qr_rung_climbs", (attempts.len() - 1) as u64);
+            }
             for (k, a) in attempts.iter().enumerate() {
                 if let Some(e) = a.error {
                     recovery.push(
@@ -849,6 +865,13 @@ where
             }
         }
         self.drain_faults(iterations, &mut recovery);
+        if recovery.events.len() > traced_recovery {
+            ctx.trace_counter(
+                "recovery_events",
+                (recovery.events.len() - traced_recovery) as u64,
+            );
+        }
+        ctx.trace_span_end("solve");
 
         // Sort the locked prefix ascending by Ritz value for clean output.
         let take = self.locked.max(nev.min(ne)).min(ne);
@@ -927,6 +950,9 @@ where
         for c in comms {
             c.set_fault_hook(Some(hook.clone()));
         }
+        // Mirror injections into the trace stream when a recorder is
+        // installed on this rank.
+        p.set_trace_hook(ctx.trace_hook());
     }
     let dev = Device::with_collectives(
         ctx,
@@ -936,10 +962,11 @@ where
     )
     .with_faults(plan.clone());
     let out = Chase::new(&dev, h, params.clone(), initial).try_solve();
-    if plan.is_some() {
+    if let Some(p) = &plan {
         for c in comms {
             c.set_fault_hook(None);
         }
+        p.set_trace_hook(None);
     }
     out
 }

@@ -20,7 +20,7 @@
 //! [`chase_comm::CommFaultHook`]), and the solver applies block-level
 //! corruption between pipeline stages ([`FaultPlan::apply_block_faults`]).
 
-use chase_comm::{CommFaultHook, PostAction, Region};
+use chase_comm::{CommFaultHook, PostAction, Region, TraceHook};
 use chase_linalg::{Matrix, RealScalar, Scalar};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -337,6 +337,10 @@ pub struct FaultPlan {
     /// Monotonic site counter decorrelating successive payload corruptions.
     site: AtomicU64,
     log: Mutex<Vec<InjectionRecord>>,
+    /// Optional trace sink mirroring every injection into the trace counter
+    /// stream (`faults_fired`, `posts_dropped`, `posts_delayed`), so a
+    /// recorded timeline shows *where* the chaos harness struck.
+    trace: Mutex<Option<std::sync::Arc<dyn TraceHook>>>,
 }
 
 impl FaultPlan {
@@ -355,6 +359,18 @@ impl FaultPlan {
             fired,
             site: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Mirror injections into a trace recorder (cleared with `None`).
+    pub fn set_trace_hook(&self, hook: Option<std::sync::Arc<dyn TraceHook>>) {
+        *self.trace.lock().unwrap() = hook;
+    }
+
+    fn trace_counter(&self, name: &'static str) {
+        if let Some(h) = &*self.trace.lock().unwrap() {
+            h.counter(name, 1);
         }
     }
 
@@ -400,6 +416,7 @@ impl FaultPlan {
     }
 
     fn record(&self, what: String) {
+        self.trace_counter("faults_fired");
         self.log.lock().unwrap().push(InjectionRecord {
             iter: self.iter.load(Ordering::Relaxed),
             region: self.current_region_name(),
@@ -557,10 +574,12 @@ impl CommFaultHook for FaultPlan {
                 // the same op and all of them time out at its wait.
                 FaultKind::Stall if self.armed(idx) && self.claim(idx) => {
                     self.record(format!("stalled nonblocking {op} post"));
+                    self.trace_counter("posts_dropped");
                     return PostAction::Drop;
                 }
                 FaultKind::Delay if self.armed(idx) && self.claim(idx) => {
                     self.record(format!("delayed nonblocking {op} post by {} ms", inj.ms));
+                    self.trace_counter("posts_delayed");
                     return PostAction::Delay { ms: inj.ms };
                 }
                 _ => {}

@@ -15,6 +15,7 @@
 
 pub mod analytic;
 pub mod elpa;
+pub mod live;
 pub mod machine;
 pub mod profile;
 
@@ -22,6 +23,7 @@ pub use analytic::{
     iteration_events, iteration_events_with_overlap, solve_events, IterationSpec, Layout,
 };
 pub use elpa::{elpa_time, ElpaKind, ElpaTime};
+pub use live::{diff_table, price_trace, region_diff};
 pub use machine::{CommFlavor, Machine, ScalarKind};
 pub use profile::{
     price_ledger, price_ledger_overlap, profiled_time, total_time, PriceCtx, RegionCost,

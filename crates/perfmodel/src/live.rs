@@ -1,0 +1,163 @@
+//! Pricing *recorded* traces (chase-trace) instead of synthetic analytic
+//! ledgers — the "live" mode.
+//!
+//! The analytic model (`crate::analytic`) predicts what a run *should* cost;
+//! a recorded trace says what the solver *actually did* (how many filter
+//! matvecs after degree optimization, how many QR rungs, how many recovery
+//! re-filters). Pricing both through the same [`Machine`] and diffing per
+//! region localizes model error: a region where analytic and live disagree is
+//! either a model bug or solver behavior the closed forms don't capture.
+
+use crate::machine::Machine;
+use crate::profile::{price_ledger, PriceCtx, RegionCost};
+use chase_comm::Region;
+use chase_trace::{to_ledger, RankTrace};
+use std::collections::HashMap;
+
+/// Price one rank's recorded trace per region and category, using the same
+/// machinery as the analytic ledgers (`Op` events carry their recorded
+/// region, so attribution matches the recording).
+pub fn price_trace(
+    trace: &RankTrace,
+    machine: &Machine,
+    ctx: PriceCtx,
+) -> HashMap<Region, RegionCost> {
+    price_ledger(&to_ledger(trace), machine, ctx)
+}
+
+/// Per-region comparison of two priced profiles (typically analytic vs
+/// live). Rows in fixed region order; each is
+/// `(region, first total, second total)`, regions absent from both skipped.
+pub fn region_diff(
+    first: &HashMap<Region, RegionCost>,
+    second: &HashMap<Region, RegionCost>,
+) -> Vec<(Region, f64, f64)> {
+    const ORDER: [Region; 6] = [
+        Region::Lanczos,
+        Region::Filter,
+        Region::Qr,
+        Region::RayleighRitz,
+        Region::Residuals,
+        Region::Other,
+    ];
+    ORDER
+        .iter()
+        .filter(|r| first.contains_key(r) || second.contains_key(r))
+        .map(|r| {
+            (
+                *r,
+                first.get(r).map_or(0.0, RegionCost::total),
+                second.get(r).map_or(0.0, RegionCost::total),
+            )
+        })
+        .collect()
+}
+
+/// Render a `region_diff` as an aligned text table with relative error.
+pub fn diff_table(rows: &[(Region, f64, f64)]) -> String {
+    let mut out = format!(
+        "{:<14}{:>14}{:>14}{:>10}\n",
+        "region", "analytic-s", "live-s", "rel-err"
+    );
+    for (region, a, b) in rows {
+        let rel = if *a > 0.0 { (b - a) / a } else { f64::NAN };
+        out.push_str(&format!(
+            "{:<14}{a:>14.6}{b:>14.6}{rel:>10.3}\n",
+            region.name()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use chase_comm::EventKind;
+    use chase_trace::TraceEvent;
+
+    #[test]
+    fn priced_trace_matches_equivalent_ledger() {
+        let trace = RankTrace {
+            rank: 0,
+            events: vec![
+                TraceEvent::SpanBegin {
+                    name: "solve".into(),
+                    arg: 0,
+                },
+                TraceEvent::Op {
+                    region: Region::Filter,
+                    kind: EventKind::Gemm {
+                        m: 512,
+                        n: 64,
+                        k: 512,
+                    },
+                },
+                TraceEvent::Op {
+                    region: Region::Qr,
+                    kind: EventKind::AllReduce {
+                        bytes: 1 << 16,
+                        members: 4,
+                    },
+                },
+                TraceEvent::SpanEnd {
+                    name: "solve".into(),
+                },
+            ],
+        };
+        let machine = Machine::juwels_booster();
+        let costs = price_trace(&trace, &machine, PriceCtx::nccl());
+        assert!(costs[&Region::Filter].compute > 0.0);
+        assert!(costs[&Region::Qr].comm > 0.0);
+
+        let mut ledger = chase_comm::Ledger::new();
+        ledger.record_in(
+            Region::Filter,
+            EventKind::Gemm {
+                m: 512,
+                n: 64,
+                k: 512,
+            },
+        );
+        ledger.record_in(
+            Region::Qr,
+            EventKind::AllReduce {
+                bytes: 1 << 16,
+                members: 4,
+            },
+        );
+        let direct = price_ledger(&ledger, &machine, PriceCtx::nccl());
+        assert_eq!(costs, direct, "span events must not change pricing");
+    }
+
+    #[test]
+    fn diff_rows_are_region_ordered() {
+        let mut a = HashMap::new();
+        a.insert(
+            Region::Qr,
+            RegionCost {
+                compute: 1.0,
+                comm: 0.0,
+                transfer: 0.0,
+            },
+        );
+        let mut b = HashMap::new();
+        b.insert(
+            Region::Filter,
+            RegionCost {
+                compute: 2.0,
+                comm: 0.0,
+                transfer: 0.0,
+            },
+        );
+        let rows = region_diff(&a, &b);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, Region::Filter);
+        assert_eq!(rows[0].2, 2.0);
+        assert_eq!(rows[1].0, Region::Qr);
+        assert_eq!(rows[1].1, 1.0);
+        let table = diff_table(&rows);
+        assert!(table.contains("QR"));
+        assert!(table.contains("rel-err"));
+    }
+}

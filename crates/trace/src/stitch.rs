@@ -1,0 +1,393 @@
+//! Stitch per-rank event streams into one globally ordered timeline.
+//!
+//! There is no global clock (deliberately — see the determinism contract in
+//! the crate docs), so global order is reconstructed from the collective
+//! sequence numbers the comm layer stamps on every issue. World collectives
+//! are synchronization points every rank passes in the same order; they
+//! delimit *epochs*, and within an epoch the only honest ordering is
+//! per-rank program order. The stitcher validates the streams and reports
+//! typed errors — it never panics on malformed input and never silently
+//! reorders.
+
+use crate::model::{Trace, TraceEvent};
+use chase_comm::CommScope;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a set of rank streams could not be stitched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StitchError {
+    /// The trace has no ranks.
+    Empty,
+    /// Two streams claim the same rank id.
+    DuplicateRank { rank: usize },
+    /// A rank's collective sequence numbers on one communicator are not
+    /// strictly increasing — the stream was reordered or spliced.
+    OutOfOrderSeq {
+        rank: usize,
+        scope: CommScope,
+        prev: u64,
+        next: u64,
+    },
+    /// A rank's stream ends before the world collectives other ranks
+    /// recorded — it was cut off mid-run.
+    RankTruncated {
+        rank: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// Ranks disagree on which world collective came `index`-th — the
+    /// streams are from different runs (or SPMD discipline was violated).
+    MisalignedWorldOp {
+        rank: usize,
+        index: usize,
+        expected: String,
+        got: String,
+    },
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::Empty => write!(f, "trace has no rank streams"),
+            StitchError::DuplicateRank { rank } => {
+                write!(f, "duplicate stream for rank {rank}")
+            }
+            StitchError::OutOfOrderSeq {
+                rank,
+                scope,
+                prev,
+                next,
+            } => write!(
+                f,
+                "rank {rank}: {} collective seq went {prev} -> {next} (not increasing)",
+                scope.name()
+            ),
+            StitchError::RankTruncated {
+                rank,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {rank}: stream truncated at {got} world collectives (others recorded {expected})"
+            ),
+            StitchError::MisalignedWorldOp {
+                rank,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {rank}: world collective #{index} is {got:?}, other ranks recorded {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// One event placed on the global timeline, tagged with its origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalEvent {
+    pub rank: usize,
+    /// The event's index in its rank's original stream.
+    pub tick: usize,
+    pub event: TraceEvent,
+}
+
+/// The stitched result: all events in global order, plus the number of
+/// world-collective epochs the run passed through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    pub events: Vec<GlobalEvent>,
+    pub epochs: usize,
+}
+
+/// World-collective signature of one rank: the `(op, seq)` pairs in stream
+/// order, plus the stream index just *after* each world collective (the
+/// epoch boundaries).
+type WorldSignature = (Vec<(String, u64)>, Vec<usize>);
+
+fn world_signature(events: &[TraceEvent]) -> WorldSignature {
+    let mut sig = Vec::new();
+    let mut cuts = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if let TraceEvent::Collective {
+            scope: CommScope::World,
+            op,
+            seq,
+            ..
+        } = e
+        {
+            sig.push((op.clone(), *seq));
+            cuts.push(i + 1);
+        }
+    }
+    (sig, cuts)
+}
+
+/// Merge the per-rank streams of `trace` into one global [`Timeline`].
+pub fn stitch(trace: &Trace) -> Result<Timeline, StitchError> {
+    if trace.ranks.is_empty() {
+        return Err(StitchError::Empty);
+    }
+
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &trace.ranks {
+        if !seen.insert(r.rank) {
+            return Err(StitchError::DuplicateRank { rank: r.rank });
+        }
+    }
+
+    // Per-(rank, scope) sequence numbers must be strictly increasing.
+    for r in &trace.ranks {
+        let mut last: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for e in &r.events {
+            if let TraceEvent::Collective { scope, seq, .. } = e {
+                if let Some(&prev) = last.get(scope.name()) {
+                    if *seq <= prev {
+                        return Err(StitchError::OutOfOrderSeq {
+                            rank: r.rank,
+                            scope: *scope,
+                            prev,
+                            next: *seq,
+                        });
+                    }
+                }
+                last.insert(scope.name(), *seq);
+            }
+        }
+    }
+
+    // Every rank must have passed the same world collectives in the same
+    // order. The longest signature is the reference; a shorter stream is a
+    // truncation, a differing one a misalignment.
+    let sigs: Vec<WorldSignature> = trace
+        .ranks
+        .iter()
+        .map(|r| world_signature(&r.events))
+        .collect();
+    // First stream of maximal length is the reference (first, so that a
+    // single tampered stream is the one reported, not the one trusted).
+    let mut ref_idx = 0;
+    for i in 1..sigs.len() {
+        if sigs[i].0.len() > sigs[ref_idx].0.len() {
+            ref_idx = i;
+        }
+    }
+    let reference = &sigs[ref_idx].0;
+    for (r, (sig, _)) in trace.ranks.iter().zip(&sigs) {
+        for (i, got) in sig.iter().enumerate() {
+            let expected = &reference[i];
+            if got != expected {
+                return Err(StitchError::MisalignedWorldOp {
+                    rank: r.rank,
+                    index: i,
+                    expected: format!("{}#{}", expected.0, expected.1),
+                    got: format!("{}#{}", got.0, got.1),
+                });
+            }
+        }
+        if sig.len() < reference.len() {
+            return Err(StitchError::RankTruncated {
+                rank: r.rank,
+                expected: reference.len(),
+                got: sig.len(),
+            });
+        }
+    }
+
+    // Epoch k of a rank is its events up to and including the k-th world
+    // collective; the final epoch is the tail. Within an epoch, the merge
+    // keeps per-rank program order and orders ranks by id.
+    let epochs = reference.len() + 1;
+    let mut order: Vec<usize> = (0..trace.ranks.len()).collect();
+    order.sort_by_key(|&i| trace.ranks[i].rank);
+
+    let mut events = Vec::new();
+    for epoch in 0..epochs {
+        for &i in &order {
+            let r = &trace.ranks[i];
+            let cuts = &sigs[i].1;
+            let lo = if epoch == 0 { 0 } else { cuts[epoch - 1] };
+            let hi = if epoch < cuts.len() {
+                cuts[epoch]
+            } else {
+                r.events.len()
+            };
+            for tick in lo..hi {
+                events.push(GlobalEvent {
+                    rank: r.rank,
+                    tick,
+                    event: r.events[tick].clone(),
+                });
+            }
+        }
+    }
+
+    Ok(Timeline { events, epochs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RankTrace;
+    use chase_comm::{EventKind, Region};
+
+    fn coll(scope: CommScope, op: &str, seq: u64) -> TraceEvent {
+        TraceEvent::Collective {
+            scope,
+            op: op.into(),
+            seq,
+            bytes: 8,
+            members: 2,
+        }
+    }
+
+    fn op() -> TraceEvent {
+        TraceEvent::Op {
+            region: Region::Filter,
+            kind: EventKind::Blas1 { n: 1 },
+        }
+    }
+
+    fn two_rank_trace() -> Trace {
+        Trace {
+            ranks: vec![
+                RankTrace {
+                    rank: 0,
+                    events: vec![
+                        op(),
+                        coll(CommScope::World, "allreduce", 0),
+                        op(),
+                        coll(CommScope::World, "bcast", 1),
+                    ],
+                },
+                RankTrace {
+                    rank: 1,
+                    events: vec![
+                        coll(CommScope::World, "allreduce", 0),
+                        op(),
+                        op(),
+                        coll(CommScope::World, "bcast", 1),
+                        op(),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn happy_path_epochs() {
+        let tl = stitch(&two_rank_trace()).unwrap();
+        assert_eq!(tl.epochs, 3);
+        assert_eq!(tl.events.len(), 4 + 5);
+        // Epoch 0: rank 0's [op, allreduce] precede rank 1's [allreduce];
+        // rank 1's post-allreduce ops land in epoch 1 even though they sit
+        // earlier in wall order than rank 0's bcast.
+        let ranks: Vec<usize> = tl.events.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![0, 0, 1, 0, 0, 1, 1, 1, 1]);
+        // Ticks within a rank stay in program order.
+        let r1_ticks: Vec<usize> = tl
+            .events
+            .iter()
+            .filter(|e| e.rank == 1)
+            .map(|e| e.tick)
+            .collect();
+        assert_eq!(r1_ticks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_duplicate() {
+        assert_eq!(stitch(&Trace::default()), Err(StitchError::Empty));
+        let mut t = two_rank_trace();
+        t.ranks[1].rank = 0;
+        assert_eq!(stitch(&t), Err(StitchError::DuplicateRank { rank: 0 }));
+    }
+
+    #[test]
+    fn out_of_order_seq_is_typed_error() {
+        let t = Trace {
+            ranks: vec![RankTrace {
+                rank: 3,
+                events: vec![
+                    coll(CommScope::Row, "allreduce", 5),
+                    coll(CommScope::Row, "allreduce", 5),
+                ],
+            }],
+        };
+        assert_eq!(
+            stitch(&t),
+            Err(StitchError::OutOfOrderSeq {
+                rank: 3,
+                scope: CommScope::Row,
+                prev: 5,
+                next: 5,
+            })
+        );
+        // Different scopes keep independent counters: no error.
+        let ok = Trace {
+            ranks: vec![RankTrace {
+                rank: 0,
+                events: vec![
+                    coll(CommScope::Row, "allreduce", 5),
+                    coll(CommScope::Col, "allreduce", 5),
+                ],
+            }],
+        };
+        assert!(stitch(&ok).is_ok());
+    }
+
+    #[test]
+    fn truncated_rank_is_typed_error() {
+        let mut t = two_rank_trace();
+        t.ranks[0].events.truncate(2); // rank 0 missed the bcast
+        assert_eq!(
+            stitch(&t),
+            Err(StitchError::RankTruncated {
+                rank: 0,
+                expected: 2,
+                got: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn misaligned_world_op_is_typed_error() {
+        let mut t = two_rank_trace();
+        t.ranks[1].events[3] = coll(CommScope::World, "barrier", 1);
+        let err = stitch(&t).unwrap_err();
+        assert_eq!(
+            err,
+            StitchError::MisalignedWorldOp {
+                rank: 1,
+                index: 1,
+                expected: "bcast#1".into(),
+                got: "barrier#1".into(),
+            }
+        );
+        assert!(err.to_string().contains("world collective #1"));
+    }
+
+    #[test]
+    fn row_collectives_do_not_gate_epochs() {
+        // Row/col collectives are sub-communicator-local: they must not be
+        // used as global barriers, and differing row traffic across ranks is
+        // legal.
+        let t = Trace {
+            ranks: vec![
+                RankTrace {
+                    rank: 0,
+                    events: vec![coll(CommScope::Row, "allreduce", 0), op()],
+                },
+                RankTrace {
+                    rank: 1,
+                    events: vec![op()],
+                },
+            ],
+        };
+        let tl = stitch(&t).unwrap();
+        assert_eq!(tl.epochs, 1);
+        assert_eq!(tl.events.len(), 3);
+    }
+}

@@ -10,6 +10,7 @@
 //!                [--overlap] [--panel 16]
 //!                [--inject 'seed=7;bitflip@iter=2,region=filter,rank=0'] [--wait-timeout-ms 500]
 //!                [--no-guards]
+//!                [--trace out.json] [--trace-format chrome|summary] [--metrics m.json]
 //! ```
 
 use chase_comm::{run_grid, Distribution, GridShape};
@@ -20,6 +21,7 @@ use chase_device::{Backend, CollectiveAlgo};
 use chase_linalg::{Matrix, RealScalar, Scalar, C64};
 use chase_matgen::io::{load, save_c64, save_f64, LoadedMatrix};
 use chase_matgen::{dense_with_spectrum, Spectrum};
+use chase_trace::{chrome_trace, metrics_json, stitch, summary_table, Trace, TraceRecorder};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -116,19 +118,40 @@ fn solve_generic<T: Scalar + chase_comm::Reduce>(
     shape: GridShape,
     backend: Backend,
     dist: Distribution,
-) -> Result<ChaseResult<T>, ChaseError>
+    tracing: bool,
+) -> (Result<ChaseResult<T>, ChaseError>, Option<Trace>)
 where
     T::Real: chase_comm::Reduce,
 {
     let out = run_grid(shape, move |ctx| {
+        // One recorder per rank, installed before any collective so the
+        // trace covers the bounds estimate too; always uninstalled before
+        // the rendezvous teardown.
+        let rec = tracing.then(|| std::sync::Arc::new(TraceRecorder::new(ctx.world_rank())));
+        if let Some(r) = &rec {
+            ctx.set_trace_hook(Some(r.clone() as std::sync::Arc<dyn chase_comm::TraceHook>));
+        }
         let dh = DistHerm::from_global_dist(h, ctx, dist);
-        if matches!(backend, Backend::Lms) {
+        let result = if matches!(backend, Backend::Lms) {
             Ok(solve_lms(ctx, dh, params, None))
         } else {
             try_solve_dist(ctx, backend, dh, params, None)
+        };
+        if rec.is_some() {
+            ctx.set_trace_hook(None);
         }
+        (result, rec.map(|r| r.finish()))
     });
-    out.results.into_iter().next().unwrap()
+    // Results arrive in world-rank order; rank 0's result speaks for the
+    // SPMD run, the traces are stitched across all ranks.
+    let mut results = Vec::new();
+    let mut rank_traces = Vec::new();
+    for (res, trace) in out.results {
+        results.push(res);
+        rank_traces.extend(trace);
+    }
+    let trace = tracing.then_some(Trace { ranks: rank_traces });
+    (results.into_iter().next().unwrap(), trace)
 }
 
 fn print_recovery(log: &chase_core::RecoveryLog) {
@@ -268,6 +291,21 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     if params.inject.is_some() && matches!(backend, Backend::Lms) {
         return Err("--inject is not supported with the lms baseline backend".into());
     }
+    // Structured tracing: `--trace FILE` records every rank and writes the
+    // stitched result; `--trace-format` picks the exporter; `--metrics FILE`
+    // writes machine-readable aggregates (usable without --trace).
+    let trace_path = flags.get("trace").cloned();
+    let metrics_path = flags.get("metrics").cloned();
+    let trace_format = match flags
+        .get("trace-format")
+        .map(String::as_str)
+        .unwrap_or("chrome")
+    {
+        "chrome" => TraceFormat::Chrome,
+        "summary" => TraceFormat::Summary,
+        other => return Err(format!("unknown trace format '{other}' (chrome|summary)")),
+    };
+    let tracing = trace_path.is_some() || metrics_path.is_some();
 
     let m = load(&path).map_err(|e| e.to_string())?;
     if params.ne() > m.rows() {
@@ -278,13 +316,26 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
         ));
     }
     let t0 = std::time::Instant::now();
-    let outcome =
-        match m {
-            LoadedMatrix::C64(h) => solve_generic(&h, &params, shape, backend, dist)
-                .map(|r| print_result(&r, t0.elapsed())),
-            LoadedMatrix::F64(h) => solve_generic(&h, &params, shape, backend, dist)
-                .map(|r| print_result(&r, t0.elapsed())),
-        };
+    let (outcome, trace) = match m {
+        LoadedMatrix::C64(h) => {
+            let (res, trace) = solve_generic(&h, &params, shape, backend, dist, tracing);
+            (res.map(|r| print_result(&r, t0.elapsed())), trace)
+        }
+        LoadedMatrix::F64(h) => {
+            let (res, trace) = solve_generic(&h, &params, shape, backend, dist, tracing);
+            (res.map(|r| print_result(&r, t0.elapsed())), trace)
+        }
+    };
+    // Export the trace even for failed runs — a chaos run's timeline is most
+    // interesting exactly when the solve aborts.
+    if let Some(trace) = &trace {
+        write_trace_outputs(
+            trace,
+            trace_path.as_deref(),
+            trace_format,
+            metrics_path.as_deref(),
+        )?;
+    }
     match outcome {
         Ok(()) => Ok(()),
         Err(e) => {
@@ -292,6 +343,41 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
             Err(format!("solve aborted: {e}"))
         }
     }
+}
+
+#[derive(Clone, Copy)]
+enum TraceFormat {
+    Chrome,
+    Summary,
+}
+
+fn write_trace_outputs(
+    trace: &Trace,
+    trace_path: Option<&str>,
+    format: TraceFormat,
+    metrics_path: Option<&str>,
+) -> Result<(), String> {
+    // Stitching validates the streams (ordered sequence numbers, aligned
+    // world collectives) before anything is written.
+    let timeline = stitch(trace).map_err(|e| format!("trace stitch failed: {e}"))?;
+    if let Some(path) = trace_path {
+        let body = match format {
+            TraceFormat::Chrome => chrome_trace(trace),
+            TraceFormat::Summary => summary_table(trace),
+        };
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "trace: {path} ({} rank(s), {} event(s), {} epoch(s))",
+            trace.ranks.len(),
+            timeline.events.len(),
+            timeline.epochs
+        );
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(path, metrics_json(trace)).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics: {path}");
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -305,6 +391,15 @@ USAGE:
                  [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
                  [--overlap] [--panel W]
                  [--inject SPEC] [--wait-timeout-ms MS] [--no-guards]
+                 [--trace FILE] [--trace-format chrome|summary] [--metrics FILE]
+
+TRACING:
+  --trace records every rank's structured timeline (spans, kernel shapes,
+  collective sequence numbers — no wall clock, so replays are byte-identical)
+  and writes it after stitching the ranks on their collective sequence
+  numbers. --trace-format chrome emits Chrome trace-event JSON (load in
+  chrome://tracing or Perfetto); summary emits a per-region flops/bytes
+  table. --metrics writes machine-readable per-rank aggregates.
 
 FAULT INJECTION:
   --inject compiles a deterministic fault campaign (kind@iter=N,key=value,...):

@@ -138,6 +138,80 @@ proptest! {
     }
 }
 
+/// The nonblocking buffer pool must be reused across pipelined panels: once
+/// one sweep over every panel width has populated the pool, re-running the
+/// sweep — panel count growing from one full-block post to one post per
+/// vector — performs zero fresh allocations. The pool high-water mark is
+/// set by the deepest pipeline, not by how many panels flow through it.
+#[test]
+fn nb_pool_high_water_mark_is_constant_across_panels() {
+    let n = 48;
+    let ne = 12;
+    // Mixed degrees so the active set narrows and panel boundaries shift
+    // between sweeps — the reuse claim must survive ragged panel shapes.
+    let degrees: Vec<usize> = (0..ne).map(|i| 2 * (1 + i % 4)).collect();
+    let mut degrees = degrees;
+    degrees.sort_unstable();
+    let spec = Spectrum::uniform(n, -1.0, 1.0);
+    let h = dense_with_spectrum::<C64>(&spec, 29);
+    let mut rng = ChaCha8Rng::seed_from_u64(30);
+    let x = Matrix::<C64>::random(n, ne, &mut rng);
+    let bounds = FilterBounds::from_spectrum(-1.0, 0.0, 1.0);
+    // Coarse-to-fine: panel count grows 1, 2, 4, 12 posts per degree step.
+    let widths = [Some(ne), Some(7), Some(4), Some(1)];
+    let (h, x, degrees) = (&h, &x, &degrees);
+    let out = run_grid(GridShape::new(2, 2), move |ctx| {
+        let dev = Device::new(ctx, Backend::Nccl);
+        let mut dh = DistHerm::from_global(h, ctx);
+        let x_local = x.select_rows(dh.row_set.iter());
+        let mut run_sweep = || {
+            for panel in widths {
+                let mut c = x_local.clone();
+                let mut b = Matrix::<C64>::zeros(dh.n_c(), ne);
+                chebyshev_filter_with(
+                    &dev,
+                    ctx,
+                    &mut dh,
+                    &mut c,
+                    &mut b,
+                    0,
+                    degrees,
+                    bounds,
+                    FilterExec::Pipelined { panel },
+                )
+                .unwrap();
+            }
+        };
+        // Warm-up sweep: every panel width allocates its staging buffers
+        // once; this sets the pool's high-water mark.
+        run_sweep();
+        ctx.world.barrier();
+        let fresh = |ctx: &chase_comm::RankCtx| {
+            ctx.col_comm.nb_pool_stats().fresh_allocs + ctx.row_comm.nb_pool_stats().fresh_allocs
+        };
+        let high_water = fresh(ctx);
+        // Two more full sweeps: growing panel counts, zero new allocations.
+        run_sweep();
+        run_sweep();
+        ctx.world.barrier();
+        let after_col = ctx.col_comm.nb_pool_stats();
+        let after = fresh(ctx);
+        (high_water, after, after_col.pool_hits, after_col.in_flight)
+    });
+    for (rank, (high_water, after, pool_hits, in_flight)) in out.results.iter().enumerate() {
+        assert_eq!(
+            after, high_water,
+            "rank {rank}: pool high-water mark grew with panel count \
+             ({high_water} -> {after} fresh allocations)"
+        );
+        assert!(
+            pool_hits > &0,
+            "rank {rank}: steady-state sweeps never hit the pool"
+        );
+        assert_eq!(in_flight, &0, "rank {rank}: nonblocking ops leaked");
+    }
+}
+
 /// A multi-panel pipelined filter must leave ledger evidence of genuine
 /// overlap: at least one kernel event inside an in-flight collective span.
 /// (The full-block panel posts and immediately drains, so only schedules
