@@ -22,6 +22,7 @@ pub mod params;
 pub mod qr;
 pub mod result;
 pub mod solver;
+pub mod warm;
 
 pub use condest::{cond_est, growth_factor};
 pub use degrees::{degree_sort_permutation, optimal_degree, optimize_degrees};
@@ -38,5 +39,7 @@ pub use result::{
     RecoveryLog,
 };
 pub use solver::{
-    estimate_bounds_dist, solve_dist, solve_serial, try_solve_dist, try_solve_serial, Chase,
+    estimate_bounds_dist, solve_dist, solve_serial, try_solve_dist, try_solve_dist_warm,
+    try_solve_serial, try_solve_serial_warm, Chase,
 };
+pub use warm::WarmStart;

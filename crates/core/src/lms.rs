@@ -240,6 +240,8 @@ where
         converged,
         stats,
         norm_h: norm_h.to_f64(),
+        bounds: chase_linalg::SpectralBounds { mu_1, mu_ne, b_sup },
+        warm_started: false,
         recovery: crate::result::RecoveryLog::default(),
     }
 }

@@ -3,7 +3,7 @@
 use crate::qr::QrVariant;
 use chase_comm::{IndexSet, WaitTimeout};
 use chase_faults::InjectionRecord;
-use chase_linalg::{Matrix, Scalar};
+use chase_linalg::{Matrix, Scalar, SpectralBounds};
 use std::fmt;
 
 /// Diagnostics for one outer ChASE iteration — the raw material for Fig. 1
@@ -230,6 +230,13 @@ pub struct ChaseResult<T: Scalar> {
     pub stats: Vec<IterStats>,
     /// Spectral-norm scale used for the convergence test.
     pub norm_h: f64,
+    /// Refined spectral bounds at exit (`mu_1`/`mu_ne` from the final Ritz
+    /// values, `b_sup` as filtered with): the hand-off for warm-starting
+    /// the next solve of a correlated sequence.
+    pub bounds: SpectralBounds<T::Real>,
+    /// Whether this solve started from a [`crate::WarmStart`] with cached
+    /// bounds (i.e. skipped the Lanczos estimation phase).
+    pub warm_started: bool,
     /// Everything the guard layer detected and repaired along the way
     /// (empty on a clean run).
     pub recovery: RecoveryLog,
@@ -282,6 +289,12 @@ mod tests {
             converged: true,
             stats: vec![],
             norm_h: 1.0,
+            bounds: SpectralBounds {
+                mu_1: 0.0,
+                mu_ne: 0.0,
+                b_sup: 1.0,
+            },
+            warm_started: false,
             recovery: RecoveryLog::default(),
         }
     }

@@ -19,6 +19,7 @@ use crate::qr::qr_ladder;
 use crate::result::{
     ChaseError, ChaseErrorKind, ChaseResult, IterStats, RecoveryEventKind, RecoveryLog,
 };
+use crate::warm::WarmStart;
 use chase_comm::{CommFaultHook, Reduce, Region};
 use chase_device::{Backend, Device};
 use chase_faults::FaultPlan;
@@ -26,6 +27,12 @@ use chase_linalg::{Matrix, Op, RealScalar, Scalar, SpectralBounds};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
+
+/// Relative `b_sup` inflation applied to cached warm-start bounds: a
+/// perturbed Hamiltonian's spectrum may poke slightly past the previous
+/// upper estimate, and the Chebyshev filter amplifies anything outside
+/// `[mu_ne, b_sup]` — 1% of the spectral span is cheap insurance.
+const WARM_BOUND_MARGIN: f64 = 0.01;
 
 /// Swap two columns of a matrix.
 #[allow(dead_code)]
@@ -106,6 +113,9 @@ where
     locked: usize,
     c_dist: RowDist,
     b_dist: RowDist,
+    /// Cached spectral bounds from a warm start; when set the Lanczos
+    /// estimation phase is skipped.
+    warm_bounds: Option<SpectralBounds<T::Real>>,
 }
 
 impl<'d, 'c, T: Scalar + Reduce> Chase<'d, 'c, T>
@@ -123,17 +133,50 @@ where
         params: Params,
         initial: Option<&Matrix<T>>,
     ) -> Self {
+        let warm = initial.map(|v0| WarmStart {
+            v0: v0.clone(),
+            bounds: None,
+        });
+        Self::with_warm_start(dev, h, params, warm.as_ref())
+    }
+
+    /// Allocate buffers, seeding the search space from a [`WarmStart`]
+    /// (the first-class sequence entry point).
+    ///
+    /// The warm block may have any `1 <= k <= ne` columns; the remaining
+    /// `ne - k` search directions are drawn from the seeded random block, so
+    /// callers no longer pad by hand. Cached bounds, when present, replace
+    /// the Lanczos estimation phase (with a `b_sup` safety margin).
+    pub fn with_warm_start(
+        dev: &'d Device<'c>,
+        h: DistHerm<T>,
+        params: Params,
+        warm: Option<&WarmStart<T>>,
+    ) -> Self {
         params.validate(h.n);
         let ne = params.ne();
         let ctx = dev.ctx();
         let c_dist = RowDist::c_layout(h.n, ctx.shape, h.dist);
         let b_dist = RowDist::b_layout(h.n, ctx.shape, h.dist);
 
-        let c_global = match initial {
-            Some(v0) => {
-                assert_eq!(v0.rows(), h.n);
-                assert_eq!(v0.cols(), ne);
-                v0.clone()
+        let c_global = match warm {
+            Some(w) => {
+                assert_eq!(w.v0.rows(), h.n, "warm-start block row count");
+                let k = w.v0.cols();
+                assert!(
+                    (1..=ne).contains(&k),
+                    "warm-start block must have 1..=ne columns (got {k}, ne {ne})"
+                );
+                if k == ne {
+                    w.v0.clone()
+                } else {
+                    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+                    let mut g = Matrix::random(h.n, ne, &mut rng);
+                    for j in 0..k {
+                        g.col_mut(j).copy_from_slice(w.v0.col(j));
+                    }
+                    g
+                }
             }
             None => {
                 let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
@@ -158,6 +201,7 @@ where
             c_dist,
             b_dist,
             params,
+            warm_bounds: warm.and_then(|w| w.inflated_bounds(WARM_BOUND_MARGIN)),
         }
     }
 
@@ -470,7 +514,14 @@ where
         // Recovery events already mirrored into the trace counter stream.
         let mut traced_recovery = 0usize;
 
-        let bounds = estimate_bounds_dist(self.dev, &self.h, ne, &self.params);
+        // Warm starts reuse the previous solve's (inflated) bounds and skip
+        // the Lanczos phase entirely — the sequence's second saving besides
+        // the reduced filter degrees.
+        let warm_started = self.warm_bounds.is_some();
+        let bounds = match self.warm_bounds {
+            Some(b) => b,
+            None => estimate_bounds_dist(self.dev, &self.h, ne, &self.params),
+        };
         let b_sup = bounds.b_sup;
         let mut mu_1 = bounds.mu_1;
         let mut mu_ne = bounds.mu_ne;
@@ -908,6 +959,8 @@ where
             converged,
             stats,
             norm_h: norm_h.to_f64(),
+            bounds: SpectralBounds { mu_1, mu_ne, b_sup },
+            warm_started,
             recovery,
         })
     }
@@ -931,6 +984,26 @@ pub fn try_solve_dist<T: Scalar + Reduce>(
     h: DistHerm<T>,
     params: &Params,
     initial: Option<&Matrix<T>>,
+) -> Result<ChaseResult<T>, ChaseError>
+where
+    T::Real: Reduce,
+{
+    let warm = initial.map(|v0| WarmStart {
+        v0: v0.clone(),
+        bounds: None,
+    });
+    try_solve_dist_warm(ctx, backend, h, params, warm.as_ref())
+}
+
+/// [`try_solve_dist`] with a first-class [`WarmStart`]: the sequence entry
+/// point. Accepts a partial vector block (`k <= ne` columns) and optional
+/// cached spectral bounds (skipping the Lanczos phase).
+pub fn try_solve_dist_warm<T: Scalar + Reduce>(
+    ctx: &chase_comm::RankCtx,
+    backend: Backend,
+    h: DistHerm<T>,
+    params: &Params,
+    warm: Option<&WarmStart<T>>,
 ) -> Result<ChaseResult<T>, ChaseError>
 where
     T::Real: Reduce,
@@ -961,7 +1034,7 @@ where
         chase_device::Topology::juwels_booster(),
     )
     .with_faults(plan.clone());
-    let out = Chase::new(&dev, h, params.clone(), initial).try_solve();
+    let out = Chase::with_warm_start(&dev, h, params.clone(), warm).try_solve();
     if let Some(p) = &plan {
         for c in comms {
             c.set_fault_hook(None);
@@ -999,6 +1072,20 @@ where
     let ctx = chase_comm::solo_ctx();
     let dh = DistHerm::from_global(h, &ctx);
     try_solve_dist(&ctx, Backend::Nccl, dh, params, None)
+}
+
+/// Serial warm-started entry point for sequences of correlated problems.
+pub fn try_solve_serial_warm<T: Scalar + Reduce>(
+    h: &Matrix<T>,
+    params: &Params,
+    warm: Option<&WarmStart<T>>,
+) -> Result<ChaseResult<T>, ChaseError>
+where
+    T::Real: Reduce,
+{
+    let ctx = chase_comm::solo_ctx();
+    let dh = DistHerm::from_global(h, &ctx);
+    try_solve_dist_warm(&ctx, Backend::Nccl, dh, params, warm)
 }
 
 /// Serial convenience entry point (panics on unrecoverable injected faults).

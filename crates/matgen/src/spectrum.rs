@@ -175,6 +175,32 @@ pub fn dense_with_spectrum<T: Scalar>(spec: &Spectrum, seed: u64) -> Matrix<T> {
     a
 }
 
+/// Hermitian perturbation of strength `eps` — one "SCF update" of a
+/// correlated sequence (the workload of Section 1): `H' = H + eps * P` with
+/// `P = (X + X^H) / 2` from a seeded random `X`, diagonal kept real.
+/// Deterministic in `seed`; the single source for the DFT-sequence example,
+/// the sequence tests, and the `chase-serve` synthetic workloads.
+pub fn perturb_hermitian<T: Scalar>(h: &Matrix<T>, eps: f64, seed: u64) -> Matrix<T> {
+    let n = h.rows();
+    assert_eq!(h.cols(), n, "perturb_hermitian needs a square matrix");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x = Matrix::<T>::random(n, n, &mut rng);
+    let mut next = h.clone();
+    let half_eps = T::Real::from_f64_r(0.5 * eps);
+    for j in 0..n {
+        for i in 0..=j {
+            let pert = (x[(i, j)] + x[(j, i)].conj()).scale(half_eps);
+            next[(i, j)] += pert;
+            if i != j {
+                next[(j, i)] += pert.conj();
+            } else {
+                next[(j, j)] = T::from_real(next[(j, j)].re());
+            }
+        }
+    }
+    next
+}
+
 /// The paper's literal construction: `Q` from the QR factorization of a
 /// random square matrix, then `A = Q^H D Q`. `O(n^3)` — prefer
 /// [`dense_with_spectrum`] beyond a few hundred.

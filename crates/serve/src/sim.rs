@@ -1,0 +1,219 @@
+//! Deterministic virtual-time simulation of the worker pool.
+//!
+//! The scheduler never consults a wall clock: queue-wait, start/finish
+//! times, queue depth and deadline misses all come from this discrete-event
+//! simulation over per-job *virtual costs* (default `n * ne`). The sim is a
+//! pure function of the job set and the worker count, so every scheduling
+//! metric replays bitwise — the real pool merely executes the work.
+
+use std::collections::BTreeSet;
+
+/// One job as the simulator sees it.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Virtual duration (ticks).
+    pub cost: u64,
+    /// Index of the session predecessor that must finish first, if any.
+    pub dep: Option<usize>,
+    /// Latest acceptable *start* tick; jobs past it are dropped unstarted.
+    pub deadline: Option<u64>,
+    /// Canonical-order rank (lower dispatches first among ready jobs).
+    pub canon: usize,
+}
+
+/// Simulated schedule of one job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimSlot {
+    pub start: u64,
+    pub finish: u64,
+    /// Ticks spent ready-but-undispatched (pool saturated).
+    pub wait: u64,
+    /// Dropped: its simulated start would have passed the deadline.
+    pub missed: bool,
+}
+
+/// Aggregates over the whole simulated drain.
+#[derive(Debug, Clone, Default)]
+pub struct SimOutcome {
+    pub jobs: Vec<SimSlot>,
+    pub makespan: u64,
+    pub max_queue_depth: usize,
+    pub total_wait: u64,
+    /// Dispatch order (job indices) — with one worker this is the canonical
+    /// serialization the cache plan walks.
+    pub dispatch_order: Vec<usize>,
+}
+
+/// Run the event loop: at every instant, ready jobs dispatch to free
+/// workers in canonical-rank order; completions are processed in
+/// (finish, canon) order. Entirely integer arithmetic — bitwise
+/// reproducible.
+pub fn simulate(jobs: &[SimJob], workers: usize) -> SimOutcome {
+    assert!(workers >= 1);
+    let n = jobs.len();
+    let mut out = SimOutcome {
+        jobs: vec![SimSlot::default(); n],
+        ..Default::default()
+    };
+    // blocked[i]: dep not yet finished. ready: (canon, idx).
+    let mut ready: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut ready_since = vec![0u64; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending = 0usize;
+    for (i, j) in jobs.iter().enumerate() {
+        match j.dep {
+            Some(d) => {
+                dependents[d].push(i);
+                pending += 1;
+            }
+            None => {
+                ready.insert((j.canon, i));
+            }
+        }
+    }
+    // Running set ordered by (finish, canon, idx).
+    let mut running: BTreeSet<(u64, usize, usize)> = BTreeSet::new();
+    let mut free = workers;
+    let mut t = 0u64;
+
+    loop {
+        // Dispatch phase: fill free workers in canonical order. Deadline
+        // misses complete instantly (no worker consumed) and release their
+        // dependents, which will start cold.
+        while let Some(&(canon, i)) = ready.first() {
+            let job = &jobs[i];
+            if job.deadline.is_some_and(|d| t > d) {
+                ready.remove(&(canon, i));
+                out.jobs[i] = SimSlot {
+                    start: t,
+                    finish: t,
+                    wait: t - ready_since[i],
+                    missed: true,
+                };
+                out.dispatch_order.push(i);
+                for &d in &dependents[i] {
+                    ready.insert((jobs[d].canon, d));
+                    ready_since[d] = t;
+                    pending -= 1;
+                }
+                continue;
+            }
+            if free == 0 {
+                break;
+            }
+            ready.remove(&(canon, i));
+            free -= 1;
+            let wait = t - ready_since[i];
+            out.jobs[i] = SimSlot {
+                start: t,
+                finish: t + job.cost,
+                wait,
+                missed: false,
+            };
+            out.total_wait += wait;
+            out.dispatch_order.push(i);
+            running.insert((t + job.cost, canon, i));
+        }
+        out.max_queue_depth = out.max_queue_depth.max(ready.len());
+
+        if running.is_empty() {
+            assert!(ready.is_empty() && pending == 0, "sim deadlock");
+            break;
+        }
+        // Advance to the next completion; process every completion at that
+        // instant in (canon) order before dispatching again.
+        let &(finish, _, _) = running.iter().next().unwrap();
+        t = finish;
+        while let Some(&(f, c, i)) = running.iter().next() {
+            if f != t {
+                break;
+            }
+            running.remove(&(f, c, i));
+            free += 1;
+            for &d in &dependents[i] {
+                ready.insert((jobs[d].canon, d));
+                ready_since[d] = t;
+                pending -= 1;
+            }
+        }
+    }
+    out.makespan = t;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(cost: u64, dep: Option<usize>, deadline: Option<u64>, canon: usize) -> SimJob {
+        SimJob {
+            cost,
+            dep,
+            deadline,
+            canon,
+        }
+    }
+
+    #[test]
+    fn single_worker_serializes_in_canon_order() {
+        let jobs = vec![
+            job(10, None, None, 2),
+            job(10, None, None, 0),
+            job(10, None, None, 1),
+        ];
+        let out = simulate(&jobs, 1);
+        assert_eq!(out.dispatch_order, vec![1, 2, 0]);
+        assert_eq!(out.makespan, 30);
+        assert_eq!(out.jobs[1].start, 0);
+        assert_eq!(out.jobs[0].start, 20);
+        assert_eq!(out.jobs[0].wait, 20);
+    }
+
+    #[test]
+    fn dependencies_gate_dispatch() {
+        // chain a(10) -> b(5); c independent.
+        let jobs = vec![
+            job(10, None, None, 0),
+            job(5, Some(0), None, 1),
+            job(7, None, None, 2),
+        ];
+        let out = simulate(&jobs, 2);
+        assert_eq!(out.jobs[1].start, 10);
+        assert_eq!(out.jobs[2].start, 0);
+        assert_eq!(out.makespan, 15);
+        assert_eq!(out.jobs[1].wait, 0, "became ready at 10, started at 10");
+    }
+
+    #[test]
+    fn deadline_drops_job_but_releases_chain() {
+        // One worker: first job runs 100 ticks; second's deadline is 50 so
+        // it is dropped; its dependent still runs (cold).
+        let jobs = vec![
+            job(100, None, None, 0),
+            job(10, None, Some(50), 1),
+            job(10, Some(1), None, 2),
+        ];
+        let out = simulate(&jobs, 1);
+        assert!(out.jobs[1].missed);
+        assert!(!out.jobs[2].missed);
+        assert_eq!(out.jobs[2].start, 100);
+        assert_eq!(out.makespan, 110);
+    }
+
+    #[test]
+    fn more_workers_shrink_makespan_not_results() {
+        let jobs: Vec<_> = (0..6).map(|i| job(10, None, None, i)).collect();
+        let w1 = simulate(&jobs, 1);
+        let w3 = simulate(&jobs, 3);
+        assert_eq!(w1.makespan, 60);
+        assert_eq!(w3.makespan, 20);
+        assert!(w3.total_wait < w1.total_wait);
+    }
+
+    #[test]
+    fn queue_depth_counts_backlog() {
+        let jobs: Vec<_> = (0..5).map(|i| job(10, None, None, i)).collect();
+        let out = simulate(&jobs, 1);
+        assert_eq!(out.max_queue_depth, 4);
+    }
+}

@@ -4,42 +4,41 @@
 //! small perturbation of the previous one, so feeding the previous
 //! eigenvectors as the starting block slashes the number of MatVecs.
 //!
+//! The hand-off is fully automated by the `chase-serve` session API: tag
+//! each cycle as step `k` of one session and the scheduler warm-starts it
+//! from step `k - 1`'s eigenpairs and spectral bounds (the Lanczos estimate
+//! is skipped entirely). A second scheduler with the cache disabled provides
+//! the cold ablation for comparison.
+//!
 //! ```text
 //! cargo run --release --example dft_sequence
 //! ```
 
-use chase_core::{Chase, ChaseResult, Params};
-use chase_device::{Backend, Device};
-use chase_linalg::{Matrix, Scalar, C64};
-use chase_matgen::{dense_with_spectrum, Spectrum};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use chase_core::Params;
+use chase_linalg::C64;
+use chase_serve::{
+    GenSpec, JobSpec, MatrixSource, Scheduler, SchedulerConfig, SpectrumKind, WarmKind,
+};
 
-/// Hermitian perturbation of strength `eps` (an "SCF update").
-fn perturb(h: &Matrix<C64>, eps: f64, seed: u64) -> Matrix<C64> {
-    let n = h.rows();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let x = Matrix::<C64>::random(n, n, &mut rng);
-    let mut next = h.clone();
-    for j in 0..n {
-        for i in 0..=j {
-            let pert = (x[(i, j)] + x[(j, i)].conj()).scale(0.5 * eps);
-            next[(i, j)] += pert;
-            if i != j {
-                next[(j, i)] += pert.conj();
-            } else {
-                next[(j, j)] = C64::from_f64(next[(j, j)].re());
-            }
-        }
+/// Queue the SCF chain: cycle `k` is the base Hamiltonian after `k`
+/// deterministic Hermitian perturbations of strength `eps`.
+fn submit_chain(sched: &mut Scheduler<C64>, cycles: usize, n: usize, eps: f64, params: &Params) {
+    for cycle in 0..cycles {
+        let gen = GenSpec {
+            n,
+            spectrum: SpectrumKind::Dft,
+            seed: 7,
+            perturb_steps: cycle,
+            eps,
+        };
+        let spec = JobSpec::new(
+            format!("scf{cycle}"),
+            MatrixSource::Generated(gen),
+            params.clone(),
+        )
+        .in_session("scf", cycle);
+        sched.submit(spec).expect("queue has room");
     }
-    next
-}
-
-fn solve(h: &Matrix<C64>, params: &Params, guess: Option<&Matrix<C64>>) -> ChaseResult<C64> {
-    let ctx = chase_comm::solo_ctx();
-    let dev = Device::new(&ctx, Backend::Nccl);
-    let dh = chase_core::DistHerm::from_global(h, &ctx);
-    Chase::new(&dev, dh, params.clone(), guess).solve()
 }
 
 fn main() {
@@ -52,47 +51,58 @@ fn main() {
     println!("DFT-like SCF sequence: {cycles} cycles of a {n}x{n} Hamiltonian");
     println!("(FLEUR-style spectrum surrogate; perturbation strength {eps:.0e})\n");
 
-    let spectrum = Spectrum::dft_like(n);
-    let mut h = dense_with_spectrum::<C64>(&spectrum, 7);
+    // Warm pool: the session cache hands cycle k's eigenpairs to cycle k+1.
+    let mut warm_pool: Scheduler<C64> = Scheduler::new(SchedulerConfig::default());
+    submit_chain(&mut warm_pool, cycles, n, eps, &params);
+    let warm = warm_pool.drain();
+
+    // Cold ablation: cache disabled, every cycle starts from random vectors.
+    let mut cold_pool: Scheduler<C64> = Scheduler::new(SchedulerConfig {
+        cache_bytes: 0,
+        ..SchedulerConfig::default()
+    });
+    submit_chain(&mut cold_pool, cycles, n, eps, &params);
+    let cold = cold_pool.drain();
 
     println!(
-        "{:>6} {:>10} {:>10} {:>8} {:>9} {:>22}",
-        "cycle", "MatVecs", "(cold)", "iters", "saving", "lambda_0"
+        "{:>6} {:>6} {:>10} {:>10} {:>8} {:>9} {:>22}",
+        "cycle", "start", "MatVecs", "(cold)", "iters", "saving", "lambda_0"
     );
-
-    let mut prev: Option<ChaseResult<C64>> = None;
     let mut total_warm = 0u64;
     let mut total_cold = 0u64;
-    for cycle in 0..cycles {
-        let guess = prev.as_ref().map(|r| {
-            let full = ChaseResult::assemble_eigenvectors(std::slice::from_ref(r));
-            let mut rng = ChaCha8Rng::seed_from_u64(100 + cycle as u64);
-            let mut g = Matrix::<C64>::random(n, params.ne(), &mut rng);
-            for j in 0..params.nev {
-                g.col_mut(j).copy_from_slice(full.col(j));
-            }
-            g
-        });
-
-        let cold = solve(&h, &params, None);
-        let warm = solve(&h, &params, guess.as_ref());
-        assert!(warm.converged && cold.converged);
-
-        let saving = 100.0 * (1.0 - warm.matvecs as f64 / cold.matvecs as f64);
+    for (w, c) in warm.iter().zip(&cold) {
+        let ws = w.solve().expect("warm cycle converged");
+        let cs = c.solve().expect("cold cycle converged");
+        assert!(ws.converged && cs.converged);
+        let saving = 100.0 * (1.0 - ws.matvecs as f64 / cs.matvecs as f64);
+        let start = match w.warm {
+            WarmKind::Warm => "warm",
+            _ => "cold",
+        };
         println!(
-            "{cycle:>6} {:>10} {:>10} {:>8} {:>8.1}% {:>22.12}",
-            warm.matvecs, cold.matvecs, warm.iterations, saving, warm.eigenvalues[0]
+            "{:>6} {start:>6} {:>10} {:>10} {:>8} {:>8.1}% {:>22.12}",
+            w.session.as_ref().unwrap().step,
+            ws.matvecs,
+            cs.matvecs,
+            ws.iterations,
+            saving,
+            ws.eigenvalues[0]
         );
-        total_warm += warm.matvecs;
-        total_cold += cold.matvecs;
-
-        prev = Some(warm);
-        h = perturb(&h, eps, 200 + cycle as u64);
+        total_warm += ws.matvecs;
+        total_cold += cs.matvecs;
     }
 
+    let m = warm_pool.metrics;
     println!(
         "\nSequence total: {total_warm} MatVecs warm-started vs {total_cold} cold ({:.1}% saved)",
         100.0 * (1.0 - total_warm as f64 / total_cold as f64)
+    );
+    println!(
+        "scheduler: {} warm hit(s) (rate {:.2}), {} Lanczos estimate(s) skipped, {} MatVecs saved vs its own cold baseline",
+        m.warm_hits,
+        m.warm_hit_rate(),
+        m.lanczos_skipped,
+        m.matvecs_saved
     );
     println!("This reuse of approximate solutions is why ChASE is iterative (Section 1).");
 }

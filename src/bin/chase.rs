@@ -21,6 +21,7 @@ use chase_device::{Backend, CollectiveAlgo};
 use chase_linalg::{Matrix, RealScalar, Scalar, C64};
 use chase_matgen::io::{load, save_c64, save_f64, LoadedMatrix};
 use chase_matgen::{dense_with_spectrum, Spectrum};
+use chase_serve::{JobOutcome, Scheduler, SchedulerConfig, WarmKind};
 use chase_trace::{chrome_trace, metrics_json, stitch, summary_table, Trace, TraceRecorder};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -161,6 +162,18 @@ fn print_recovery(log: &chase_core::RecoveryLog) {
     println!("\nfault-recovery log ({} event(s)):", log.events.len());
     for e in &log.events {
         println!("  {e}");
+    }
+}
+
+/// Error-path variant: diagnostics belong on stderr so scripted callers can
+/// keep stdout clean and still see why the exit code is nonzero.
+fn eprint_recovery(log: &chase_core::RecoveryLog) {
+    if log.is_empty() {
+        return;
+    }
+    eprintln!("fault-recovery log ({} event(s)):", log.events.len());
+    for e in &log.events {
+        eprintln!("  {e}");
     }
 }
 
@@ -339,10 +352,149 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     match outcome {
         Ok(()) => Ok(()),
         Err(e) => {
-            print_recovery(&e.recovery);
+            eprint_recovery(&e.recovery);
             Err(format!("solve aborted: {e}"))
         }
     }
+}
+
+/// `chase serve`: run a workload file through the multi-tenant scheduler.
+fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
+    let path: String = get(&flags, "workload", None)?;
+    let workers: usize = get(&flags, "workers", Some(2))?;
+    let cache_mb: usize = get(&flags, "cache-mb", Some(256))?;
+    let max_queue: usize = get(&flags, "max-queue", Some(1024))?;
+    let backend = match flags.get("backend").map(String::as_str).unwrap_or("nccl") {
+        "nccl" => Backend::Nccl,
+        "std" => Backend::Std,
+        other => return Err(format!("unknown backend '{other}' (nccl|std)")),
+    };
+    let metrics_path = flags.get("metrics").cloned();
+    let trace_dir = flags.get("trace-dir").cloned();
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let jobs = chase_serve::parse_workload(&text)?;
+    if jobs.is_empty() {
+        return Err(format!("{path}: workload has no jobs"));
+    }
+
+    let mut sched: Scheduler<C64> = Scheduler::new(SchedulerConfig {
+        workers,
+        cache_bytes: cache_mb << 20,
+        max_queue,
+        backend,
+        record_traces: trace_dir.is_some(),
+    });
+    for spec in jobs {
+        sched.submit(spec).map_err(|e| e.to_string())?;
+    }
+    let t0 = std::time::Instant::now();
+    let reports = sched.drain();
+    let wall = t0.elapsed();
+
+    println!(
+        "{:>3} {:<14} {:<12} {:<9} {:<11} {:>5} {:>8} {:>7} {:>9}",
+        "id", "name", "session", "warm", "outcome", "iter", "matvecs", "wait", "finish"
+    );
+    let mut failures = Vec::new();
+    for r in &reports {
+        let session = r
+            .session
+            .as_ref()
+            .map(|t| format!("{}:{}", t.id, t.step))
+            .unwrap_or_else(|| "-".into());
+        let warm = match r.warm {
+            WarmKind::Cold => "cold",
+            WarmKind::Warm => "warm",
+            WarmKind::FallbackCold => "fallback",
+        };
+        let (outcome, iter, matvecs) = match &r.outcome {
+            JobOutcome::Done(s) => (
+                if s.converged { "done" } else { "unconverged" },
+                format!("{}", s.iterations),
+                format!("{}", s.matvecs),
+            ),
+            JobOutcome::Failed(e) => {
+                failures.push((r.name.clone(), e.clone()));
+                ("FAILED", "-".into(), "-".into())
+            }
+            JobOutcome::Cancelled => ("cancelled", "-".into(), "-".into()),
+            JobOutcome::DeadlineMissed => ("missed", "-".into(), "-".into()),
+        };
+        println!(
+            "{:>3} {:<14} {:<12} {:<9} {:<11} {:>5} {:>8} {:>7} {:>9}",
+            r.id, r.name, session, warm, outcome, iter, matvecs, r.wait_ticks, r.finish_tick
+        );
+        if let Some(dir) = &trace_dir {
+            if let Some(trace) = &r.trace {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                let out = format!("{dir}/job-{}.json", r.name);
+                std::fs::write(&out, chrome_trace(trace)).map_err(|e| format!("{out}: {e}"))?;
+            }
+        }
+    }
+    let m = &sched.metrics;
+    println!(
+        "\n{} job(s) in {wall:.2?} | {} completed, {} failed, {} missed, {} cancelled",
+        reports.len(),
+        m.completed,
+        m.failed,
+        m.deadline_missed,
+        m.cancelled
+    );
+    println!(
+        "warm starts: {} hit / {} miss (rate {:.2}), {} fallback | MatVecs {} total, {} saved",
+        m.warm_hits,
+        m.warm_misses,
+        m.warm_hit_rate(),
+        m.warm_fallbacks,
+        m.total_matvecs,
+        m.matvecs_saved
+    );
+    println!(
+        "virtual schedule: makespan {} ticks, total wait {} ticks, max queue depth {}",
+        m.makespan_ticks, m.total_wait_ticks, m.max_queue_depth
+    );
+    if let Some(p) = &metrics_path {
+        std::fs::write(p, m.to_json()).map_err(|e| format!("{p}: {e}"))?;
+        println!("metrics: {p}");
+    }
+    if !failures.is_empty() {
+        for (name, e) in &failures {
+            eprintln!("job '{name}' failed: {e}");
+            eprint_recovery(&e.recovery);
+        }
+        return Err(format!(
+            "{} job(s) failed (recovery exhausted); see stderr log",
+            failures.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `chase submit`: validate one workload line and append it to the file.
+fn cmd_submit(flags: HashMap<String, String>) -> Result<(), String> {
+    let path: String = get(&flags, "workload", None)?;
+    let line: String = get(&flags, "line", None)?;
+    let spec = chase_serve::validate_line(&line)?;
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let prior = chase_serve::parse_workload(&existing).map_err(|e| format!("{path}: {e}"))?;
+    if prior.iter().any(|j| j.name == spec.name) {
+        return Err(format!("{path}: job name '{}' already queued", spec.name));
+    }
+    let mut body = existing;
+    if !body.is_empty() && !body.ends_with('\n') {
+        body.push('\n');
+    }
+    body.push_str(line.trim());
+    body.push('\n');
+    std::fs::write(&path, body).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "queued '{}' ({} job(s) in {path})",
+        spec.name,
+        prior.len() + 1
+    );
+    Ok(())
 }
 
 #[derive(Clone, Copy)]
@@ -392,6 +544,20 @@ USAGE:
                  [--overlap] [--panel W]
                  [--inject SPEC] [--wait-timeout-ms MS] [--no-guards]
                  [--trace FILE] [--trace-format chrome|summary] [--metrics FILE]
+  chase serve    --workload FILE [--workers N] [--cache-mb M] [--max-queue Q]
+                 [--backend nccl|std] [--metrics FILE] [--trace-dir DIR]
+  chase submit   --workload FILE --line 'gen name=j0 n=96 spectrum=dft nev=8 ...'
+
+SERVING:
+  chase serve runs a workload file (one 'job ...' or 'gen ...' line per job;
+  see chase-serve docs for the grammar) through the multi-tenant scheduler:
+  jobs tagged session=S step=K warm-start from step K-1's eigenpairs and
+  spectral bounds out of an LRU session cache (--cache-mb), skipping the
+  Lanczos estimate. Scheduling is deterministic: results and warm-hit
+  counts are bitwise independent of line order and --workers. A failed job
+  (typed error, recovery log on stderr) never poisons its siblings; the
+  exit code is nonzero if any job fails. chase submit validates a line
+  (including its --inject spec) and appends it to the workload file.
 
 TRACING:
   --trace records every rank's structured timeline (spans, kernel shapes,
@@ -424,6 +590,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(flags),
         "info" => cmd_info(flags),
         "solve" => cmd_solve(flags),
+        "serve" => cmd_serve(flags),
+        "submit" => cmd_submit(flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -11,7 +11,9 @@ pub use chase_direct as direct;
 pub use chase_linalg as linalg;
 pub use chase_matgen as matgen;
 pub use chase_perfmodel as perfmodel;
+pub use chase_serve as serve;
 pub use chase_trace as trace;
 
-pub use chase_core::{solve_dist, solve_serial, ChaseResult, Params, QrStrategy};
+pub use chase_core::{solve_dist, solve_serial, ChaseResult, Params, QrStrategy, WarmStart};
 pub use chase_linalg::{Matrix, C32, C64};
+pub use chase_serve::{JobSpec, Scheduler, SchedulerConfig};

@@ -2,51 +2,28 @@
 //! approximate solutions. In DFT self-consistency loops, consecutive
 //! Hamiltonians are correlated, so warm-starting with the previous
 //! eigenvectors slashes the MatVec count.
+//!
+//! These tests drive the first-class [`WarmStart`] entry point — previous
+//! eigenvectors *and* cached spectral bounds (the Lanczos estimate is
+//! skipped) — which is also what the `chase-serve` session cache feeds.
 
-use chase_core::{solve_serial, Chase, ChaseResult, Params};
-use chase_device::{Backend, Device};
-use chase_linalg::{Matrix, Scalar, C64};
-use chase_matgen::{dense_with_spectrum, Spectrum};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use chase_core::{solve_serial, try_solve_serial_warm, Params, WarmStart};
+use chase_linalg::{Matrix, C64};
+use chase_matgen::{dense_with_spectrum, perturb_hermitian, Spectrum};
 
 /// A correlated sequence of Hamiltonians: H_k = H + eps_k * P_k with small
 /// Hermitian perturbations, mimicking SCF iterations.
 fn scf_sequence(n: usize, steps: usize, eps: f64) -> Vec<Matrix<C64>> {
     let spec = Spectrum::dft_like(n);
     let base = dense_with_spectrum::<C64>(&spec, 11);
-    let mut rng = ChaCha8Rng::seed_from_u64(12);
     let mut out = vec![base.clone()];
     let mut current = base;
-    for _ in 1..steps {
-        let x = Matrix::<C64>::random(n, n, &mut rng);
-        let mut next = current.clone();
-        for j in 0..n {
-            for i in 0..=j {
-                let pert = (x[(i, j)] + x[(j, i)].conj()).scale(0.5 * eps);
-                next[(i, j)] += pert;
-                if i != j {
-                    next[(j, i)] += pert.conj();
-                } else {
-                    next[(j, j)] = C64::from_f64(next[(j, j)].re());
-                }
-            }
-        }
+    for k in 1..steps {
+        let next = perturb_hermitian(&current, eps, 12 + k as u64);
         out.push(next.clone());
         current = next;
     }
     out
-}
-
-fn solve_with_guess(
-    h: &Matrix<C64>,
-    params: &Params,
-    guess: Option<&Matrix<C64>>,
-) -> ChaseResult<C64> {
-    let ctx = chase_comm::solo_ctx();
-    let dev = Device::new(&ctx, Backend::Nccl);
-    let dh = chase_core::DistHerm::from_global(h, &ctx);
-    Chase::new(&dev, dh, params.clone(), guess).solve()
 }
 
 #[test]
@@ -62,19 +39,14 @@ fn warm_starts_cut_matvecs() {
 
     let mut prev = r0;
     for (k, h) in seq.iter().enumerate().skip(1) {
-        // Build the warm-start block: previous eigenvectors + the leftover
-        // search directions (random tails are fine).
-        let mut rng = ChaCha8Rng::seed_from_u64(13 + k as u64);
-        let mut guess = Matrix::<C64>::random(n, p.ne(), &mut rng);
-        // assemble previous eigenvectors into the leading columns
-        let full_prev = ChaseResult::assemble_eigenvectors(std::slice::from_ref(&prev));
-        for j in 0..p.nev {
-            guess.col_mut(j).copy_from_slice(full_prev.col(j));
-        }
+        // Hand the previous eigenpairs (and spectral bounds) over whole:
+        // the random search-direction tail is padded internally.
+        let warm_start = WarmStart::from_results(std::slice::from_ref(&prev));
         let cold = solve_serial(h, &p);
-        let warm = solve_with_guess(h, &p, Some(&guess));
+        let warm = try_solve_serial_warm(h, &p, Some(&warm_start)).expect("warm solve aborted");
         assert!(warm.converged, "warm solve {k} failed");
         assert!(cold.converged, "cold solve {k} failed");
+        assert!(warm.warm_started, "bounds reuse not engaged at step {k}");
         assert!(
             warm.matvecs < cold.matvecs,
             "step {k}: warm {} !< cold {}",
@@ -102,13 +74,8 @@ fn exact_eigenvectors_converge_almost_instantly() {
     let first = solve_serial(&h, &p);
     assert!(first.converged);
 
-    let full = ChaseResult::assemble_eigenvectors(std::slice::from_ref(&first));
-    let mut rng = ChaCha8Rng::seed_from_u64(15);
-    let mut guess = Matrix::<C64>::random(n, p.ne(), &mut rng);
-    for j in 0..p.nev {
-        guess.col_mut(j).copy_from_slice(full.col(j));
-    }
-    let again = solve_with_guess(&h, &p, Some(&guess));
+    let warm_start = WarmStart::from_results(std::slice::from_ref(&first));
+    let again = try_solve_serial_warm(&h, &p, Some(&warm_start)).expect("restart aborted");
     assert!(again.converged);
     assert!(
         again.iterations <= first.iterations,
