@@ -1,0 +1,236 @@
+//! Mixed-precision ablation: full-f64 vs mixed (demoted-filter) solves of
+//! the same problem at the same tolerance, compared on the *modeled* filter
+//! cost and on the filter's allreduce payload bytes (demoted payloads are
+//! physically half-width, read straight off the recorded ledgers).
+//!
+//! Modeled cost follows the harness's standard methodology: the live run's
+//! convergence history (active columns, degree and precision of every
+//! iteration) is re-priced at the paper's full problem scale on the
+//! JUWELS-Booster machine model, with demoted iterations priced at the
+//! narrow scalar kind. At bench scale the filter is collective-latency
+//! bound and precision is invisible; at paper scale it is GEMM- and
+//! bandwidth-bound, which is where the claim lives.
+//!
+//! Two regimes:
+//!
+//! 1. **loose** — tolerance above the single-precision residual floor, so
+//!    the mixed solve stays demoted end to end. This is the headline claim
+//!    and is asserted: >= 25% modeled filter-time reduction and a filter
+//!    allreduce byte ratio of ~0.5 (the 0.35..0.65 window tolerates the
+//!    handful of full-width control collectives that never demote).
+//! 2. **tight** — tolerance below the floor, so the adaptive policy must
+//!    escalate mid-solve. Informational: asserts only that both modes
+//!    converge and that a demoted prefix actually ran.
+//!
+//! Emits `BENCH_precision.json`. Usage: `bench_precision [--tiny]`.
+
+use chase_bench::{fmt_s, human_bytes, region_cost, run_live, schedule_of, BenchRecord};
+use chase_comm::{EventKind, GridShape, Ledger, Region};
+use chase_core::{ChaseResult, Params, PrecisionMode};
+use chase_device::Backend;
+use chase_linalg::C64;
+use chase_matgen::{dense_with_spectrum, Spectrum};
+use chase_perfmodel::{
+    iteration_events, price_ledger, CommFlavor, IterationSpec, Layout, Machine, PriceCtx,
+    ScalarKind,
+};
+
+/// Paper-scale configuration the live schedules are re-priced at.
+const MODEL_N: u64 = 76_800;
+const MODEL_NE: u64 = 2_400;
+const MODEL_GRID: u64 = 4;
+
+/// Sum of allreduce payload bytes recorded inside the filter region.
+fn filter_allreduce_bytes(ledger: &Ledger) -> u64 {
+    ledger
+        .events()
+        .iter()
+        .filter(|e| e.region == Region::Filter)
+        .map(|e| match e.kind {
+            EventKind::AllReduce { bytes, .. } => bytes,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Re-price a live run's convergence history at paper scale, charging each
+/// iteration's filter at the scalar kind it actually ran in.
+fn filter_cost_at_scale(result: &ChaseResult<C64>, ne_live: usize, machine: &Machine) -> f64 {
+    let schedule = schedule_of(result, ne_live);
+    let mut total = 0.0;
+    for (i, &(active, deg)) in schedule.iter().enumerate() {
+        let scalar = if result.stats[i].low_precision {
+            ScalarKind::C32
+        } else {
+            ScalarKind::C64
+        };
+        let spec = IterationSpec {
+            n: MODEL_N,
+            ne: MODEL_NE,
+            active: (active * MODEL_NE).div_ceil(ne_live as u64),
+            p: MODEL_GRID,
+            q: MODEL_GRID,
+            deg,
+            layout: Layout::New,
+            flavor: CommFlavor::NcclDeviceDirect,
+            scalar,
+        };
+        let ctx = PriceCtx {
+            scalar,
+            flavor: CommFlavor::NcclDeviceDirect,
+            gpus_per_rank: 1.0,
+        };
+        let costs = price_ledger(&iteration_events(&spec), machine, ctx);
+        total += region_cost(&costs, Region::Filter);
+    }
+    total
+}
+
+struct ModeRun {
+    filter_model_s: f64,
+    ar_bytes: u64,
+    iterations: usize,
+    matvecs: u64,
+    lowprec_matvecs: u64,
+    converged: bool,
+}
+
+fn run_mode(
+    h: &chase_linalg::Matrix<C64>,
+    p: &Params,
+    shape: GridShape,
+    machine: &Machine,
+) -> ModeRun {
+    let live = run_live(h, p, shape, Backend::Nccl);
+    ModeRun {
+        filter_model_s: filter_cost_at_scale(&live.result, p.ne(), machine),
+        ar_bytes: filter_allreduce_bytes(&live.ledger),
+        iterations: live.result.iterations,
+        matvecs: live.result.matvecs,
+        lowprec_matvecs: live.result.lowprec_matvecs,
+        converged: live.result.converged,
+    }
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let machine = Machine::juwels_booster();
+    let shape = GridShape::new(2, 2);
+    // (case tag, n, seed, tol, mixed must stay demoted end to end)
+    let loose_n = if tiny { 64 } else { 96 };
+    let cases: Vec<(&str, usize, u64, f64, bool)> = if tiny {
+        vec![("loose", loose_n, 9, 1e-2, true)]
+    } else {
+        vec![
+            ("loose", loose_n, 9, 1e-2, true),
+            ("tight", 96, 9, 1e-9, false),
+        ]
+    };
+
+    println!("Mixed-precision filter: full vs mixed at the same tolerance ({shape:?})\n");
+    println!(
+        "{:>6} {:>4} {:>6} {:>5} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "case", "n", "tol", "mode", "filter model", "AR bytes", "iters", "matvecs", "lo share"
+    );
+
+    let mut records = Vec::new();
+    for &(tag, n, seed, tol, all_demoted) in &cases {
+        let spec = Spectrum::uniform(n, -2.0, 2.0);
+        let h = dense_with_spectrum::<C64>(&spec, seed);
+        let mut p = Params::new(8, 6);
+        p.tol = tol;
+        let full = run_mode(&h, &p, shape, &machine);
+        p.precision = PrecisionMode::Mixed;
+        let mixed = run_mode(&h, &p, shape, &machine);
+        for (mode, r) in [("full", &full), ("mixed", &mixed)] {
+            let lo_share = if r.matvecs > 0 {
+                r.lowprec_matvecs as f64 / r.matvecs as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:>6} {:>4} {:>6.0e} {:>5} {:>12} {:>12} {:>10} {:>10} {:>7.0}%",
+                tag,
+                n,
+                tol,
+                mode,
+                fmt_s(r.filter_model_s),
+                human_bytes(r.ar_bytes),
+                r.iterations,
+                r.matvecs,
+                lo_share * 100.0
+            );
+            records.push(BenchRecord::new(
+                format!("precision/{tag}/n={n}/{mode}/filter_model_s"),
+                vec![r.filter_model_s],
+            ));
+            records.push(BenchRecord {
+                id: format!("precision/{tag}/n={n}/{mode}/filter_allreduce_bytes"),
+                unit: "B",
+                median: r.ar_bytes as f64,
+                samples: vec![r.ar_bytes as f64],
+            });
+            records.push(BenchRecord {
+                id: format!("precision/{tag}/n={n}/{mode}/lowprec_matvec_share"),
+                unit: "ratio",
+                median: lo_share,
+                samples: vec![lo_share],
+            });
+        }
+        assert!(
+            full.converged && mixed.converged,
+            "{tag}: both modes must converge at tol {tol:e}"
+        );
+        assert_eq!(full.lowprec_matvecs, 0, "{tag}: full mode must not demote");
+        assert!(
+            mixed.lowprec_matvecs > 0,
+            "{tag}: mixed mode must run demoted filters"
+        );
+
+        let time_cut = 1.0 - mixed.filter_model_s / full.filter_model_s;
+        let byte_ratio = mixed.ar_bytes as f64 / full.ar_bytes as f64;
+        println!(
+            "{:>6} modeled filter-time reduction {:.0}%, allreduce byte ratio {:.2}\n",
+            "",
+            time_cut * 100.0,
+            byte_ratio
+        );
+        records.push(BenchRecord {
+            id: format!("precision/{tag}/n={n}/filter_time_reduction"),
+            unit: "ratio",
+            median: time_cut,
+            samples: vec![time_cut],
+        });
+        records.push(BenchRecord {
+            id: format!("precision/{tag}/n={n}/filter_allreduce_byte_ratio"),
+            unit: "ratio",
+            median: byte_ratio,
+            samples: vec![byte_ratio],
+        });
+
+        if all_demoted {
+            assert_eq!(
+                mixed.lowprec_matvecs, mixed.matvecs,
+                "{tag}: above the f32 floor the mixed solve must never escalate"
+            );
+            assert!(
+                time_cut >= 0.25,
+                "{tag}: modeled filter-time reduction {:.1}% below the 25% claim",
+                time_cut * 100.0
+            );
+            assert!(
+                (0.35..=0.65).contains(&byte_ratio),
+                "{tag}: filter allreduce byte ratio {byte_ratio:.2} not ~0.5"
+            );
+        } else {
+            assert!(
+                mixed.lowprec_matvecs < mixed.matvecs,
+                "{tag}: below the f32 floor the mixed solve must escalate"
+            );
+        }
+    }
+
+    chase_bench::write_bench_json("BENCH_precision.json", &records)
+        .expect("write BENCH_precision.json");
+    println!("wrote BENCH_precision.json ({} records)", records.len());
+}

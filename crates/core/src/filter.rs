@@ -60,6 +60,85 @@ impl<R: RealScalar> FilterBounds<R> {
             mu_1,
         }
     }
+
+    /// Narrow the interval to the demoted real type for a low-precision
+    /// filter pass.
+    pub fn demote(self) -> FilterBounds<R::Lo> {
+        FilterBounds {
+            c: self.c.demote(),
+            e: self.e.demote(),
+            mu_1: self.mu_1.demote(),
+        }
+    }
+
+    /// `true` when the interval is usable: finite values and a strictly
+    /// positive half-width. User-supplied (or stale warm-start) spectra can
+    /// violate this, so it is a typed-error condition, not an assert.
+    pub fn is_valid(&self) -> bool {
+        self.c.is_finite_r()
+            && self.e.is_finite_r()
+            && self.mu_1.is_finite_r()
+            && self.e > R::zero()
+    }
+}
+
+/// Typed rejection of filter inputs. `BadSpectrum`/`BadDegrees` are
+/// reachable from user-supplied workloads (bad bounds in a warm start, a
+/// corrupt degree table), so they surface as errors through `try_solve_*`
+/// instead of aborting the process; `Timeout` propagates a nonblocking
+/// collective that never completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// Degenerate or non-finite damping interval (`e <= 0`).
+    BadSpectrum(String),
+    /// Degrees not ascending or not even `>= 2`.
+    BadDegrees(String),
+    /// A nonblocking collective inside the pipelined path timed out.
+    Timeout(WaitTimeout),
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterError::BadSpectrum(d) => write!(f, "bad spectrum: {d}"),
+            FilterError::BadDegrees(d) => write!(f, "bad degrees: {d}"),
+            FilterError::Timeout(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+impl From<WaitTimeout> for FilterError {
+    fn from(t: WaitTimeout) -> Self {
+        FilterError::Timeout(t)
+    }
+}
+
+/// Validate caller-controlled filter inputs (shared by the full- and
+/// mixed-precision entry points).
+fn validate_inputs<R: RealScalar>(
+    degrees: &[usize],
+    bounds: &FilterBounds<R>,
+) -> Result<(), FilterError> {
+    if !degrees.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(FilterError::BadDegrees(format!(
+            "degrees must be ascending, got {degrees:?}"
+        )));
+    }
+    if let Some(&d) = degrees.iter().find(|&&d| d < 2 || d % 2 != 0) {
+        return Err(FilterError::BadDegrees(format!(
+            "degrees must be even >= 2, got {d}"
+        )));
+    }
+    if !bounds.is_valid() {
+        return Err(FilterError::BadSpectrum(format!(
+            "empty filter interval: c = {}, e = {} (need finite bounds with e > 0)",
+            bounds.c.to_f64(),
+            bounds.e.to_f64()
+        )));
+    }
+    Ok(())
 }
 
 /// Apply the filter to columns `offset..offset + degrees.len()` of `c_buf`.
@@ -92,15 +171,54 @@ pub fn chebyshev_filter<T: Scalar + Reduce>(
         bounds,
         FilterExec::Flat,
     )
-    .expect("flat filter uses only blocking collectives")
+    .expect("flat filter on validated inputs")
+}
+
+/// One recurrence step: `direction` picks C→B (odd steps) or B→C (even
+/// steps), `exec` picks the flat or pipelined schedule. Keeping the
+/// (direction × schedule) dispatch in one place stops the precision
+/// dimension from multiplying the old four-way match into eight arms.
+#[allow(clippy::too_many_arguments)]
+fn filter_step<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    ctx: &RankCtx,
+    h: &mut DistHerm<T>,
+    c_buf: &mut Matrix<T>,
+    b_buf: &mut Matrix<T>,
+    c_to_b: bool,
+    col0: usize,
+    ncols: usize,
+    alpha: T,
+    beta: T,
+    exec: FilterExec,
+) -> Result<(), WaitTimeout> {
+    match (c_to_b, exec) {
+        (true, FilterExec::Flat) => {
+            hemm_c_to_b(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta);
+            Ok(())
+        }
+        (false, FilterExec::Flat) => {
+            hemm_b_to_c(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta);
+            Ok(())
+        }
+        (true, FilterExec::Pipelined { panel }) => {
+            hemm_c_to_b_pipelined(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta, panel)
+        }
+        (false, FilterExec::Pipelined { panel }) => {
+            hemm_b_to_c_pipelined(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta, panel)
+        }
+    }
 }
 
 /// [`chebyshev_filter`] with an explicit execution strategy. The pipelined
 /// strategy produces bitwise-identical output to the flat one; only the
 /// schedule (and therefore the ledger) differs.
 ///
-/// Only the pipelined strategy can fail: its nonblocking allreduces time
-/// out if a peer's post was dropped. The flat path never returns `Err`.
+/// Errors: [`FilterError::BadSpectrum`]/[`FilterError::BadDegrees`] reject
+/// invalid caller inputs before any work (reachable from user-supplied
+/// workloads); [`FilterError::Timeout`] propagates a nonblocking collective
+/// timeout from the pipelined schedule. The flat path on validated inputs
+/// never fails.
 #[allow(clippy::too_many_arguments)]
 pub fn chebyshev_filter_with<T: Scalar + Reduce>(
     dev: &Device<'_>,
@@ -112,25 +230,14 @@ pub fn chebyshev_filter_with<T: Scalar + Reduce>(
     degrees: &[usize],
     bounds: FilterBounds<T::Real>,
     exec: FilterExec,
-) -> Result<u64, WaitTimeout> {
+) -> Result<u64, FilterError> {
     if degrees.is_empty() {
         return Ok(0);
     }
+    validate_inputs(degrees, &bounds)?;
     dev.set_region(Region::Filter);
-    assert!(
-        degrees.windows(2).all(|w| w[0] <= w[1]),
-        "degrees must be ascending"
-    );
-    assert!(
-        degrees.iter().all(|&d| d >= 2 && d % 2 == 0),
-        "degrees must be even >= 2"
-    );
     let dmax = *degrees.last().unwrap();
     let one = <T::Real as Scalar>::one();
-    assert!(
-        bounds.e > <T::Real as Scalar>::zero(),
-        "empty filter interval"
-    );
 
     h.set_shift(bounds.c);
 
@@ -138,73 +245,118 @@ pub fn chebyshev_filter_with<T: Scalar + Reduce>(
     let mut sigma = sigma1;
     let mut matvecs = 0u64;
 
-    // Step 1: all columns are active (degrees >= 2).
-    {
-        let ncols = degrees.len();
-        let alpha = T::from_real(sigma1 / bounds.e);
-        match exec {
-            FilterExec::Flat => {
-                hemm_c_to_b(dev, ctx, h, c_buf, b_buf, offset, ncols, alpha, T::zero());
-            }
-            FilterExec::Pipelined { panel } => {
-                hemm_c_to_b_pipelined(
-                    dev,
-                    ctx,
-                    h,
-                    c_buf,
-                    b_buf,
-                    offset,
-                    ncols,
-                    alpha,
-                    T::zero(),
-                    panel,
-                )
-                .inspect_err(|_e| {
-                    h.clear_shift();
-                })?;
-            }
-        }
-        matvecs += ncols as u64;
-    }
-
-    for step in 2..=dmax {
+    for step in 1..=dmax {
         // Columns with degree >= step are still active; ascending order means
-        // they form a suffix of the block.
+        // they form a suffix of the block. Step 1 activates everything
+        // (degrees >= 2).
         let first_active = degrees.partition_point(|&d| d < step);
         let ncols = degrees.len() - first_active;
         debug_assert!(ncols > 0);
         let col0 = offset + first_active;
 
-        let sigma_new = one / ((one + one) / sigma1 - sigma);
-        let alpha = T::from_real((sigma_new + sigma_new) / bounds.e);
-        let beta = T::from_real(-(sigma * sigma_new));
+        // Step 1 seeds the recurrence (`beta = 0`); later steps advance the
+        // sigma scaling.
+        let (alpha, beta) = if step == 1 {
+            (T::from_real(sigma1 / bounds.e), T::zero())
+        } else {
+            let sigma_new = one / ((one + one) / sigma1 - sigma);
+            let ab = (
+                T::from_real((sigma_new + sigma_new) / bounds.e),
+                T::from_real(-(sigma * sigma_new)),
+            );
+            sigma = sigma_new;
+            ab
+        };
 
-        match (step % 2 == 0, exec) {
-            // B-layout -> C-layout on even steps; X_{step-2} lives in c_buf.
-            (true, FilterExec::Flat) => {
-                hemm_b_to_c(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta);
-            }
-            (false, FilterExec::Flat) => {
-                hemm_c_to_b(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta);
-            }
-            (true, FilterExec::Pipelined { panel }) => {
-                hemm_b_to_c_pipelined(dev, ctx, h, b_buf, c_buf, col0, ncols, alpha, beta, panel)
-                    .inspect_err(|_e| {
-                    h.clear_shift();
-                })?;
-            }
-            (false, FilterExec::Pipelined { panel }) => {
-                hemm_c_to_b_pipelined(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta, panel)
-                    .inspect_err(|_e| {
-                    h.clear_shift();
-                })?;
-            }
-        }
-        sigma = sigma_new;
+        // Odd applications move C-layout -> B-layout, even ones back.
+        let c_to_b = step % 2 == 1;
+        filter_step(
+            dev, ctx, h, c_buf, b_buf, c_to_b, col0, ncols, alpha, beta, exec,
+        )
+        .inspect_err(|_e| h.clear_shift())?;
         matvecs += ncols as u64;
     }
 
     h.clear_shift();
+    Ok(matvecs)
+}
+
+/// Run a whole filter call in the demoted precision `T::Lo` (tentpole of the
+/// mixed-precision mode): the active columns of `c_buf` are demoted into a
+/// `T::Lo` staging block, the generic filter runs against the demoted `H`
+/// replica — so every HEMM flop and every allreduce payload is half-width —
+/// and the result is promoted back into the full-precision iterate
+/// (promotion is exact, see `Scalar::promote`).
+///
+/// The ledger runs in `lo` mode for the duration, so modeled pricing and
+/// collective byte accounting see the narrow type; the trace carries a
+/// `filter_lo` span plus a `lowprec_matvecs` counter. Everything recorded is
+/// a deterministic function of SPMD state, so traces stay bitwise-replayable.
+#[allow(clippy::too_many_arguments)]
+pub fn chebyshev_filter_mixed<T: Scalar + Reduce>(
+    dev: &Device<'_>,
+    ctx: &RankCtx,
+    h_lo: &mut DistHerm<T::Lo>,
+    c_buf: &mut Matrix<T>,
+    b_buf: &mut Matrix<T>,
+    offset: usize,
+    degrees: &[usize],
+    bounds: FilterBounds<T::Real>,
+    exec: FilterExec,
+) -> Result<u64, FilterError>
+where
+    T::Lo: Reduce,
+{
+    if degrees.is_empty() {
+        return Ok(0);
+    }
+    // Validate in full precision first (caller bugs get full-width
+    // diagnostics), then re-validate the demoted interval: a spectrum that
+    // is fine in f64 can demote to a degenerate (or infinite) f32 interval.
+    validate_inputs(degrees, &bounds)?;
+    // Ascribe through `T::Lo::Real` (== `T::Real::Lo` by the Scalar trait's
+    // equality constraint) so the demoted bounds typecheck as the inner
+    // filter's real type.
+    let lo_bounds: FilterBounds<<T::Lo as Scalar>::Real> = bounds.demote();
+    validate_inputs(degrees, &lo_bounds).map_err(|e| match e {
+        FilterError::BadSpectrum(d) => {
+            FilterError::BadSpectrum(format!("interval degenerates under demotion: {d}"))
+        }
+        other => other,
+    })?;
+
+    let ncols = degrees.len();
+    dev.set_region(Region::Filter);
+    ctx.trace_span_begin("filter_lo", ncols as u64);
+
+    // Demote the active columns into Lo staging. The conversion touches
+    // every element once; account for it as a level-1 pass in the ledger.
+    let rows_c = c_buf.rows();
+    let mut c_lo = Matrix::<T::Lo>::from_fn(rows_c, ncols, |i, j| c_buf[(i, offset + j)].demote());
+    let mut b_lo = Matrix::<T::Lo>::zeros(b_buf.rows(), ncols);
+    ctx.record(chase_comm::EventKind::Blas1 {
+        n: (rows_c * ncols) as u64,
+    });
+
+    dev.set_lo(true);
+    let result = chebyshev_filter_with(
+        dev, ctx, h_lo, &mut c_lo, &mut b_lo, 0, degrees, lo_bounds, exec,
+    );
+    dev.set_lo(false);
+
+    let matvecs = result.inspect_err(|_e| ctx.trace_span_end("filter_lo"))?;
+
+    // Promote back into the f64 iterate (exact widening).
+    for j in 0..ncols {
+        for i in 0..rows_c {
+            c_buf[(i, offset + j)] = T::promote(c_lo[(i, j)]);
+        }
+    }
+    ctx.record(chase_comm::EventKind::Blas1 {
+        n: (rows_c * ncols) as u64,
+    });
+    ctx.trace_counter("lowprec_matvecs", matvecs);
+    ctx.trace_span_end("filter_lo");
     Ok(matvecs)
 }
 

@@ -142,6 +142,27 @@ impl<T: Scalar> DistHerm<T> {
     pub fn current_shift(&self) -> T::Real {
         self.shift
     }
+
+    /// A demoted (low-precision) replica of this block for the
+    /// mixed-precision filter. Must be taken while no shift is applied: the
+    /// filter shifts/unshifts its own replica, and demoting a shifted block
+    /// would bake the f64 shift into the f32 diagonal.
+    pub fn demote(&self) -> DistHerm<T::Lo> {
+        assert!(
+            self.shift == <T::Real as Scalar>::zero(),
+            "demote() requires an unshifted H block"
+        );
+        let local = Matrix::from_fn(self.local.rows(), self.local.cols(), |i, j| {
+            self.local[(i, j)].demote()
+        });
+        DistHerm::with_base(
+            local,
+            self.row_set.clone(),
+            self.col_set.clone(),
+            self.n,
+            self.dist,
+        )
+    }
 }
 
 /// Row partition bookkeeping for one of the two layouts.
@@ -331,6 +352,32 @@ mod tests {
             let back = rd.assemble(&gathered, 4);
             assert_eq!(back.max_abs_diff(&full), 0.0, "{dist:?}");
         }
+    }
+
+    #[test]
+    fn demoted_replica_matches_elementwise() {
+        use chase_linalg::C32;
+        let h = random_hermitian(7, 6);
+        let ctx = solo_ctx();
+        let mut d = DistHerm::from_global(&h, &ctx);
+        let lo = d.demote();
+        assert_eq!(lo.n, d.n);
+        assert_eq!(lo.n_r(), d.n_r());
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(lo.local[(i, j)], h[(i, j)].demote());
+            }
+        }
+        // The replica carries its own shift machinery in Lo precision.
+        let mut lo = lo;
+        lo.set_shift(0.5f32);
+        assert_eq!(lo.local[(0, 0)], h[(0, 0)].demote() - C32::from_f64(0.5));
+        lo.clear_shift();
+        assert_eq!(lo.local[(0, 0)], h[(0, 0)].demote());
+        // Demoting a shifted block is a caller bug.
+        d.set_shift(1.0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.demote()));
+        assert!(r.is_err());
     }
 
     #[test]

@@ -26,10 +26,13 @@ pub mod warm;
 
 pub use condest::{cond_est, growth_factor};
 pub use degrees::{degree_sort_permutation, optimal_degree, optimize_degrees};
-pub use filter::{chebyshev_filter, chebyshev_filter_with, FilterBounds, FilterExec};
+pub use filter::{
+    chebyshev_filter, chebyshev_filter_mixed, chebyshev_filter_with, FilterBounds, FilterError,
+    FilterExec,
+};
 pub use hemm::{hemm_b_to_c, hemm_b_to_c_pipelined, hemm_c_to_b, hemm_c_to_b_pipelined};
 pub use layout::{DistHerm, MemoryReport, RowDist};
-pub use params::{Params, QrStrategy};
+pub use params::{Params, PrecisionMode, QrStrategy};
 pub use qr::{
     cholesky_qr, flexible_qr, householder_qr_dist, ladder_start, next_rung, qr_ladder,
     shifted_cholesky_qr2, LadderAttempt, QrError, QrVariant, COND_SHIFTED, COND_SINGLE,

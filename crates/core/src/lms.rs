@@ -199,6 +199,7 @@ where
 
         let active_res = &resd[locked.min(ne - 1)..];
         stats.push(IterStats {
+            low_precision: false,
             iter,
             est_cond: f64::NAN, // v1.2 has no condition estimator
             true_cond: None,
@@ -230,6 +231,7 @@ where
     let res_sorted: Vec<T::Real> = order.iter().map(|&i| resd[i]).collect();
 
     ChaseResult {
+        lowprec_matvecs: 0,
         eigenvalues: ritz_sorted[..nev].to_vec(),
         residuals: res_sorted[..nev].to_vec(),
         eigenvectors_local: c.copy_cols(0..nev),

@@ -17,6 +17,46 @@ pub enum QrStrategy {
     AlwaysCholeskyQr1,
 }
 
+/// Arithmetic precision the Chebyshev filter runs in.
+///
+/// Everything outside the filter (QR, Rayleigh–Ritz, residuals, locking)
+/// always runs at the solver's native precision `T`; the filter only needs
+/// to *separate* the subspace, not resolve it, which is what makes the
+/// demoted path safe (Winkelmann et al., TOMS 2019, §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecisionMode {
+    /// Every filter call runs in `T` (the historic behavior).
+    #[default]
+    Full,
+    /// Filter calls run in the demoted type `T::Lo` (`f64→f32`, `C64→C32`)
+    /// while residuals stay far from the single-precision floor
+    /// (`~50·eps_f32·‖H‖`); the solver escalates to full precision — once,
+    /// stickily, world-agreed — as convergence approaches the floor, or
+    /// immediately when a low filter output goes non-finite (the precision
+    /// rung of the recovery ladder). No-op for natively 32-bit scalars.
+    Mixed,
+}
+
+impl PrecisionMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecisionMode::Full => "full",
+            PrecisionMode::Mixed => "mixed",
+        }
+    }
+}
+
+impl std::str::FromStr for PrecisionMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "full" => Ok(PrecisionMode::Full),
+            "mixed" => Ok(PrecisionMode::Mixed),
+            other => Err(format!("unknown precision '{other}' (full|mixed)")),
+        }
+    }
+}
+
 /// ChASE configuration.
 #[derive(Debug, Clone)]
 pub struct Params {
@@ -74,6 +114,8 @@ pub struct Params {
     /// Override the nonblocking-collective wait timeout (ms) on the rank's
     /// communicators; `None` keeps [`chase_comm::DEFAULT_WAIT_TIMEOUT_MS`].
     pub wait_timeout_ms: Option<u64>,
+    /// Filter arithmetic precision (see [`PrecisionMode`]).
+    pub precision: PrecisionMode,
 }
 
 impl Params {
@@ -99,6 +141,7 @@ impl Params {
             guards: true,
             max_refilter: 2,
             wait_timeout_ms: None,
+            precision: PrecisionMode::Full,
         }
     }
 
@@ -118,18 +161,44 @@ impl Params {
         self.nev + self.nex
     }
 
-    /// Validate against a problem size.
+    /// Validate against a problem size, reporting the first violation as a
+    /// typed error (a bad workload entry must not abort a whole serve run).
+    pub fn try_validate(&self, n: usize) -> Result<(), String> {
+        if self.nev < 1 {
+            return Err("nev must be at least 1".into());
+        }
+        if self.nex < 1 {
+            return Err("nex must be at least 1 (deflation headroom)".into());
+        }
+        if self.ne() > n {
+            return Err(format!(
+                "search space ({}) exceeds problem size ({n})",
+                self.ne()
+            ));
+        }
+        if !(self.tol > 0.0 && self.tol.is_finite()) {
+            return Err(format!(
+                "tol must be a finite positive value, got {}",
+                self.tol
+            ));
+        }
+        if self.deg < 2 || self.max_deg < self.deg {
+            return Err(format!(
+                "need 2 <= deg <= max_deg, got deg {} max_deg {}",
+                self.deg, self.max_deg
+            ));
+        }
+        if self.max_iter < 1 {
+            return Err("max_iter must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Validate against a problem size (panicking convenience wrapper).
     pub fn validate(&self, n: usize) {
-        assert!(self.nev >= 1, "nev must be at least 1");
-        assert!(self.nex >= 1, "nex must be at least 1 (deflation headroom)");
-        assert!(
-            self.ne() <= n,
-            "search space ({}) exceeds problem size ({n})",
-            self.ne()
-        );
-        assert!(self.tol > 0.0);
-        assert!(self.deg >= 2 && self.max_deg >= self.deg);
-        assert!(self.max_iter >= 1);
+        if let Err(e) = self.try_validate(n) {
+            panic!("{e}");
+        }
     }
 }
 

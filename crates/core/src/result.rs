@@ -30,6 +30,8 @@ pub struct IterStats {
     pub max_res: f64,
     /// Largest Chebyshev degree used this iteration.
     pub max_degree: usize,
+    /// Whether this iteration's filter ran in demoted precision (`T::Lo`).
+    pub low_precision: bool,
 }
 
 /// One detection or recovery action the guarded solver took. Deterministic
@@ -71,6 +73,11 @@ pub enum RecoveryEventKind {
     ReplicaDivergence { stage: &'static str },
     /// A nonblocking collective wait timed out.
     Timeout { op_id: u64, timeout_ms: u64 },
+    /// A low-precision filter output went non-finite (e.g. f32 overflow):
+    /// the poisoned columns were restored and re-filtered at full precision
+    /// — the precision rung sits *before* the degree-bump rung and does not
+    /// consume a re-filter attempt.
+    PrecisionEscalated { cols: usize },
 }
 
 impl fmt::Display for RecoveryEventKind {
@@ -112,6 +119,12 @@ impl fmt::Display for RecoveryEventKind {
             }
             RecoveryEventKind::Timeout { op_id, timeout_ms } => {
                 write!(f, "collective op {op_id} timed out after {timeout_ms} ms")
+            }
+            RecoveryEventKind::PrecisionEscalated { cols } => {
+                write!(
+                    f,
+                    "escalated {cols} column(s) from demoted to full precision"
+                )
             }
         }
     }
@@ -180,6 +193,14 @@ pub enum ChaseErrorKind {
     UnrecoverableNonFinite,
     /// The final cross-rank verification of the returned eigenpairs failed.
     VerificationFailed { detail: String },
+    /// User-supplied spectral data produced a degenerate filter interval
+    /// (`e <= 0` or non-finite bounds) — reachable from stale warm-start
+    /// bounds or a corrupt workload file.
+    BadSpectrum { detail: String },
+    /// The parameter set failed validation (typed counterpart of the
+    /// historic `Params::validate` panics, so one bad job cannot abort a
+    /// whole serve run).
+    InvalidParams { detail: String },
 }
 
 impl fmt::Display for ChaseError {
@@ -199,6 +220,12 @@ impl fmt::Display for ChaseError {
                     "iter {}: result verification failed: {detail}",
                     self.iter
                 )
+            }
+            ChaseErrorKind::BadSpectrum { detail } => {
+                write!(f, "iter {}: bad spectrum: {detail}", self.iter)
+            }
+            ChaseErrorKind::InvalidParams { detail } => {
+                write!(f, "invalid parameters: {detail}")
             }
         }
     }
@@ -224,6 +251,9 @@ pub struct ChaseResult<T: Scalar> {
     pub iterations: usize,
     /// Total filter MatVecs (the paper's "MatVecs" column).
     pub matvecs: u64,
+    /// MatVecs that ran in demoted precision (subset of `matvecs`; zero in
+    /// full-precision mode and for natively 32-bit scalars).
+    pub lowprec_matvecs: u64,
     /// Whether all `nev` pairs converged within `max_iter`.
     pub converged: bool,
     /// Per-iteration diagnostics.
@@ -286,6 +316,7 @@ mod tests {
             n,
             iterations: 1,
             matvecs: 0,
+            lowprec_matvecs: 0,
             converged: true,
             stats: vec![],
             norm_h: 1.0,

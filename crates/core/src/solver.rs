@@ -11,10 +11,12 @@
 
 use crate::condest::cond_est;
 use crate::degrees::{degree_sort_permutation, optimize_degrees};
-use crate::filter::{chebyshev_filter_with, FilterBounds};
+use crate::filter::{
+    chebyshev_filter_mixed, chebyshev_filter_with, FilterBounds, FilterError, FilterExec,
+};
 use crate::hemm::{hemm_c_to_b, matvec_replicated};
 use crate::layout::{DistHerm, MemoryReport, RowDist};
-use crate::params::Params;
+use crate::params::{Params, PrecisionMode};
 use crate::qr::qr_ladder;
 use crate::result::{
     ChaseError, ChaseErrorKind, ChaseResult, IterStats, RecoveryEventKind, RecoveryLog,
@@ -95,10 +97,32 @@ struct Checkpoint<T: Scalar> {
     resd: Vec<T::Real>,
 }
 
+/// Estimated condition number of the filtered block above which the next
+/// low-precision filter is considered at risk of f32 overflow; the mixed
+/// policy escalates preemptively instead of waiting for the guard to catch
+/// non-finite output.
+const LO_COND_LIMIT: f64 = 1e30;
+
+/// Multiple of the demoted type's epsilon defining the single-precision
+/// residual floor. The theoretical floor is ~50 * eps_lo * ||H||, but the
+/// degree-<=36 Chebyshev recurrence amplifies the demoted iterate's rounding
+/// noise by about two further orders of magnitude before Rayleigh-Ritz sees
+/// it, so the practical switch point sits at ~5e3 * eps_lo * ||H|| —
+/// escalating there keeps every demoted iteration productive instead of
+/// burning MatVecs against the noise floor.
+const LO_FLOOR_EPS_MULT: f64 = 5.0e3;
+
+/// Consecutive low-precision iterations allowed without a >30% residual
+/// improvement before escalating anyway: the backstop for problems whose
+/// filter amplification pushes the single-precision noise floor above the
+/// eps-based estimate.
+const LO_STALL_LIMIT: usize = 2;
+
 /// Solver state for one rank.
 pub struct Chase<'d, 'c, T: Scalar + Reduce>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     dev: &'d Device<'c>,
     params: Params,
@@ -116,11 +140,28 @@ where
     /// Cached spectral bounds from a warm start; when set the Lanczos
     /// estimation phase is skipped.
     warm_bounds: Option<SpectralBounds<T::Real>>,
+    /// Demoted replica of the local `H` panel, built lazily the first time a
+    /// mixed-precision filter call runs (never built in full mode).
+    h_lo: Option<DistHerm<T::Lo>>,
+    /// Sticky escalation flag of the mixed-precision policy: once true,
+    /// every remaining filter call runs at full precision. A pure function
+    /// of world-replicated state, so it flips identically on every rank.
+    escalated: bool,
+    /// Previous iteration's estimated condition number of the filtered
+    /// block (drives preemptive escalation before an f32 overflow).
+    prev_est_cond: f64,
+    /// Max active residual seen at the previous mixed-mode decision point
+    /// (stall detection).
+    prev_low_max_res: f64,
+    /// Consecutive decision points without meaningful residual improvement
+    /// while running demoted.
+    low_stall: usize,
 }
 
 impl<'d, 'c, T: Scalar + Reduce> Chase<'d, 'c, T>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     /// Allocate buffers for the given distributed matrix.
     ///
@@ -202,6 +243,11 @@ where
             b_dist,
             params,
             warm_bounds: warm.and_then(|w| w.inflated_bounds(WARM_BOUND_MARGIN)),
+            h_lo: None,
+            escalated: false,
+            prev_est_cond: 0.0,
+            prev_low_max_res: f64::INFINITY,
+            low_stall: 0,
         }
     }
 
@@ -526,6 +572,13 @@ where
         let mut mu_1 = bounds.mu_1;
         let mut mu_ne = bounds.mu_ne;
         let norm_h = mu_1.abs_r().max_r(b_sup.abs_r());
+        // Residual floor of the demoted filter: below ~50*eps_lo*||H|| the
+        // low-precision recurrence can no longer separate the subspace.
+        let lo_floor = LO_FLOOR_EPS_MULT
+            * <<T::Lo as Scalar>::Real as RealScalar>::EPS.to_f64()
+            * norm_h.to_f64();
+        let mixed = self.params.precision == PrecisionMode::Mixed && T::HAS_LO;
+        let mut lowprec_matvecs = 0u64;
 
         // Initialize Ritz values at the lower estimate (used by the first
         // condition estimate; see Section 4.2's first-iteration caveat).
@@ -604,35 +657,72 @@ where
             };
             let degrees: Vec<usize> = self.degs[self.locked..].to_vec();
             let exec = self.params.filter_exec();
-            let mv = match chebyshev_filter_with(
-                self.dev,
-                ctx,
-                &mut self.h,
-                &mut self.c,
-                &mut self.b,
-                self.locked,
-                &degrees,
-                fb,
-                exec,
-            ) {
+            // --- Mixed-precision policy (pure function of world-replicated
+            // state: residuals, Ritz values and the previous condition
+            // estimate are identical on every rank, so the decision is too).
+            // Residuals start at one(), so iteration 1 always qualifies.
+            let max_active_res = self.resd[self.locked..]
+                .iter()
+                .fold(0.0f64, |m, r| m.max(r.to_f64()));
+            if mixed && !self.escalated {
+                if max_active_res < 0.7 * self.prev_low_max_res {
+                    self.low_stall = 0;
+                } else {
+                    self.low_stall += 1;
+                }
+                self.prev_low_max_res = max_active_res;
+            }
+            let run_low = mixed
+                && !self.escalated
+                && max_active_res > lo_floor
+                && self.low_stall < LO_STALL_LIMIT
+                && self.prev_est_cond < LO_COND_LIMIT
+                && fb.demote().is_valid();
+            if mixed && !run_low && !self.escalated {
+                // The policy declined once (floor reached, conditioning at
+                // risk, or interval degenerates under demotion): stay full
+                // for the rest of the solve so the schedule is monotone.
+                self.escalated = true;
+            }
+            let filtered = if run_low {
+                if self.h_lo.is_none() {
+                    self.h_lo = Some(self.h.demote());
+                }
+                chebyshev_filter_mixed(
+                    self.dev,
+                    ctx,
+                    self.h_lo.as_mut().expect("demoted replica just built"),
+                    &mut self.c,
+                    &mut self.b,
+                    self.locked,
+                    &degrees,
+                    fb,
+                    exec,
+                )
+            } else {
+                chebyshev_filter_with(
+                    self.dev,
+                    ctx,
+                    &mut self.h,
+                    &mut self.c,
+                    &mut self.b,
+                    self.locked,
+                    &degrees,
+                    fb,
+                    exec,
+                )
+            };
+            let mv = match filtered {
                 Ok(mv) => mv,
-                Err(t) => {
+                Err(e) => {
                     self.drain_faults(iter, &mut recovery);
-                    recovery.push(
-                        iter,
-                        RecoveryEventKind::Timeout {
-                            op_id: t.op_id,
-                            timeout_ms: t.timeout_ms,
-                        },
-                    );
-                    return Err(ChaseError {
-                        kind: ChaseErrorKind::CollectiveTimeout(t),
-                        iter,
-                        recovery,
-                    });
+                    return Err(filter_abort(e, iter, recovery));
                 }
             };
             total_matvecs += mv;
+            if run_low {
+                lowprec_matvecs += mv;
+            }
 
             // --- Inject planned block faults (chaos harness only) ---
             if let Some(plan) = self.dev.fault_plan() {
@@ -642,6 +732,7 @@ where
             // --- Guard: post-filter finite check + bounded re-filter ---
             if self.params.guards {
                 let mut attempt = 0usize;
+                let mut precision_rung_used = false;
                 loop {
                     let act = ne - self.locked;
                     let mut flags = vec![0.0f64; act];
@@ -664,6 +755,35 @@ where
                     }
                     self.drain_faults(iter, &mut recovery);
                     recovery.push(iter, RecoveryEventKind::NonFiniteBlock { cols: bad.len() });
+                    // Precision rung: when this iteration filtered demoted,
+                    // non-finite output is most likely an f32 range problem,
+                    // not a transient fault. Re-filter the poisoned columns
+                    // at full precision and the *same* degrees before
+                    // spending any bounded degree-bump attempts. Escalation
+                    // is sticky and world-agreed (the poison set came from a
+                    // world allreduce, so every rank takes this rung
+                    // together).
+                    if run_low && !precision_rung_used {
+                        precision_rung_used = true;
+                        self.escalated = true;
+                        let mut by_degree: Vec<(usize, usize)> =
+                            bad.iter().map(|&j| (self.degs[j], j)).collect();
+                        by_degree.sort_unstable();
+                        match self.refilter_columns(&by_degree, fb, exec) {
+                            Ok(mv2) => total_matvecs += mv2,
+                            Err(e) => {
+                                self.drain_faults(iter, &mut recovery);
+                                return Err(filter_abort(e, iter, recovery));
+                            }
+                        }
+                        recovery.push(
+                            iter,
+                            RecoveryEventKind::PrecisionEscalated {
+                                cols: by_degree.len(),
+                            },
+                        );
+                        continue;
+                    }
                     attempt += 1;
                     if attempt > self.params.max_refilter {
                         return Err(ChaseError {
@@ -683,50 +803,18 @@ where
                         })
                         .collect();
                     by_degree.sort_unstable();
-                    let k = by_degree.len();
-                    let mut tmp_c = Matrix::<T>::zeros(self.h.n_r(), k);
-                    let mut tmp_b = Matrix::<T>::zeros(self.h.n_c(), k);
-                    for (t, &(_, j)) in by_degree.iter().enumerate() {
-                        tmp_c.col_mut(t).copy_from_slice(self.c2.col(j));
-                    }
-                    let redegs: Vec<usize> = by_degree.iter().map(|&(d, _)| d).collect();
-                    match chebyshev_filter_with(
-                        self.dev,
-                        ctx,
-                        &mut self.h,
-                        &mut tmp_c,
-                        &mut tmp_b,
-                        0,
-                        &redegs,
-                        fb,
-                        exec,
-                    ) {
+                    match self.refilter_columns(&by_degree, fb, exec) {
                         Ok(mv2) => total_matvecs += mv2,
-                        Err(t) => {
+                        Err(e) => {
                             self.drain_faults(iter, &mut recovery);
-                            recovery.push(
-                                iter,
-                                RecoveryEventKind::Timeout {
-                                    op_id: t.op_id,
-                                    timeout_ms: t.timeout_ms,
-                                },
-                            );
-                            return Err(ChaseError {
-                                kind: ChaseErrorKind::CollectiveTimeout(t),
-                                iter,
-                                recovery,
-                            });
+                            return Err(filter_abort(e, iter, recovery));
                         }
-                    }
-                    for (t, &(d, j)) in by_degree.iter().enumerate() {
-                        self.c.col_mut(j).copy_from_slice(tmp_c.col(t));
-                        self.degs[j] = d;
                     }
                     recovery.push(
                         iter,
                         RecoveryEventKind::Refiltered {
-                            cols: k,
-                            degree: *redegs.last().unwrap(),
+                            cols: by_degree.len(),
+                            degree: by_degree.last().map(|&(d, _)| d).unwrap_or(0),
                             attempt,
                         },
                     );
@@ -741,6 +829,7 @@ where
                 &self.degs,
                 self.locked,
             );
+            self.prev_est_cond = est_cond;
 
             // kappa_com of "the matrix of vectors outputted by the filter"
             // (Fig. 1): the active block only — locked columns were not
@@ -885,6 +974,7 @@ where
                 true_cond,
                 qr_variant,
                 matvecs: mv,
+                low_precision: run_low,
                 new_locked,
                 locked: self.locked,
                 min_res: active_res
@@ -956,6 +1046,7 @@ where
             n: self.h.n,
             iterations,
             matvecs: total_matvecs,
+            lowprec_matvecs,
             converged,
             stats,
             norm_h: norm_h.to_f64(),
@@ -965,9 +1056,72 @@ where
         })
     }
 
+    /// Restore the columns named in `by_degree` (sorted ascending
+    /// `(degree, col)` pairs) from the pre-filter copy `C2` and re-filter
+    /// them at full precision, writing the results (and degrees) back in
+    /// place. Shared by the precision rung (same degrees) and the
+    /// degree-bump rung (bumped degrees) of the recovery ladder.
+    fn refilter_columns(
+        &mut self,
+        by_degree: &[(usize, usize)],
+        fb: FilterBounds<T::Real>,
+        exec: FilterExec,
+    ) -> Result<u64, FilterError> {
+        let ctx = self.dev.ctx();
+        let k = by_degree.len();
+        let mut tmp_c = Matrix::<T>::zeros(self.h.n_r(), k);
+        let mut tmp_b = Matrix::<T>::zeros(self.h.n_c(), k);
+        for (t, &(_, j)) in by_degree.iter().enumerate() {
+            tmp_c.col_mut(t).copy_from_slice(self.c2.col(j));
+        }
+        let redegs: Vec<usize> = by_degree.iter().map(|&(d, _)| d).collect();
+        let mv = chebyshev_filter_with(
+            self.dev,
+            ctx,
+            &mut self.h,
+            &mut tmp_c,
+            &mut tmp_b,
+            0,
+            &redegs,
+            fb,
+            exec,
+        )?;
+        for (t, &(d, j)) in by_degree.iter().enumerate() {
+            self.c.col_mut(j).copy_from_slice(tmp_c.col(t));
+            self.degs[j] = d;
+        }
+        Ok(mv)
+    }
+
     /// Access the B-layout distribution (used by diagnostics).
     pub fn b_dist(&self) -> &RowDist {
         &self.b_dist
+    }
+}
+
+/// Map a filter failure to the solver's typed abort, logging timeouts into
+/// the recovery trail (spectrum/degree violations are caller bugs or stale
+/// warm bounds — no recovery event, just the typed error).
+fn filter_abort(e: FilterError, iter: usize, mut recovery: RecoveryLog) -> ChaseError {
+    let kind = match e {
+        FilterError::Timeout(t) => {
+            recovery.push(
+                iter,
+                RecoveryEventKind::Timeout {
+                    op_id: t.op_id,
+                    timeout_ms: t.timeout_ms,
+                },
+            );
+            ChaseErrorKind::CollectiveTimeout(t)
+        }
+        FilterError::BadSpectrum(detail) | FilterError::BadDegrees(detail) => {
+            ChaseErrorKind::BadSpectrum { detail }
+        }
+    };
+    ChaseError {
+        kind,
+        iter,
+        recovery,
     }
 }
 
@@ -987,6 +1141,7 @@ pub fn try_solve_dist<T: Scalar + Reduce>(
 ) -> Result<ChaseResult<T>, ChaseError>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     let warm = initial.map(|v0| WarmStart {
         v0: v0.clone(),
@@ -1007,7 +1162,17 @@ pub fn try_solve_dist_warm<T: Scalar + Reduce>(
 ) -> Result<ChaseResult<T>, ChaseError>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
+    // Reject malformed parameters as a typed error before any collective
+    // work: one bad workload entry must not abort a whole serve run.
+    if let Err(detail) = params.try_validate(h.n) {
+        return Err(ChaseError {
+            kind: ChaseErrorKind::InvalidParams { detail },
+            iter: 0,
+            recovery: RecoveryLog::default(),
+        });
+    }
     let plan = params
         .inject
         .as_ref()
@@ -1055,6 +1220,7 @@ pub fn solve_dist<T: Scalar + Reduce>(
 ) -> ChaseResult<T>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     try_solve_dist(ctx, backend, h, params, initial)
         .unwrap_or_else(|e| panic!("ChASE solve aborted: {e}"))
@@ -1068,6 +1234,7 @@ pub fn try_solve_serial<T: Scalar + Reduce>(
 ) -> Result<ChaseResult<T>, ChaseError>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     let ctx = chase_comm::solo_ctx();
     let dh = DistHerm::from_global(h, &ctx);
@@ -1082,6 +1249,7 @@ pub fn try_solve_serial_warm<T: Scalar + Reduce>(
 ) -> Result<ChaseResult<T>, ChaseError>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     let ctx = chase_comm::solo_ctx();
     let dh = DistHerm::from_global(h, &ctx);
@@ -1092,6 +1260,7 @@ where
 pub fn solve_serial<T: Scalar + Reduce>(h: &Matrix<T>, params: &Params) -> ChaseResult<T>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     try_solve_serial(h, params).unwrap_or_else(|e| panic!("ChASE solve aborted: {e}"))
 }

@@ -46,6 +46,11 @@ pub enum FaultKind {
     InfPayload,
     /// Flip one bit of one element of a collective payload on one rank.
     BitFlip,
+    /// Write a value just past f32 range (1e39) into one element of a
+    /// collective payload on one rank. Finite in double precision; saturates
+    /// to +inf the moment a mixed-precision filter demotes it — the
+    /// targeted trigger for the solver's precision-escalation rung.
+    Overflow,
     /// Never post one nonblocking collective — every member's `wait()` times
     /// out. Triggered identically on all ranks (a wedged communicator).
     Stall,
@@ -62,6 +67,7 @@ impl FaultKind {
             FaultKind::NanPayload => "nan",
             FaultKind::InfPayload => "inf",
             FaultKind::BitFlip => "bitflip",
+            FaultKind::Overflow => "overflow",
             FaultKind::Stall => "stall",
             FaultKind::Delay => "delay",
         }
@@ -75,6 +81,7 @@ impl FaultKind {
             "nan" => FaultKind::NanPayload,
             "inf" => FaultKind::InfPayload,
             "bitflip" => FaultKind::BitFlip,
+            "overflow" => FaultKind::Overflow,
             "stall" => FaultKind::Stall,
             "delay" => FaultKind::Delay,
             other => return Err(SpecError(format!("unknown fault kind '{other}'"))),
@@ -162,7 +169,10 @@ impl fmt::Display for Injection {
             write!(f, ",region={}", region_name(r))?;
         }
         match self.kind {
-            FaultKind::NanPayload | FaultKind::InfPayload | FaultKind::BitFlip => {
+            FaultKind::NanPayload
+            | FaultKind::InfPayload
+            | FaultKind::BitFlip
+            | FaultKind::Overflow => {
                 write!(f, ",rank={}", self.rank)?;
                 if self.kind == FaultKind::BitFlip {
                     write!(f, ",bit={}", self.bit)?;
@@ -448,7 +458,10 @@ impl FaultPlan {
             let inj = self.spec.injections[idx];
             if !matches!(
                 inj.kind,
-                FaultKind::NanPayload | FaultKind::InfPayload | FaultKind::BitFlip
+                FaultKind::NanPayload
+                    | FaultKind::InfPayload
+                    | FaultKind::BitFlip
+                    | FaultKind::Overflow
             ) {
                 continue;
             }
@@ -475,6 +488,10 @@ impl FaultPlan {
                         inj.bit,
                         buf.len()
                     )
+                }
+                FaultKind::Overflow => {
+                    buf[elem] = T::from_f64(1e39);
+                    format!("1e39 into {op} payload elem {elem}/{}", buf.len())
                 }
                 _ => unreachable!(),
             };
@@ -596,10 +613,11 @@ mod tests {
     #[test]
     fn spec_round_trips_through_display() {
         let s = "seed=42;bitflip@iter=2,region=filter,rank=1,bit=7;stall@iter=3,region=rr;\
-                 breakdown@iter=1,cols=2;nan-block@iter=4,row=1,cols=3;delay@iter=5,ms=12";
+                 breakdown@iter=1,cols=2;nan-block@iter=4,row=1,cols=3;delay@iter=5,ms=12;\
+                 overflow@iter=2,region=filter,rank=0";
         let spec = FaultSpec::parse(s).unwrap();
         assert_eq!(spec.seed, 42);
-        assert_eq!(spec.injections.len(), 5);
+        assert_eq!(spec.injections.len(), 6);
         let printed = spec.to_string();
         let reparsed = FaultSpec::parse(&printed).unwrap();
         assert_eq!(spec, reparsed, "parse(display(spec)) must round-trip");
@@ -643,6 +661,22 @@ mod tests {
         let rec = hit.take_records();
         assert_eq!(rec.len(), 1);
         assert_eq!((rec[0].iter, rec[0].region, rec[0].rank), (2, "filter", 1));
+    }
+
+    #[test]
+    fn overflow_payload_is_finite_in_f64_but_saturates_demoted() {
+        let spec = FaultSpec::parse("seed=7;overflow@iter=1,region=filter,rank=0").unwrap();
+        let p = FaultPlan::new(spec, 0, 0);
+        p.set_iter(1);
+        p.set_region(Region::Filter);
+        let mut buf = vec![1.0f64; 8];
+        assert!(p.corrupt_payload("iallreduce", &mut buf));
+        let planted = *buf.iter().find(|x| **x > 1e38).unwrap();
+        assert!(planted.is_finite(), "1e39 is representable in f64");
+        assert!(
+            (planted as f32).is_infinite(),
+            "must saturate once demoted to f32"
+        );
     }
 
     #[test]

@@ -16,7 +16,13 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 ///
 /// `RealScalar` is the value domain for norms, residuals, eigenvalues of
 /// Hermitian operators and all Chebyshev-filter parameters.
-pub trait RealScalar: Scalar<Real = Self> + PartialOrd {
+pub trait RealScalar: Scalar<Real = Self, Lo = <Self as RealScalar>::RLo> + PartialOrd {
+    /// The demoted real type (`f64 → f32`, `f32 → f32`). Identical to
+    /// [`Scalar::Lo`] — the `Lo = Self::RLo` supertrait equality ties them
+    /// together — but declared here with the `RealScalar` bound so generic
+    /// code can demote real-valued filter bounds and keep comparing them.
+    type RLo: RealScalar;
+
     /// Machine epsilon (unit round-off `u` in the paper's notation is `EPS / 2`).
     const EPS: Self;
     /// Smallest positive normal value.
@@ -60,8 +66,22 @@ pub trait Scalar:
     /// The underlying real type (`f32` or `f64`).
     type Real: RealScalar;
 
+    /// The demoted (low-precision) companion type used by the mixed-precision
+    /// filter: `f64 → f32`, `Complex<f64> → Complex<f32>`. The 32-bit types
+    /// are their own `Lo` so `T::Lo` is always a valid filter scalar and the
+    /// demotion lattice has depth one. The `Real = …` equality ties the two
+    /// demotion paths together (`T::Lo::Real == T::Real::Lo`), which is what
+    /// lets generic code demote `FilterBounds<T::Real>` and hand the result
+    /// to a `T::Lo` filter.
+    type Lo: Scalar<Real = <Self::Real as Scalar>::Lo>;
+
     /// `true` for `Complex<_>` instantiations.
     const IS_COMPLEX: bool;
+
+    /// `true` when [`Scalar::Lo`] is a genuinely narrower type (i.e. demoting
+    /// loses mantissa bits). `false` for the 32-bit self-identity types —
+    /// mixed-precision mode degenerates to full precision there.
+    const HAS_LO: bool;
 
     fn zero() -> Self;
     fn one() -> Self;
@@ -87,6 +107,16 @@ pub trait Scalar:
     /// imaginary parts are independent `N(0, 1/2)` so that `E|x|^2 = 1`.
     fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
     fn is_finite(self) -> bool;
+
+    /// Narrow to the low-precision companion type. Rust float casts round to
+    /// nearest and saturate overflow to `±inf`, so a demoted value is always
+    /// well-defined (never UB) — an out-of-range `f64` demotes to an infinity
+    /// the guard layer then catches.
+    fn demote(self) -> Self::Lo;
+    /// Widen a low-precision value back. For every finite `lo`,
+    /// `T::promote(lo).demote() == lo` bitwise (widening is exact), which is
+    /// the round-trip contract the mixed-precision filter relies on.
+    fn promote(lo: Self::Lo) -> Self;
 }
 
 /// Box–Muller transform: one standard-normal draw from two uniforms.
@@ -102,8 +132,9 @@ fn normal_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 macro_rules! impl_real {
-    ($t:ty) => {
+    ($t:ty, $lo:ty, $has_lo:expr) => {
         impl RealScalar for $t {
+            type RLo = $lo;
             const EPS: Self = <$t>::EPSILON;
             const MIN_POS: Self = <$t>::MIN_POSITIVE;
 
@@ -159,7 +190,9 @@ macro_rules! impl_real {
 
         impl Scalar for $t {
             type Real = $t;
+            type Lo = $lo;
             const IS_COMPLEX: bool = false;
+            const HAS_LO: bool = $has_lo;
 
             #[inline]
             fn zero() -> Self {
@@ -213,18 +246,28 @@ macro_rules! impl_real {
             fn is_finite(self) -> bool {
                 <$t>::is_finite(self)
             }
+            #[inline]
+            fn demote(self) -> Self::Lo {
+                self as $lo
+            }
+            #[inline]
+            fn promote(lo: Self::Lo) -> Self {
+                lo as $t
+            }
         }
     };
 }
 
-impl_real!(f32);
-impl_real!(f64);
+impl_real!(f32, f32, false);
+impl_real!(f64, f32, true);
 
 macro_rules! impl_complex {
-    ($t:ty) => {
+    ($t:ty, $lo:ty, $has_lo:expr) => {
         impl Scalar for Complex<$t> {
             type Real = $t;
+            type Lo = Complex<$lo>;
             const IS_COMPLEX: bool = true;
+            const HAS_LO: bool = $has_lo;
 
             #[inline]
             fn zero() -> Self {
@@ -281,12 +324,20 @@ macro_rules! impl_complex {
             fn is_finite(self) -> bool {
                 self.re.is_finite() && self.im.is_finite()
             }
+            #[inline]
+            fn demote(self) -> Self::Lo {
+                Complex::new(self.re as $lo, self.im as $lo)
+            }
+            #[inline]
+            fn promote(lo: Self::Lo) -> Self {
+                Complex::new(lo.re as $t, lo.im as $t)
+            }
         }
     };
 }
 
-impl_complex!(f32);
-impl_complex!(f64);
+impl_complex!(f32, f32, false);
+impl_complex!(f64, f32, true);
 
 /// Shorthand aliases matching the four ChASE template instantiations.
 pub type C32 = Complex<f32>;
@@ -362,5 +413,49 @@ mod tests {
         assert!(f64::EPS < 1e-15);
         assert!(f32::EPS < 1e-6);
         assert!(f32::EPS > 1e-8);
+    }
+
+    #[test]
+    fn demotion_lattice_shape() {
+        assert!(<f64 as Scalar>::HAS_LO);
+        assert!(<C64 as Scalar>::HAS_LO);
+        assert!(!<f32 as Scalar>::HAS_LO);
+        assert!(!<C32 as Scalar>::HAS_LO);
+    }
+
+    /// Widening is exact: for any finite `lo`, `promote(lo).demote() == lo`
+    /// bitwise. This is the contract the mixed-precision filter relies on
+    /// when it promotes a low-precision iterate back into the f64 block.
+    #[test]
+    fn promote_demote_round_trip_is_lossless() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let lo = C32::sample_standard(&mut rng).scale(1e3f32);
+            let rt = C64::promote(lo).demote();
+            assert_eq!(rt.re.to_bits(), lo.re.to_bits());
+            assert_eq!(rt.im.to_bits(), lo.im.to_bits());
+
+            let lr = f32::sample_standard(&mut rng) * 1e-3;
+            assert_eq!(f64::promote(lr).demote().to_bits(), lr.to_bits());
+        }
+        // Edge values survive too (signed zero, subnormal, infinities).
+        for lo in [0.0f32, -0.0, f32::MIN_POSITIVE / 2.0, f32::INFINITY] {
+            assert_eq!(f64::promote(lo).demote().to_bits(), lo.to_bits());
+        }
+    }
+
+    /// Demotion saturates: an f64 beyond f32 range becomes an infinity the
+    /// guard layer can detect, never UB or garbage bits.
+    #[test]
+    fn demote_saturates_overflow() {
+        assert!(1e39f64.demote().is_infinite());
+        assert!((-1e39f64).demote().is_infinite());
+        assert!(!1e39f64.demote().is_finite());
+        let z = C64::new(1e39, 0.5).demote();
+        assert!(!Scalar::is_finite(z));
+        // Identity for the 32-bit self-Lo types.
+        let w = C32::new(1.5, -2.5);
+        assert_eq!(w.demote(), w);
+        assert_eq!(C32::promote(w), w);
     }
 }

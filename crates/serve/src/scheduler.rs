@@ -106,6 +106,7 @@ struct ExecShared<T: Scalar> {
 pub struct Scheduler<T: Scalar + Reduce>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     cfg: SchedulerConfig,
     next_id: JobId,
@@ -122,6 +123,7 @@ where
 impl<T: Scalar + Reduce> Scheduler<T>
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     pub fn new(cfg: SchedulerConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
@@ -433,6 +435,7 @@ fn run_job<T: Scalar + Reduce>(
 ) -> (JobOutcome<T>, Option<Trace>)
 where
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     let h = spec.matrix.materialize();
     let params = spec.params.clone();
@@ -472,6 +475,7 @@ where
                     eigenvectors,
                     bounds: r0.bounds,
                     matvecs: r0.matvecs,
+                    lowprec_matvecs: r0.lowprec_matvecs,
                     iterations: r0.iterations,
                     converged: r0.converged,
                     recovery: r0.recovery,

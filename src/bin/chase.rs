@@ -7,7 +7,7 @@
 //!                [--grid 2x2 | --ranks 6] [--backend nccl|std|lms]
 //!                [--qr auto|hhqr|cholqr1|cholqr2]
 //!                [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
-//!                [--overlap] [--panel 16]
+//!                [--overlap] [--panel 16] [--precision full|mixed]
 //!                [--inject 'seed=7;bitflip@iter=2,region=filter,rank=0'] [--wait-timeout-ms 500]
 //!                [--no-guards]
 //!                [--trace out.json] [--trace-format chrome|summary] [--metrics m.json]
@@ -123,6 +123,7 @@ fn solve_generic<T: Scalar + chase_comm::Reduce>(
 ) -> (Result<ChaseResult<T>, ChaseError>, Option<Trace>)
 where
     T::Real: chase_comm::Reduce,
+    T::Lo: chase_comm::Reduce,
 {
     let out = run_grid(shape, move |ctx| {
         // One recorder per rank, installed before any collective so the
@@ -182,6 +183,14 @@ fn print_result<T: Scalar>(r: &ChaseResult<T>, wall: std::time::Duration) {
         "converged = {} | iterations = {} | MatVecs = {} | wall = {wall:.2?}",
         r.converged, r.iterations, r.matvecs
     );
+    if r.lowprec_matvecs > 0 {
+        println!(
+            "mixed precision: {} of {} MatVecs ran demoted ({:.0}%)",
+            r.lowprec_matvecs,
+            r.matvecs,
+            100.0 * r.lowprec_matvecs as f64 / r.matvecs as f64
+        );
+    }
     println!("{:>4} {:>22} {:>12}", "k", "eigenvalue", "residual");
     for (k, (v, res)) in r.eigenvalues.iter().zip(&r.residuals).enumerate() {
         println!("{k:>4} {:>22.14} {:>12.2e}", (*v).to_f64(), (*res).to_f64());
@@ -301,6 +310,13 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
         None => None,
     };
     params.guards = !flags.contains_key("no-guards");
+    // `--precision mixed` runs the Chebyshev filter in demoted arithmetic
+    // (f64 -> f32) until the adaptive policy escalates; `full` (default)
+    // keeps the historic behavior.
+    params.precision = match flags.get("precision") {
+        Some(p) => p.parse().map_err(|e: String| format!("--precision: {e}"))?,
+        None => chase_core::PrecisionMode::Full,
+    };
     if params.inject.is_some() && matches!(backend, Backend::Lms) {
         return Err("--inject is not supported with the lms baseline backend".into());
     }
@@ -541,7 +557,7 @@ USAGE:
   chase solve    --matrix FILE --nev K [--nex X] [--tol T] [--grid PxQ | --ranks N]
                  [--backend nccl|std|lms] [--qr auto|hhqr|cholqr1|cholqr2]
                  [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
-                 [--overlap] [--panel W]
+                 [--overlap] [--panel W] [--precision full|mixed]
                  [--inject SPEC] [--wait-timeout-ms MS] [--no-guards]
                  [--trace FILE] [--trace-format chrome|summary] [--metrics FILE]
   chase serve    --workload FILE [--workers N] [--cache-mb M] [--max-queue Q]

@@ -2,8 +2,10 @@
 //! suite instantiates the full solver for each of them — real/complex,
 //! single/double — with tolerances scaled to the precision.
 
-use chase_core::{solve_serial, Params};
-use chase_linalg::{C32, C64};
+use chase_comm::{run_grid, GridShape, Reduce};
+use chase_core::{solve_dist, solve_serial, DistHerm, Params};
+use chase_device::Backend;
+use chase_linalg::{RealScalar, Scalar, C32, C64};
 use chase_matgen::{dense_with_spectrum, Spectrum};
 
 fn spectrum(n: usize) -> Spectrum {
@@ -78,6 +80,80 @@ fn solve_c32() {
     for k in 0..p.nev {
         assert!((r.eigenvalues[k] - spec.values()[k] as f32).abs() < 1e-3);
     }
+}
+
+/// Full distributed filter+solve at the given native scalar, with
+/// eigenvalue tolerance scaled to the scalar's epsilon. Asserts bitwise
+/// SPMD agreement across ranks and closeness to the analytic spectrum.
+fn dist_solve_native<T>(seed: u64, shape: GridShape)
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    let n = 72;
+    let spec = spectrum(n);
+    let h = dense_with_spectrum::<T>(&spec, seed);
+    let eps = <T::Real as RealScalar>::EPS.to_f64();
+    let mut p = Params::new(6, 4);
+    // Residual target ~ sqrt(eps): 1e-8 for f64-family, 1e-4 for f32-family.
+    p.tol = eps.sqrt() * 10.0;
+    let (h, p) = (&h, &p);
+    let out = run_grid(shape, move |ctx| {
+        let dh = DistHerm::from_global(h, ctx);
+        solve_dist(ctx, Backend::Nccl, dh, p, None)
+    });
+    let r0 = &out.results[0];
+    assert!(
+        r0.converged,
+        "{}: {shape:?} failed after {} iterations",
+        std::any::type_name::<T>(),
+        r0.iterations
+    );
+    // Eigenvalue error ~ eps * ||H|| with a generous constant.
+    let tol_eig = 500.0 * eps * r0.norm_h;
+    for r in &out.results {
+        assert_eq!(r.eigenvalues, r0.eigenvalues, "SPMD replica divergence");
+        for k in 0..p.nev {
+            let got = r.eigenvalues[k].to_f64();
+            let want = spec.values()[k];
+            assert!(
+                (got - want).abs() < tol_eig,
+                "{}: {shape:?} lambda_{k}: {got} vs {want} (tol {tol_eig:.2e})",
+                std::any::type_name::<T>()
+            );
+        }
+    }
+}
+
+#[test]
+fn dist_solve_native_f32() {
+    dist_solve_native::<f32>(21, GridShape::new(2, 2));
+}
+
+#[test]
+fn dist_solve_native_c32() {
+    dist_solve_native::<C32>(22, GridShape::new(2, 2));
+}
+
+#[test]
+fn dist_solve_native_f32_rect_grid() {
+    dist_solve_native::<f32>(23, GridShape::new(1, 3));
+}
+
+#[test]
+fn dist_solve_native_c32_rect_grid() {
+    dist_solve_native::<C32>(24, GridShape::new(3, 2));
+}
+
+#[test]
+fn dist_solve_native_f64_reference() {
+    dist_solve_native::<f64>(25, GridShape::new(2, 2));
+}
+
+#[test]
+fn dist_solve_native_c64_reference() {
+    dist_solve_native::<C64>(26, GridShape::new(2, 3));
 }
 
 #[test]

@@ -46,6 +46,7 @@ fn traced_solve<T>(
 where
     T: Scalar + Reduce,
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     let (h, p) = (h, p);
     let out = run_grid(shape, move |ctx| {
@@ -67,6 +68,7 @@ fn plain_solve<T>(
 where
     T: Scalar + Reduce,
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     let (h, p) = (h, p);
     run_grid(shape, move |ctx| {
@@ -112,6 +114,7 @@ fn assert_replay_deterministic<T>(shape: GridShape, inject: Option<&str>, seed: 
 where
     T: Scalar + Reduce,
     T::Real: Reduce,
+    T::Lo: Reduce,
 {
     let n = 48;
     let h = dense_with_spectrum::<T>(&Spectrum::uniform(n, -1.0, 1.0), seed);
