@@ -11,6 +11,7 @@
 use crate::collective::{Communicator, Slot};
 use crate::ledger::{EventKind, Ledger, Region};
 use crate::trace_hook::{CommScope, TraceHook};
+use crate::tune_hook::CollectiveTuneHook;
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::ops::Range;
@@ -103,6 +104,10 @@ pub struct RankCtx {
     /// Structured-tracing hook, if installed ([`RankCtx::set_trace_hook`]).
     /// Per-rank and purely local — recording never issues a collective.
     pub trace: RefCell<Option<Arc<dyn TraceHook>>>,
+    /// Measured collective plan, if installed ([`RankCtx::set_tune_hook`]).
+    /// Consulted by the device layer before the analytic alpha-beta tuner;
+    /// per-rank, but required to be a pure function of SPMD-uniform inputs.
+    pub tune: RefCell<Option<Arc<dyn CollectiveTuneHook>>>,
 }
 
 impl RankCtx {
@@ -163,6 +168,19 @@ impl RankCtx {
     /// The installed tracing hook, if any (cloned handle).
     pub fn trace_hook(&self) -> Option<Arc<dyn TraceHook>> {
         self.trace.borrow().clone()
+    }
+
+    /// Install (or clear) the measured collective plan on this rank. Every
+    /// rank of a grid must install the same plan (SPMD discipline); the
+    /// device layer consults it only where `Params` leaves the collective
+    /// knob on `Auto`.
+    pub fn set_tune_hook(&self, hook: Option<Arc<dyn CollectiveTuneHook>>) {
+        *self.tune.borrow_mut() = hook;
+    }
+
+    /// The installed measured plan, if any (cloned handle).
+    pub fn tune_hook(&self) -> Option<Arc<dyn CollectiveTuneHook>> {
+        self.tune.borrow().clone()
     }
 
     /// Open a named trace span (no-op without a hook).
@@ -265,6 +283,7 @@ where
                 col_comm: Communicator::with_labels(col_slots[j].clone(), i, col_labels[j].clone()),
                 ledger: ledgers[wr].clone(),
                 trace: RefCell::new(None),
+                tune: RefCell::new(None),
             };
             let f = &f;
             handles.push((
@@ -306,6 +325,7 @@ pub fn solo_ctx() -> RankCtx {
         col_comm: Communicator::solo(),
         ledger: Arc::new(Mutex::new(Ledger::new())),
         trace: RefCell::new(None),
+        tune: RefCell::new(None),
     }
 }
 

@@ -17,6 +17,7 @@ pub mod grid;
 pub mod ledger;
 pub mod partition;
 pub mod trace_hook;
+pub mod tune_hook;
 
 pub use collective::{
     CommFaultHook, Communicator, GatherRequest, NbPoolStats, PostAction, Reduce, Request, SendBuf,
@@ -29,3 +30,4 @@ pub use ledger::{
 };
 pub use partition::{Distribution, IndexSet};
 pub use trace_hook::{CommScope, TraceHook};
+pub use tune_hook::{CollectiveTuneHook, TuneAlgo, TuneChoice, TuneOp};

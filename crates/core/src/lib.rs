@@ -19,6 +19,7 @@ pub mod hemm;
 pub mod layout;
 pub mod lms;
 pub mod params;
+pub mod plan;
 pub mod qr;
 pub mod result;
 pub mod solver;
@@ -33,6 +34,7 @@ pub use filter::{
 pub use hemm::{hemm_b_to_c, hemm_b_to_c_pipelined, hemm_c_to_b, hemm_c_to_b_pipelined};
 pub use layout::{DistHerm, MemoryReport, RowDist};
 pub use params::{Params, PrecisionMode, QrStrategy};
+pub use plan::{PlanSource, SolvePlan};
 pub use qr::{
     cholesky_qr, flexible_qr, householder_qr_dist, ladder_start, next_rung, qr_ladder,
     shifted_cholesky_qr2, LadderAttempt, QrError, QrVariant, COND_SHIFTED, COND_SINGLE,

@@ -245,6 +245,7 @@ where
         bounds: chase_linalg::SpectralBounds { mu_1, mu_ne, b_sup },
         warm_started: false,
         recovery: crate::result::RecoveryLog::default(),
+        plan: None,
     }
 }
 

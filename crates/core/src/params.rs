@@ -35,6 +35,11 @@ pub enum PrecisionMode {
     /// immediately when a low filter output goes non-finite (the precision
     /// rung of the recovery ladder). No-op for natively 32-bit scalars.
     Mixed,
+    /// Defer the choice to a resolved [`crate::SolvePlan`]
+    /// ([`Params::apply_plan`] replaces `Auto` with the plan's concrete
+    /// mode). A solve entered with `Auto` still unresolved runs `Full` —
+    /// the conservative historic behavior.
+    Auto,
 }
 
 impl PrecisionMode {
@@ -42,6 +47,7 @@ impl PrecisionMode {
         match self {
             PrecisionMode::Full => "full",
             PrecisionMode::Mixed => "mixed",
+            PrecisionMode::Auto => "auto",
         }
     }
 }
@@ -52,7 +58,8 @@ impl std::str::FromStr for PrecisionMode {
         match s {
             "full" => Ok(PrecisionMode::Full),
             "mixed" => Ok(PrecisionMode::Mixed),
-            other => Err(format!("unknown precision '{other}' (full|mixed)")),
+            "auto" => Ok(PrecisionMode::Auto),
+            other => Err(format!("unknown precision '{other}' (full|mixed|auto)")),
         }
     }
 }
@@ -116,6 +123,10 @@ pub struct Params {
     pub wait_timeout_ms: Option<u64>,
     /// Filter arithmetic precision (see [`PrecisionMode`]).
     pub precision: PrecisionMode,
+    /// Resolved solve plan, set by [`Params::apply_plan`]. Pure provenance:
+    /// the knobs above are already merged; the solver copies it onto
+    /// [`crate::ChaseResult::plan`].
+    pub plan: Option<crate::plan::SolvePlan>,
 }
 
 impl Params {
@@ -142,6 +153,7 @@ impl Params {
             max_refilter: 2,
             wait_timeout_ms: None,
             precision: PrecisionMode::Full,
+            plan: None,
         }
     }
 

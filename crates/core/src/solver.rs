@@ -1053,6 +1053,7 @@ where
             bounds: SpectralBounds { mu_1, mu_ne, b_sup },
             warm_started,
             recovery,
+            plan: self.params.plan.clone(),
         })
     }
 

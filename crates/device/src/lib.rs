@@ -16,7 +16,8 @@
 //! * `Nccl` collectives record only the collective itself.
 
 use chase_comm::{
-    now_us, Communicator, EventKind, LinkClass, RankCtx, Reduce, Region, Request, WaitTimeout,
+    now_us, Communicator, EventKind, LinkClass, RankCtx, Reduce, Region, Request, TuneAlgo, TuneOp,
+    WaitTimeout,
 };
 use chase_faults::FaultPlan;
 use chase_linalg::matrix::{ColsMut, ColsRef};
@@ -25,6 +26,16 @@ use chase_topo::{exec, CollOp, Tuner, NOMINAL_GEMM_FLOPS};
 use std::sync::Arc;
 
 pub use chase_topo::{Algo, CollectiveAlgo, Topology};
+
+/// Map a `chase-topo` collective class onto the neutral seam vocabulary the
+/// measured-plan hook speaks (see [`chase_comm::tune_hook`]).
+fn tune_op(op: CollOp) -> TuneOp {
+    match op {
+        CollOp::AllReduce => TuneOp::AllReduce,
+        CollOp::Bcast => TuneOp::Bcast,
+        CollOp::AllGather => TuneOp::AllGather,
+    }
+}
 
 /// Which of the paper's three builds is being simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -262,6 +273,20 @@ impl<'a> Device<'a> {
         match self.collective {
             CollectiveAlgo::Flat => None,
             CollectiveAlgo::Auto => {
+                // A measured plan (chase-tune DB hit installed on the rank
+                // context) outranks the analytic alpha-beta model; a miss —
+                // no hook, or no rule covering this (op, size, members) —
+                // falls through to the analytic choice.
+                if let Some(hook) = self.ctx.tune_hook() {
+                    if let Some(c) = hook.choose(tune_op(op), bytes, comm.size()) {
+                        return match c.algo {
+                            TuneAlgo::Flat => None,
+                            TuneAlgo::Ring => Some((Algo::Ring, c.chunk_bytes)),
+                            TuneAlgo::Tree => Some((Algo::Tree, c.chunk_bytes)),
+                            TuneAlgo::Doubling => Some((Algo::Doubling, c.chunk_bytes)),
+                        };
+                    }
+                }
                 let c = tuner.choose(op, bytes, comm.labels());
                 Some((c.algo, c.chunk_bytes))
             }

@@ -18,6 +18,7 @@ pub mod elpa;
 pub mod live;
 pub mod machine;
 pub mod profile;
+pub mod residual;
 
 pub use analytic::{
     iteration_events, iteration_events_with_overlap, solve_events, IterationSpec, Layout,
@@ -26,5 +27,7 @@ pub use elpa::{elpa_time, ElpaKind, ElpaTime};
 pub use live::{diff_table, price_trace, region_diff};
 pub use machine::{CommFlavor, Machine, ScalarKind};
 pub use profile::{
-    price_ledger, price_ledger_overlap, profiled_time, total_time, PriceCtx, RegionCost,
+    price_events, price_events_overlap, price_ledger, price_ledger_overlap, profiled_time,
+    total_time, PriceCtx, RegionCost,
 };
+pub use residual::{residual_report, residual_summary, ResidualRow, ResidualSummary};

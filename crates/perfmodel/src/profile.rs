@@ -130,6 +130,63 @@ pub fn price_ledger_overlap(
     out
 }
 
+/// Price a bare event slice (no region aggregation): the sum of every
+/// event's modeled time, as one [`RegionCost`] split by category. The
+/// measurement channel of `chase-tune`'s deterministic trials — a trial
+/// isolates its events as a ledger slice and prices exactly those.
+pub fn price_events(events: &[chase_comm::Event], machine: &Machine, ctx: PriceCtx) -> RegionCost {
+    let mut out = RegionCost::default();
+    for ev in events {
+        let t = machine.event_time(ev, ctx.scalar, ctx.flavor, ctx.gpus_per_rank);
+        match ev.kind.category() {
+            Category::Compute => out.compute += t,
+            Category::Comm => out.comm += t,
+            Category::Transfer => out.transfer += t,
+        }
+    }
+    out
+}
+
+/// Price a bare event slice with overlap-aware accounting: events sharing
+/// an overlap window are charged `compute + max(0, comm + transfer -
+/// compute)` as in [`price_ledger_overlap`], events outside any window at
+/// their plain sum. Used by `chase-tune` to score pipelined-filter trials.
+pub fn price_events_overlap(
+    events: &[chase_comm::Event],
+    machine: &Machine,
+    ctx: PriceCtx,
+) -> RegionCost {
+    let mut out = RegionCost::default();
+    let mut windows: HashMap<u32, RegionCost> = HashMap::new();
+    for ev in events {
+        let t = machine.event_time(ev, ctx.scalar, ctx.flavor, ctx.gpus_per_rank);
+        let slot = match ev.window {
+            Some(w) => windows.entry(w).or_default(),
+            None => &mut out,
+        };
+        match ev.kind.category() {
+            Category::Compute => slot.compute += t,
+            Category::Comm => slot.comm += t,
+            Category::Transfer => slot.transfer += t,
+        }
+    }
+    for w in windows.values() {
+        let hideable = w.comm + w.transfer;
+        let exposed = (hideable - w.compute).max(0.0);
+        let scale = if hideable > 0.0 {
+            exposed / hideable
+        } else {
+            0.0
+        };
+        out.add(&RegionCost {
+            compute: w.compute,
+            comm: w.comm * scale,
+            transfer: w.transfer * scale,
+        });
+    }
+    out
+}
+
 /// Total modeled time across all regions (per rank; the SPMD regions are
 /// bulk-synchronous so the per-rank total approximates time-to-solution).
 pub fn total_time(costs: &HashMap<Region, RegionCost>) -> f64 {

@@ -1,0 +1,161 @@
+//! Modeled-vs-measured residual report.
+//!
+//! The alpha-beta model of `chase-topo` predicts collective cost
+//! analytically; `chase-tune` measures the same operations by executing the
+//! real hop schedules and pricing (or wall-clocking) what actually ran.
+//! Comparing the two per trial shows *where the analytic model is wrong* —
+//! which operation classes, sizes and schedules it mis-ranks — and is the
+//! calibration feedback loop for the machine constants.
+
+/// One trial's model/measurement pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualRow {
+    /// Human label: operation, size, schedule (e.g. `allreduce 1.2MiB ring/64KiB x4`).
+    pub label: String,
+    /// Analytic prediction (seconds).
+    pub modeled: f64,
+    /// Measured trial time (seconds) — deterministic-clock or wall-clock.
+    pub measured: f64,
+}
+
+impl ResidualRow {
+    /// `measured / modeled` (infinite when the model predicted zero for a
+    /// nonzero measurement).
+    pub fn ratio(&self) -> f64 {
+        if self.modeled > 0.0 {
+            self.measured / self.modeled
+        } else if self.measured > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Summary statistics over a residual set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidualSummary {
+    pub rows: usize,
+    /// Geometric mean of `measured / modeled` — systematic bias of the
+    /// analytic model (1.0 = unbiased).
+    pub geo_mean_ratio: f64,
+    /// Largest `max(ratio, 1/ratio)` — the worst single disagreement.
+    pub worst_factor: f64,
+}
+
+/// Summarize model-vs-measurement disagreement. Empty input yields the
+/// identity summary (no rows, no bias).
+pub fn residual_summary(rows: &[ResidualRow]) -> ResidualSummary {
+    if rows.is_empty() {
+        return ResidualSummary {
+            rows: 0,
+            geo_mean_ratio: 1.0,
+            worst_factor: 1.0,
+        };
+    }
+    let mut log_sum = 0.0;
+    let mut worst: f64 = 1.0;
+    for r in rows {
+        let ratio = r.ratio().clamp(1e-12, 1e12);
+        log_sum += ratio.ln();
+        worst = worst.max(ratio.max(1.0 / ratio));
+    }
+    ResidualSummary {
+        rows: rows.len(),
+        geo_mean_ratio: (log_sum / rows.len() as f64).exp(),
+        worst_factor: worst,
+    }
+}
+
+/// Render the residual set as an aligned text table (CLI `chase tune`
+/// report), worst disagreement first, with the summary as a footer.
+pub fn residual_report(rows: &[ResidualRow]) -> String {
+    let mut sorted: Vec<&ResidualRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        let ka = a.ratio().max(1.0 / a.ratio());
+        let kb = b.ratio().max(1.0 / b.ratio());
+        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(5)
+        .max("trial".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<label_w$}  {:>12}  {:>12}  {:>8}\n",
+        "trial", "modeled", "measured", "ratio"
+    ));
+    for r in &sorted {
+        out.push_str(&format!(
+            "{:<label_w$}  {:>10.3}us  {:>10.3}us  {:>8.3}\n",
+            r.label,
+            r.modeled * 1e6,
+            r.measured * 1e6,
+            r.ratio()
+        ));
+    }
+    let s = residual_summary(rows);
+    out.push_str(&format!(
+        "{} trials; geometric-mean measured/modeled {:.3}; worst disagreement {:.2}x\n",
+        s.rows, s.geo_mean_ratio, s.worst_factor
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_identity_on_perfect_model() {
+        let rows = vec![
+            ResidualRow {
+                label: "a".into(),
+                modeled: 1e-3,
+                measured: 1e-3,
+            },
+            ResidualRow {
+                label: "b".into(),
+                modeled: 2e-3,
+                measured: 2e-3,
+            },
+        ];
+        let s = residual_summary(&rows);
+        assert!((s.geo_mean_ratio - 1.0).abs() < 1e-12);
+        assert!((s.worst_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_tracks_bias_and_worst() {
+        let rows = vec![
+            ResidualRow {
+                label: "fast".into(),
+                modeled: 1e-3,
+                measured: 2e-3,
+            },
+            ResidualRow {
+                label: "slow".into(),
+                modeled: 1e-3,
+                measured: 0.5e-3,
+            },
+        ];
+        let s = residual_summary(&rows);
+        // 2x and 0.5x cancel geometrically.
+        assert!((s.geo_mean_ratio - 1.0).abs() < 1e-12);
+        assert!((s.worst_factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_every_row() {
+        let rows = vec![ResidualRow {
+            label: "allreduce 1MiB ring".into(),
+            modeled: 1e-4,
+            measured: 3e-4,
+        }];
+        let txt = residual_report(&rows);
+        assert!(txt.contains("allreduce 1MiB ring"));
+        assert!(txt.contains("3.000"));
+    }
+}

@@ -50,6 +50,7 @@ pub mod sim;
 pub mod workload;
 
 pub use cache::{CacheStats, SessionCache};
+pub use chase_tune::{PlanDb, TuneOptions};
 pub use job::{
     GenSpec, JobId, JobOutcome, JobReport, JobSpec, MatrixSource, SessionTag, SolveOutput,
     SpectrumKind, WarmKind,

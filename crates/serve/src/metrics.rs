@@ -33,6 +33,10 @@ pub struct ServeMetrics {
     /// MatVecs avoided by warm starts, measured against each session's own
     /// cold first step (a deterministic in-band baseline).
     pub matvecs_saved: u64,
+    // Autotuning economics: fresh plan-DB entries measured vs. solves that
+    // reused one (a session tunes on its first cold solve only).
+    pub plans_tuned: u64,
+    pub plan_db_hits: u64,
     // Virtual-time schedule.
     pub makespan_ticks: u64,
     pub total_wait_ticks: u64,
@@ -83,6 +87,8 @@ impl ServeMetrics {
         field("cache_high_water_bytes", self.cache_high_water_bytes);
         field("total_matvecs", self.total_matvecs);
         field("matvecs_saved", self.matvecs_saved);
+        field("plans_tuned", self.plans_tuned);
+        field("plan_db_hits", self.plan_db_hits);
         field("makespan_ticks", self.makespan_ticks);
         field("total_wait_ticks", self.total_wait_ticks);
         field("max_queue_depth", self.max_queue_depth);

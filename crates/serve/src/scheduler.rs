@@ -20,6 +20,7 @@ use chase_core::{try_solve_dist_warm, ChaseResult, DistHerm, WarmStart};
 use chase_device::Backend;
 use chase_linalg::Scalar;
 use chase_trace::{Trace, TraceRecorder};
+use chase_tune::{plan_from_entry, plan_key, tune_entry, MeasuredHook, PlanDb, TuneOptions};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -37,6 +38,11 @@ pub struct SchedulerConfig {
     pub backend: Backend,
     /// Record one structured trace stream per job.
     pub record_traces: bool,
+    /// Autotune solve plans: a session's first cold solve runs measurement
+    /// trials and writes the shared plan DB; every later solve with the
+    /// same key reuses the entry with zero trials. `None` disables tuning
+    /// (the pre-tuner analytic defaults apply).
+    pub tune: Option<TuneOptions>,
 }
 
 impl Default for SchedulerConfig {
@@ -47,6 +53,7 @@ impl Default for SchedulerConfig {
             max_queue: 1024,
             backend: Backend::Nccl,
             record_traces: false,
+            tune: None,
         }
     }
 }
@@ -99,6 +106,8 @@ struct ExecShared<T: Scalar> {
     results: Vec<Option<ExecResult<T>>>,
     store: BTreeMap<String, StoreEntry<T>>,
     warm_fallbacks: u64,
+    plans_tuned: u64,
+    plan_db_hits: u64,
     remaining: usize,
 }
 
@@ -117,6 +126,11 @@ where
     /// Per-session cold baseline MatVecs (first cold completion) — the
     /// in-band reference for `matvecs_saved`.
     baselines: BTreeMap<String, u64>,
+    /// Measured plan database shared by every worker. Lookups and inserts
+    /// take the lock briefly; trials run outside it. Tuning is a
+    /// deterministic function of the key, so concurrent misses on the same
+    /// key produce identical entries and insertion is idempotent.
+    plan_db: Arc<Mutex<PlanDb>>,
     pub metrics: ServeMetrics,
 }
 
@@ -136,12 +150,24 @@ where
             cache,
             store: BTreeMap::new(),
             baselines: BTreeMap::new(),
+            plan_db: Arc::new(Mutex::new(PlanDb::new())),
             metrics: ServeMetrics::default(),
         }
     }
 
     pub fn config(&self) -> &SchedulerConfig {
         &self.cfg
+    }
+
+    /// Seed the shared plan DB (e.g. loaded from disk before the first
+    /// drain); solves whose key is present skip tuning entirely.
+    pub fn set_plan_db(&mut self, db: PlanDb) {
+        *self.plan_db.lock() = db;
+    }
+
+    /// Snapshot the shared plan DB (e.g. to persist after a drain).
+    pub fn plan_db_snapshot(&self) -> PlanDb {
+        self.plan_db.lock().clone()
     }
 
     pub fn queue_len(&self) -> usize {
@@ -337,12 +363,16 @@ where
             results: (0..n).map(|_| None).collect(),
             store: std::mem::take(&mut self.store),
             warm_fallbacks: 0,
+            plans_tuned: 0,
+            plan_db_hits: 0,
             remaining: exec_count,
         });
         let cv = Condvar::new();
         let workers = self.cfg.workers.min(exec_count.max(1));
         let backend = self.cfg.backend;
         let record_traces = self.cfg.record_traces;
+        let tune = self.cfg.tune.clone();
+        let plan_db = self.plan_db.clone();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -379,10 +409,21 @@ where
                         (claimed, payload, kind)
                     };
 
-                    let (outcome, trace) =
-                        run_job(&specs[idx], warm_payload.as_deref(), backend, record_traces);
+                    let (outcome, trace, tuned) = run_job(
+                        &specs[idx],
+                        warm_payload.as_deref(),
+                        backend,
+                        record_traces,
+                        tune.as_ref(),
+                        &plan_db,
+                    );
 
                     let mut g = shared.lock();
+                    match tuned {
+                        Some(true) => g.plans_tuned += 1,
+                        Some(false) => g.plan_db_hits += 1,
+                        None => {}
+                    }
                     if let Some(tag) = &specs[idx].session {
                         if let JobOutcome::Done(s) = &outcome {
                             g.store.insert(
@@ -420,51 +461,101 @@ where
         let inner = shared.into_inner();
         self.store = inner.store;
         self.metrics.warm_fallbacks += inner.warm_fallbacks;
+        self.metrics.plans_tuned += inner.plans_tuned;
+        self.metrics.plan_db_hits += inner.plan_db_hits;
         inner.results
     }
 }
 
 /// Run one job on its own rank grid. Pure with respect to scheduler state:
 /// everything it needs arrives as arguments, everything it learns leaves in
-/// the return value.
+/// the return value (plus an idempotent plan-DB insert when it tuned).
+///
+/// The third return reports plan resolution: `Some(true)` = this job ran
+/// measurement trials (cold DB), `Some(false)` = reused a DB entry with
+/// zero trials, `None` = tuning disabled.
 fn run_job<T: Scalar + Reduce>(
     spec: &JobSpec<T>,
     warm: Option<&WarmStart<T>>,
     backend: Backend,
     record_traces: bool,
-) -> (JobOutcome<T>, Option<Trace>)
+    tune: Option<&TuneOptions>,
+    plan_db: &Mutex<PlanDb>,
+) -> (JobOutcome<T>, Option<Trace>, Option<bool>)
 where
     T::Real: Reduce,
     T::Lo: Reduce,
 {
     let h = spec.matrix.materialize();
     let params = spec.params.clone();
+    // Plan phase: decide hit-vs-tune once, before the SPMD region, so every
+    // rank of the grid agrees (a per-rank DB lookup could straddle another
+    // worker's insert and deadlock the grid's collectives).
+    let cached = tune.map(|opts| {
+        let key = plan_key::<T>(
+            &opts.machine,
+            spec.grid.p,
+            spec.grid.q,
+            h.rows(),
+            params.nev,
+            params.nex,
+        );
+        plan_db.lock().get(&key).cloned()
+    });
     let out = chase_comm::run_grid(spec.grid, |ctx| {
         let rec = record_traces.then(|| Arc::new(TraceRecorder::new(ctx.world_rank())));
         if let Some(r) = &rec {
             ctx.set_trace_hook(Some(r.clone() as Arc<dyn chase_comm::TraceHook>));
         }
-        let dh = DistHerm::from_global(&h, ctx);
+        let mut dh = DistHerm::from_global(&h, ctx);
+        let mut params = params.clone();
+        let entry = match &cached {
+            Some(Some(e)) => Some(e.clone()),
+            Some(None) => {
+                let opts = tune.expect("tune options present on a DB miss");
+                Some(tune_entry(ctx, &mut dh, params.nev, params.nex, opts).entry)
+            }
+            None => None,
+        };
+        if let Some(e) = &entry {
+            params.apply_plan(&plan_from_entry(e));
+            ctx.set_tune_hook(Some(Arc::new(MeasuredHook::new(e.clone()))));
+        }
         let result = try_solve_dist_warm(ctx, backend, dh, &params, warm);
+        ctx.set_tune_hook(None);
         if rec.is_some() {
             ctx.set_trace_hook(None);
         }
-        (result, rec.map(|r| r.finish()))
+        (result, rec.map(|r| r.finish()), entry)
     });
     let mut oks: Vec<ChaseResult<T>> = Vec::new();
     let mut err = None;
     let mut rank_traces = Vec::new();
-    for (res, tr) in out.results {
+    let mut entry_out = None;
+    for (res, tr, entry) in out.results {
         match res {
             Ok(r) => oks.push(r),
             Err(e) if err.is_none() => err = Some(e),
             Err(_) => {}
         }
         rank_traces.extend(tr);
+        entry_out = entry_out.or(entry);
     }
+    let tuned = match &cached {
+        None => None,
+        Some(Some(_)) => Some(false),
+        Some(None) => {
+            // Freshly measured (world-agreed, identical on every rank):
+            // publish so later solves with this key run zero trials.
+            if let Some(e) = entry_out {
+                plan_db.lock().insert(e);
+            }
+            Some(true)
+        }
+    };
     let trace = record_traces.then_some(Trace { ranks: rank_traces });
     match err {
-        Some(e) => (JobOutcome::Failed(e), trace),
+        Some(e) => (JobOutcome::Failed(e), trace, tuned),
         None => {
             let eigenvectors = ChaseResult::assemble_eigenvectors(&oks);
             let r0 = oks.into_iter().next().expect("at least one rank");
@@ -479,8 +570,10 @@ where
                     iterations: r0.iterations,
                     converged: r0.converged,
                     recovery: r0.recovery,
+                    plan: r0.plan,
                 }),
                 trace,
+                tuned,
             )
         }
     }

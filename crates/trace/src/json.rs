@@ -123,29 +123,30 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(b, pos, b'"')?;
-    let mut out = String::new();
+    let mut out = Vec::new();
     while *pos < b.len() {
         match b[*pos] {
             b'"' => {
                 *pos += 1;
-                return Ok(out);
+                // The input arrived as &str, so unescaped content is valid
+                // UTF-8 copied through byte-for-byte.
+                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"));
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
                     other => return Err(format!("unsupported escape {other:?}")),
                 }
                 *pos += 1;
             }
             c => {
-                // Copy raw UTF-8 bytes through (the content is ASCII here).
-                out.push(c as char);
+                out.push(c);
                 *pos += 1;
             }
         }
@@ -245,5 +246,11 @@ mod tests {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         let v = parse("\"a\\\"b\\nc\"").unwrap();
         assert_eq!(v.as_str(), Some("a\"b\nc"));
+    }
+
+    #[test]
+    fn multibyte_utf8_passes_through() {
+        let v = parse("\"λ-node — café\"").unwrap();
+        assert_eq!(v.as_str(), Some("λ-node — café"));
     }
 }

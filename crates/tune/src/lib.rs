@@ -1,0 +1,168 @@
+//! `chase-tune`: measurement-driven autotuner with a persistent plan
+//! database.
+//!
+//! The solver exposes several knobs whose best setting depends on the
+//! machine, the grid shape and the problem size: which hop schedule each
+//! collective uses (`CollectiveAlgo`), whether the Chebyshev filter
+//! pipelines its HEMM panels (`overlap`/`overlap_panel`), and whether the
+//! filter runs in demoted precision (`PrecisionMode`). The analytic
+//! alpha-beta model in `chase-topo` picks defaults from first principles;
+//! this crate instead *measures*: it runs short deterministic trials of the
+//! actual hot paths ([`trial::tune_entry`]), fits the winners into a
+//! versioned on-disk [`db::PlanDb`] keyed by machine fingerprint × grid ×
+//! problem × scalar, and emits a [`chase_core::SolvePlan`] that fills in
+//! whatever knobs `Params` left on `Auto`.
+//!
+//! Layering: the measured choices flow back into the solver through the
+//! [`chase_comm::CollectiveTuneHook`] seam — the device layer consults the
+//! hook first and falls back to the analytic model when the DB has no
+//! opinion, so a missing or stale DB degrades to exactly the pre-tuner
+//! behavior.
+
+pub mod db;
+pub mod fingerprint;
+pub mod trial;
+
+pub use db::{CollRule, DbError, PlanDb, PlanEntry, PlanKey, DB_FORMAT, DB_VERSION};
+pub use fingerprint::machine_fingerprint;
+pub use trial::{plan_key, scalar_kind, scalar_name, tune_entry, TuneOptions, TuneOutcome};
+
+use chase_comm::{CollectiveTuneHook, TuneChoice, TuneOp};
+use chase_core::{Params, PlanSource, PrecisionMode, SolvePlan};
+use chase_device::CollectiveAlgo;
+
+/// A [`CollectiveTuneHook`] backed by one measured [`PlanEntry`]: the
+/// device layer's `Auto` arm asks it per collective call, and it answers
+/// from the entry's measured rules (falling back to the analytic model by
+/// returning `None` for operations the trials never probed).
+#[derive(Debug, Clone)]
+pub struct MeasuredHook {
+    entry: PlanEntry,
+}
+
+impl MeasuredHook {
+    pub fn new(entry: PlanEntry) -> Self {
+        Self { entry }
+    }
+
+    pub fn entry(&self) -> &PlanEntry {
+        &self.entry
+    }
+}
+
+impl CollectiveTuneHook for MeasuredHook {
+    fn choose(&self, op: TuneOp, bytes: u64, members: usize) -> Option<TuneChoice> {
+        self.entry.choose(op, bytes, members)
+    }
+}
+
+/// Convert a measured DB entry into the [`SolvePlan`] the solver consumes.
+///
+/// The plan's collective knob is `Auto` — per-call choices come from the
+/// [`MeasuredHook`], not a single global algorithm — while overlap, panel
+/// and precision are the trial winners. `tuned_cost`/`flat_cost` carry the
+/// world-agreed trial metric so callers can report (and tests assert) that
+/// the tuned plan is never worse than the flat reference.
+pub fn plan_from_entry(entry: &PlanEntry) -> SolvePlan {
+    SolvePlan {
+        collective: CollectiveAlgo::Auto,
+        overlap: entry.overlap,
+        overlap_panel: if entry.overlap {
+            Some(entry.panel)
+        } else {
+            None
+        },
+        precision: if entry.precision == "mixed" {
+            PrecisionMode::Mixed
+        } else {
+            PrecisionMode::Full
+        },
+        source: PlanSource::Measured {
+            db_key: entry.key.canonical(),
+        },
+        tuned_cost: entry.tuned_cost,
+        flat_cost: entry.flat_cost,
+    }
+}
+
+/// Resolve a plan for `params` from the DB, or report a miss.
+///
+/// On a hit the plan is applied to `params` (filling only `Auto` knobs —
+/// explicit pins always win) and the entry is returned so the caller can
+/// install a [`MeasuredHook`] on its rank context.
+pub fn resolve_plan(db: &PlanDb, key: &PlanKey, params: &mut Params) -> Option<PlanEntry> {
+    let entry = db.get(key)?.clone();
+    let plan = plan_from_entry(&entry);
+    params.apply_plan(&plan);
+    Some(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_comm::TuneAlgo;
+
+    fn entry() -> PlanEntry {
+        PlanEntry {
+            key: PlanKey {
+                machine: "m-0123456789abcdef".into(),
+                p: 2,
+                q: 2,
+                n: 64,
+                nev: 8,
+                nex: 8,
+                scalar: "f64".into(),
+            },
+            rules: vec![CollRule {
+                op: TuneOp::AllReduce,
+                members: 2,
+                max_bytes: 4096,
+                algo: TuneAlgo::Ring,
+                chunk_bytes: 1024,
+                measured: 1e-5,
+                modeled: 2e-5,
+            }],
+            overlap: true,
+            panel: 8,
+            precision: "mixed".into(),
+            tuned_cost: 1.0,
+            flat_cost: 2.0,
+            trials: 7,
+        }
+    }
+
+    #[test]
+    fn hook_answers_from_rules() {
+        let hook = MeasuredHook::new(entry());
+        let c = hook.choose(TuneOp::AllReduce, 2048, 2).expect("rule hit");
+        assert_eq!(c.algo, TuneAlgo::Ring);
+        assert_eq!(c.chunk_bytes, 1024);
+        assert!(hook.choose(TuneOp::Bcast, 2048, 2).is_none());
+    }
+
+    #[test]
+    fn plan_carries_trial_winners() {
+        let plan = plan_from_entry(&entry());
+        assert!(plan.overlap);
+        assert_eq!(plan.overlap_panel, Some(8));
+        assert_eq!(plan.precision, PrecisionMode::Mixed);
+        assert!(matches!(plan.source, PlanSource::Measured { .. }));
+        assert!(plan.tuned_cost <= plan.flat_cost);
+    }
+
+    #[test]
+    fn resolve_hits_and_misses() {
+        let mut db = PlanDb::new();
+        let e = entry();
+        let key = e.key.clone();
+        db.insert(e);
+        let mut p = Params::new(8, 8);
+        assert!(resolve_plan(&db, &key, &mut p).is_some());
+        assert!(p.plan.is_some());
+        let mut other = key.clone();
+        other.n = 128;
+        let mut p2 = Params::new(8, 8);
+        assert!(resolve_plan(&db, &other, &mut p2).is_none());
+        assert!(p2.plan.is_none());
+    }
+}

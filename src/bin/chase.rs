@@ -21,8 +21,12 @@ use chase_device::{Backend, CollectiveAlgo};
 use chase_linalg::{Matrix, RealScalar, Scalar, C64};
 use chase_matgen::io::{load, save_c64, save_f64, LoadedMatrix};
 use chase_matgen::{dense_with_spectrum, Spectrum};
+use chase_perfmodel::residual_report;
 use chase_serve::{JobOutcome, Scheduler, SchedulerConfig, WarmKind};
 use chase_trace::{chrome_trace, metrics_json, stitch, summary_table, Trace, TraceRecorder};
+use chase_tune::{
+    plan_from_entry, plan_key, tune_entry, MeasuredHook, PlanDb, TuneOptions, TuneOutcome,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -34,7 +38,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
         // Boolean flags take no value.
-        if matches!(key, "real" | "no-degopt" | "overlap" | "no-guards") {
+        if matches!(
+            key,
+            "real" | "no-degopt" | "overlap" | "no-guards" | "deterministic" | "force"
+        ) {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -113,6 +120,14 @@ fn parse_grid(s: &str) -> Result<GridShape, String> {
     ))
 }
 
+/// How `--plan-db` resolved before the solve's SPMD region: a warm DB hit
+/// runs zero trials, a miss tunes inside the solve grid (so the tuning
+/// shows up as `tune` spans in the solve's own trace).
+enum PlanChoice {
+    Hit(chase_tune::PlanEntry),
+    Miss(TuneOptions),
+}
+
 fn solve_generic<T: Scalar + chase_comm::Reduce>(
     h: &Matrix<T>,
     params: &Params,
@@ -120,7 +135,12 @@ fn solve_generic<T: Scalar + chase_comm::Reduce>(
     backend: Backend,
     dist: Distribution,
     tracing: bool,
-) -> (Result<ChaseResult<T>, ChaseError>, Option<Trace>)
+    plan: Option<&PlanChoice>,
+) -> (
+    Result<ChaseResult<T>, ChaseError>,
+    Option<Trace>,
+    Option<TuneOutcome>,
+)
 where
     T::Real: chase_comm::Reduce,
     T::Lo: chase_comm::Reduce,
@@ -133,27 +153,101 @@ where
         if let Some(r) = &rec {
             ctx.set_trace_hook(Some(r.clone() as std::sync::Arc<dyn chase_comm::TraceHook>));
         }
-        let dh = DistHerm::from_global_dist(h, ctx, dist);
-        let result = if matches!(backend, Backend::Lms) {
-            Ok(solve_lms(ctx, dh, params, None))
-        } else {
-            try_solve_dist(ctx, backend, dh, params, None)
+        let mut dh = DistHerm::from_global_dist(h, ctx, dist);
+        let mut params = params.clone();
+        let tuned = match plan {
+            Some(PlanChoice::Hit(e)) => Some(TuneOutcome {
+                entry: e.clone(),
+                residuals: Vec::new(),
+            }),
+            Some(PlanChoice::Miss(opts)) => {
+                Some(tune_entry(ctx, &mut dh, params.nev, params.nex, opts))
+            }
+            None => None,
         };
+        if let Some(t) = &tuned {
+            params.apply_plan(&plan_from_entry(&t.entry));
+            ctx.set_tune_hook(Some(std::sync::Arc::new(MeasuredHook::new(
+                t.entry.clone(),
+            ))));
+        }
+        let result = if matches!(backend, Backend::Lms) {
+            Ok(solve_lms(ctx, dh, &params, None))
+        } else {
+            try_solve_dist(ctx, backend, dh, &params, None)
+        };
+        ctx.set_tune_hook(None);
         if rec.is_some() {
             ctx.set_trace_hook(None);
         }
-        (result, rec.map(|r| r.finish()))
+        (result, rec.map(|r| r.finish()), tuned)
     });
     // Results arrive in world-rank order; rank 0's result speaks for the
     // SPMD run, the traces are stitched across all ranks.
     let mut results = Vec::new();
     let mut rank_traces = Vec::new();
-    for (res, trace) in out.results {
+    let mut tuned_out = None;
+    for (res, trace, tuned) in out.results {
         results.push(res);
         rank_traces.extend(trace);
+        tuned_out = tuned_out.or(tuned);
     }
     let trace = tracing.then_some(Trace { ranks: rank_traces });
-    (results.into_iter().next().unwrap(), trace)
+    (results.into_iter().next().unwrap(), trace, tuned_out)
+}
+
+/// Look up this solve's key in the plan DB: hit = apply with zero trials,
+/// miss = tune inside the solve grid.
+fn resolve_plan_choice<T: Scalar>(
+    db: &PlanDb,
+    opts: &TuneOptions,
+    shape: GridShape,
+    n: usize,
+    nev: usize,
+    nex: usize,
+) -> PlanChoice {
+    let key = plan_key::<T>(&opts.machine, shape.p, shape.q, n, nev, nex);
+    match db.get(&key) {
+        Some(e) => PlanChoice::Hit(e.clone()),
+        None => PlanChoice::Miss(opts.clone()),
+    }
+}
+
+/// After a `--plan-db` solve: report how the plan resolved and persist any
+/// freshly measured entry.
+fn report_plan(
+    choice: Option<PlanChoice>,
+    tuned: Option<TuneOutcome>,
+    db: &mut PlanDb,
+    db_path: Option<&str>,
+) -> Result<(), String> {
+    match (choice, tuned) {
+        (Some(PlanChoice::Miss(_)), Some(out)) => {
+            println!(
+                "plan: measured fresh ({} trial(s)) for {}",
+                out.entry.trials,
+                out.entry.key.canonical()
+            );
+            print!("{}", residual_report(&out.residuals));
+            db.insert(out.entry);
+            if let Some(p) = db_path {
+                db.save(p).map_err(|e| e.to_string())?;
+                println!(
+                    "plan db: {p} ({} entr{})",
+                    db.len(),
+                    if db.len() == 1 { "y" } else { "ies" }
+                );
+            }
+        }
+        (Some(PlanChoice::Hit(_)), Some(out)) => {
+            println!(
+                "plan: reused db entry (0 trials) for {}",
+                out.entry.key.canonical()
+            );
+        }
+        _ => {}
+    }
+    Ok(())
 }
 
 fn print_recovery(log: &chase_core::RecoveryLog) {
@@ -183,6 +277,9 @@ fn print_result<T: Scalar>(r: &ChaseResult<T>, wall: std::time::Duration) {
         "converged = {} | iterations = {} | MatVecs = {} | wall = {wall:.2?}",
         r.converged, r.iterations, r.matvecs
     );
+    if let Some(plan) = &r.plan {
+        println!("plan: {}", plan.summary());
+    }
     if r.lowprec_matvecs > 0 {
         println!(
             "mixed precision: {} of {} MatVecs ran demoted ({:.0}%)",
@@ -336,6 +433,28 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     };
     let tracing = trace_path.is_some() || metrics_path.is_some();
 
+    // `--plan-db FILE` resolves the Auto knobs from the measured plan DB: a
+    // hit applies the stored plan with zero trials; a miss tunes inside the
+    // solve grid and persists the fresh entry for the next run.
+    let plan_db_path = flags.get("plan-db").cloned();
+    if plan_db_path.is_some() && matches!(backend, Backend::Lms) {
+        return Err("--plan-db is not supported with the lms baseline backend".into());
+    }
+    let tune_opts = plan_db_path.as_ref().map(|_| TuneOptions {
+        deterministic: flags.contains_key("deterministic"),
+        machine: chase_perfmodel::Machine::juwels_booster(),
+        backend,
+    });
+    // With a plan DB and no explicit --precision, let the measured plan
+    // decide (Auto resolves to the trial winner; explicit pins always win).
+    if plan_db_path.is_some() && !flags.contains_key("precision") {
+        params.precision = chase_core::PrecisionMode::Auto;
+    }
+    let mut db = match &plan_db_path {
+        Some(p) => PlanDb::load(p).map_err(|e| e.to_string())?,
+        None => PlanDb::new(),
+    };
+
     let m = load(&path).map_err(|e| e.to_string())?;
     if params.ne() > m.rows() {
         return Err(format!(
@@ -345,16 +464,35 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
         ));
     }
     let t0 = std::time::Instant::now();
-    let (outcome, trace) = match m {
+    let (outcome, trace, choice, tuned) = match m {
         LoadedMatrix::C64(h) => {
-            let (res, trace) = solve_generic(&h, &params, shape, backend, dist, tracing);
-            (res.map(|r| print_result(&r, t0.elapsed())), trace)
+            let choice = tune_opts.as_ref().map(|o| {
+                resolve_plan_choice::<C64>(&db, o, shape, h.rows(), params.nev, params.nex)
+            });
+            let (res, trace, tuned) =
+                solve_generic(&h, &params, shape, backend, dist, tracing, choice.as_ref());
+            (
+                res.map(|r| print_result(&r, t0.elapsed())),
+                trace,
+                choice,
+                tuned,
+            )
         }
         LoadedMatrix::F64(h) => {
-            let (res, trace) = solve_generic(&h, &params, shape, backend, dist, tracing);
-            (res.map(|r| print_result(&r, t0.elapsed())), trace)
+            let choice = tune_opts.as_ref().map(|o| {
+                resolve_plan_choice::<f64>(&db, o, shape, h.rows(), params.nev, params.nex)
+            });
+            let (res, trace, tuned) =
+                solve_generic(&h, &params, shape, backend, dist, tracing, choice.as_ref());
+            (
+                res.map(|r| print_result(&r, t0.elapsed())),
+                trace,
+                choice,
+                tuned,
+            )
         }
     };
+    report_plan(choice, tuned, &mut db, plan_db_path.as_deref())?;
     // Export the trace even for failed runs — a chaos run's timeline is most
     // interesting exactly when the solve aborts.
     if let Some(trace) = &trace {
@@ -374,6 +512,124 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     }
 }
 
+/// `chase tune`: run the measurement trials for one solve configuration and
+/// persist the winning plan, without solving.
+fn cmd_tune(flags: HashMap<String, String>) -> Result<(), String> {
+    let path: String = get(&flags, "matrix", None)?;
+    let nev: usize = get(&flags, "nev", None)?;
+    let nex: usize = get(&flags, "nex", Some(nev.div_ceil(2).max(2)))?;
+    let db_path: String = get(&flags, "db", None)?;
+    let shape = match flags.get("grid") {
+        Some(g) => parse_grid(g)?,
+        None => GridShape::new(1, 1),
+    };
+    let backend = match flags.get("backend").map(String::as_str).unwrap_or("nccl") {
+        "nccl" => Backend::Nccl,
+        "std" => Backend::Std,
+        other => return Err(format!("unknown backend '{other}' (nccl|std)")),
+    };
+    let opts = TuneOptions {
+        deterministic: flags.contains_key("deterministic"),
+        machine: chase_perfmodel::Machine::juwels_booster(),
+        backend,
+    };
+
+    let m = load(&path).map_err(|e| e.to_string())?;
+    if nev + nex > m.rows() {
+        return Err(format!(
+            "search space nev + nex = {} exceeds matrix size {}",
+            nev + nex,
+            m.rows()
+        ));
+    }
+    let mut db = PlanDb::load(&db_path).map_err(|e| e.to_string())?;
+    let (key, n) = match &m {
+        LoadedMatrix::C64(h) => (
+            plan_key::<C64>(&opts.machine, shape.p, shape.q, h.rows(), nev, nex),
+            h.rows(),
+        ),
+        LoadedMatrix::F64(h) => (
+            plan_key::<f64>(&opts.machine, shape.p, shape.q, h.rows(), nev, nex),
+            h.rows(),
+        ),
+    };
+    if db.get(&key).is_some() && !flags.contains_key("force") {
+        println!(
+            "already tuned: {} (use --force to re-measure)",
+            key.canonical()
+        );
+        return Ok(());
+    }
+    println!(
+        "tuning {n}x{n} on {}x{} grid ({} clock)...",
+        shape.p,
+        shape.q,
+        if opts.deterministic {
+            "deterministic perf-model"
+        } else {
+            "wall"
+        }
+    );
+    let outcome = match &m {
+        LoadedMatrix::C64(h) => tune_only(h, nev, nex, shape, &opts),
+        LoadedMatrix::F64(h) => tune_only(h, nev, nex, shape, &opts),
+    };
+    let e = &outcome.entry;
+    println!(
+        "plan for {}: {} trial(s), cost {:.3}us tuned vs {:.3}us flat ({:.1}% saved)",
+        e.key.canonical(),
+        e.trials,
+        e.tuned_cost * 1e6,
+        e.flat_cost * 1e6,
+        100.0 * (1.0 - e.tuned_cost / e.flat_cost.max(f64::MIN_POSITIVE))
+    );
+    println!("  {}", plan_from_entry(e).summary());
+    for r in &e.rules {
+        println!(
+            "  {} <= {}B x{}: {} chunk {}B ({:.3}us measured, {:.3}us modeled)",
+            r.op.name(),
+            r.max_bytes,
+            r.members,
+            r.algo.name(),
+            r.chunk_bytes,
+            r.measured * 1e6,
+            r.modeled * 1e6
+        );
+    }
+    println!("\nmodeled-vs-measured residuals:");
+    print!("{}", residual_report(&outcome.residuals));
+    db.insert(outcome.entry);
+    db.save(&db_path).map_err(|e| e.to_string())?;
+    println!(
+        "plan db: {db_path} ({} entr{})",
+        db.len(),
+        if db.len() == 1 { "y" } else { "ies" }
+    );
+    Ok(())
+}
+
+/// Run the tuner alone on its grid (no solve afterwards).
+fn tune_only<T: Scalar + chase_comm::Reduce>(
+    h: &Matrix<T>,
+    nev: usize,
+    nex: usize,
+    shape: GridShape,
+    opts: &TuneOptions,
+) -> TuneOutcome
+where
+    T::Real: chase_comm::Reduce,
+    T::Lo: chase_comm::Reduce,
+{
+    let out = run_grid(shape, move |ctx| {
+        let mut dh = DistHerm::from_global(h, ctx);
+        tune_entry(ctx, &mut dh, nev, nex, opts)
+    });
+    out.results
+        .into_iter()
+        .next()
+        .expect("at least one rank tuned")
+}
+
 /// `chase serve`: run a workload file through the multi-tenant scheduler.
 fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
     let path: String = get(&flags, "workload", None)?;
@@ -387,6 +643,12 @@ fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
     };
     let metrics_path = flags.get("metrics").cloned();
     let trace_dir = flags.get("trace-dir").cloned();
+    // `--plan-db FILE` turns on autotuning: each session tunes on its first
+    // cold solve (deterministic clock — the scheduler's results must stay
+    // independent of worker interleaving) and every later solve with the
+    // same key reuses the shared entry with zero trials. `chase submit`ted
+    // jobs inherit the DB simply by running through this scheduler.
+    let plan_db_path = flags.get("plan-db").cloned();
 
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let jobs = chase_serve::parse_workload(&text)?;
@@ -400,7 +662,15 @@ fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
         max_queue,
         backend,
         record_traces: trace_dir.is_some(),
+        tune: plan_db_path.as_ref().map(|_| TuneOptions {
+            deterministic: true,
+            machine: chase_perfmodel::Machine::juwels_booster(),
+            backend,
+        }),
     });
+    if let Some(p) = &plan_db_path {
+        sched.set_plan_db(PlanDb::load(p).map_err(|e| e.to_string())?);
+    }
     for spec in jobs {
         sched.submit(spec).map_err(|e| e.to_string())?;
     }
@@ -471,6 +741,21 @@ fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
         "virtual schedule: makespan {} ticks, total wait {} ticks, max queue depth {}",
         m.makespan_ticks, m.total_wait_ticks, m.max_queue_depth
     );
+    if plan_db_path.is_some() {
+        println!(
+            "autotuning: {} plan(s) measured, {} db hit(s) (0 trials)",
+            m.plans_tuned, m.plan_db_hits
+        );
+    }
+    if let Some(p) = &plan_db_path {
+        let db = sched.plan_db_snapshot();
+        db.save(p).map_err(|e| e.to_string())?;
+        println!(
+            "plan db: {p} ({} entr{})",
+            db.len(),
+            if db.len() == 1 { "y" } else { "ies" }
+        );
+    }
     if let Some(p) = &metrics_path {
         std::fs::write(p, m.to_json()).map_err(|e| format!("{p}: {e}"))?;
         println!("metrics: {p}");
@@ -559,10 +844,27 @@ USAGE:
                  [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
                  [--overlap] [--panel W] [--precision full|mixed]
                  [--inject SPEC] [--wait-timeout-ms MS] [--no-guards]
+                 [--plan-db FILE] [--deterministic]
                  [--trace FILE] [--trace-format chrome|summary] [--metrics FILE]
+  chase tune     --matrix FILE --nev K --db FILE [--nex X] [--grid PxQ]
+                 [--backend nccl|std] [--deterministic] [--force]
   chase serve    --workload FILE [--workers N] [--cache-mb M] [--max-queue Q]
-                 [--backend nccl|std] [--metrics FILE] [--trace-dir DIR]
+                 [--backend nccl|std] [--plan-db FILE] [--metrics FILE] [--trace-dir DIR]
   chase submit   --workload FILE --line 'gen name=j0 n=96 spectrum=dft nev=8 ...'
+
+AUTOTUNING:
+  chase tune measures the solver's hot paths — collective hop schedules
+  (ring/tree/recursive-doubling x chunk size) on the actual row/column
+  communicators, pipelined-HEMM panel widths, full-vs-mixed precision — with
+  short trials and stores the winning plan in a versioned JSON DB keyed by
+  machine fingerprint x grid x problem x scalar. Under --deterministic the
+  trials are priced by the perf-model clock (bitwise replayable); otherwise
+  they are wall-clocked. chase solve --plan-db FILE applies the stored plan
+  to every knob left on auto (a DB miss tunes in-place and persists); a
+  warm DB means zero trials — the trace contains no 'tune' spans. The tuned
+  plan's trial cost is never worse than the flat reference, which is always
+  among the candidates. chase serve --plan-db shares one DB across the
+  worker pool: each session tunes on its first cold solve only.
 
 SERVING:
   chase serve runs a workload file (one 'job ...' or 'gen ...' line per job;
@@ -606,6 +908,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(flags),
         "info" => cmd_info(flags),
         "solve" => cmd_solve(flags),
+        "tune" => cmd_tune(flags),
         "serve" => cmd_serve(flags),
         "submit" => cmd_submit(flags),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,119 @@
+//! Shared end-to-end test harness: the one copy of the problem builders and
+//! solve-loop helpers that `tests/matrix.rs`, `tests/faults.rs`,
+//! `tests/precision.rs`, `tests/overlap.rs` and `tests/tune.rs` used to
+//! each carry their own flavor of.
+//!
+//! Each integration-test binary compiles this module separately and uses a
+//! different subset, so everything is `allow(dead_code)`.
+#![allow(dead_code)]
+
+use chase_comm::{run_grid, GridShape, Reduce};
+use chase_core::{
+    try_solve_dist, ChaseError, ChaseResult, DistHerm, FilterBounds, Params, PrecisionMode,
+};
+use chase_device::Backend;
+use chase_linalg::{Matrix, Scalar};
+use chase_matgen::{dense_with_spectrum, Spectrum};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Dense Hermitian test problem with a uniform spectrum on `[lo, hi]`,
+/// returned with the spectrum so tests can check eigenvalues against truth.
+pub fn problem_on<T: Scalar>(n: usize, lo: f64, hi: f64, seed: u64) -> (Matrix<T>, Spectrum) {
+    let spec = Spectrum::uniform(n, lo, hi);
+    (dense_with_spectrum::<T>(&spec, seed), spec)
+}
+
+/// The default chaos/matrix problem: uniform spectrum on `[-1, 1]`.
+pub fn problem<T: Scalar>(n: usize, seed: u64) -> (Matrix<T>, Spectrum) {
+    problem_on(n, -1.0, 1.0, seed)
+}
+
+/// Solver params at the suite's standard accuracy.
+pub fn params(nev: usize, nex: usize, tol: f64) -> Params {
+    let mut p = Params::new(nev, nex);
+    p.tol = tol;
+    p
+}
+
+/// Run the distributed guarded solver SPMD over `shape` and return every
+/// rank's result (world-rank order).
+pub fn solve_on<T>(
+    h: &Matrix<T>,
+    p: &Params,
+    shape: GridShape,
+) -> Vec<Result<ChaseResult<T>, ChaseError>>
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    run_grid(shape, move |ctx| {
+        try_solve_dist(ctx, Backend::Nccl, DistHerm::from_global(h, ctx), p, None)
+    })
+    .results
+}
+
+/// Inputs for a standalone Chebyshev filter run: the matrix, a seeded
+/// random start block, and bounds damping the upper half of the spectrum.
+pub fn filter_inputs<T: Scalar>(
+    n: usize,
+    ne: usize,
+    seed: u64,
+) -> (Matrix<T>, Matrix<T>, FilterBounds<T::Real>) {
+    let (h, _) = problem::<T>(n, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+    let x = Matrix::<T>::random(n, ne, &mut rng);
+    let bounds = FilterBounds::from_spectrum(
+        <T::Real as Scalar>::from_f64(-1.0),
+        <T::Real as Scalar>::from_f64(0.0),
+        <T::Real as Scalar>::from_f64(1.0),
+    );
+    (h, x, bounds)
+}
+
+/// Ascending, even, >= 2 degree profile from raw proptest draws. Mixing
+/// values exercises the filter's active-set narrowing: vectors retire at
+/// different steps, so panel boundaries shift as the block shrinks.
+pub fn degree_profile(raw: &[usize]) -> Vec<usize> {
+    let mut d: Vec<usize> = raw.iter().map(|r| 2 * (1 + r % 4)).collect();
+    d.sort_unstable();
+    d
+}
+
+/// Scale a base timeout by `CHASE_TEST_TIMEOUT_SCALE` (a float multiplier;
+/// unset or unparsable = 1.0). CI chaos jobs on oversubscribed runners set
+/// it above 1 so stall-detection tests keep a real margin between the
+/// injected stall and the watchdog instead of flaking on scheduler jitter.
+pub fn scaled_timeout_ms(base_ms: u64) -> u64 {
+    let scale = std::env::var("CHASE_TEST_TIMEOUT_SCALE")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(1.0);
+    ((base_ms as f64 * scale).round() as u64).max(1)
+}
+
+/// Assert every rank of an SPMD run returned `Ok`, and hand back the
+/// unwrapped results.
+pub fn expect_all_ok<T: Scalar>(
+    results: Vec<Result<ChaseResult<T>, ChaseError>>,
+    what: &str,
+) -> Vec<ChaseResult<T>> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| match r {
+            Ok(r) => r,
+            Err(e) => panic!("{what}: rank {rank} failed: {e}"),
+        })
+        .collect()
+}
+
+/// The end-to-end grid axis shared by the consolidated matrix and the tuner
+/// tests: serial, square, and flat (row-degenerate) process grids.
+pub const MATRIX_GRIDS: [(usize, usize); 3] = [(1, 1), (2, 2), (1, 4)];
+
+/// Standard precision axis (the scalar is picked by the caller's type
+/// parameter; `Mixed` only demotes where `T::HAS_LO`).
+pub const PRECISIONS: [PrecisionMode; 2] = [PrecisionMode::Full, PrecisionMode::Mixed];

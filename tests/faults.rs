@@ -4,23 +4,22 @@
 //! the fault-free run, or returns a typed error whose recovery log names
 //! what happened — never silently-wrong results, never a hang.
 
-use chase_comm::{run_grid, GridShape};
+mod common;
+
+use chase_comm::GridShape;
 use chase_core::{
-    solve_serial, try_solve_dist, try_solve_serial, ChaseError, ChaseErrorKind, ChaseResult,
-    DistHerm, Params, RecoveryEventKind,
+    solve_serial, try_solve_serial, ChaseError, ChaseErrorKind, ChaseResult, Params,
+    RecoveryEventKind,
 };
-use chase_device::Backend;
 use chase_linalg::{Matrix, C64};
-use chase_matgen::{dense_with_spectrum, Spectrum};
+use common::{params, problem as problem_seeded, scaled_timeout_ms, solve_on};
 
 fn problem(n: usize) -> Matrix<C64> {
-    dense_with_spectrum::<C64>(&Spectrum::uniform(n, -1.0, 1.0), 7)
+    problem_seeded::<C64>(n, 7).0
 }
 
 fn base_params() -> Params {
-    let mut p = Params::new(6, 4);
-    p.tol = 1e-9;
-    p
+    params(6, 4, 1e-9)
 }
 
 fn run_chaos(
@@ -28,11 +27,7 @@ fn run_chaos(
     p: &Params,
     shape: GridShape,
 ) -> Vec<Result<ChaseResult<C64>, ChaseError>> {
-    let (h, p) = (h, p);
-    run_grid(shape, move |ctx| {
-        try_solve_dist(ctx, Backend::Nccl, DistHerm::from_global(h, ctx), p, None)
-    })
-    .results
+    solve_on(h, p, shape)
 }
 
 /// The chaos matrix proper: every fault kind, spread over regions and ranks
@@ -132,7 +127,11 @@ fn stalled_collective_times_out_instead_of_hanging() {
     let h = problem(48);
     let mut p = base_params();
     p.overlap = true;
-    p.wait_timeout_ms = Some(150);
+    // Base 150ms, scaled by CHASE_TEST_TIMEOUT_SCALE: on oversubscribed CI
+    // runners the fixed value left no margin between the injected stall and
+    // honest scheduler jitter, making this test flaky. The chaos CI job sets
+    // the scale > 1; locally it stays 1.0.
+    p.wait_timeout_ms = Some(scaled_timeout_ms(150));
     p.inject = Some("seed=2;stall@iter=1,region=filter".parse().unwrap());
     let results = run_chaos(&h, &p, GridShape::new(2, 2));
     for r in results {

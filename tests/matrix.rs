@@ -1,0 +1,191 @@
+//! Consolidated end-to-end solve matrix: {1x1, 2x2, 1x4} grids x
+//! {f64-full, C64-full, C64-mixed} x {overlap on, off} x {clean, one
+//! injected fault}. One sweep, one set of invariants:
+//!
+//! - every rank converges and agrees bitwise with its siblings,
+//! - residuals meet the requested tolerance (relative to `||H||`),
+//! - the recovery log is sane — empty of injections on clean runs, carrying
+//!   the injected event on chaos runs,
+//! - eigenvalues agree across grid shapes (~1e-7: different reduction
+//!   orders), and bitwise across overlap on/off on the same grid (the
+//!   pipelined filter is a pure reschedule),
+//! - clean and faulted runs land on the same spectrum (the fault either
+//!   recovers fully or the solve fails typed — chaos contract).
+//!
+//! This file replaces the per-suite copies of the solve-loop helper that
+//! `tests/faults.rs` / `tests/precision.rs` used to carry; the shared
+//! harness lives in `tests/common/`.
+
+mod common;
+
+use chase_comm::{GridShape, Reduce};
+use chase_core::{ChaseResult, Params, PrecisionMode, RecoveryEventKind};
+use chase_linalg::{RealScalar, Scalar, C64};
+use common::{expect_all_ok, params, problem, solve_on, MATRIX_GRIDS};
+
+const N: usize = 48;
+const NEV: usize = 6;
+const NEX: usize = 4;
+const TOL: f64 = 1e-9;
+/// One deterministic fault for the chaos leg: a NaN planted in a filter
+/// collective payload on rank 0 (present on every grid shape).
+const FAULT: &str = "seed=11;nan@iter=1,region=filter,rank=0";
+
+fn case_params(precision: PrecisionMode, overlap: bool, fault: Option<&str>) -> Params {
+    let mut p = params(NEV, NEX, TOL);
+    p.precision = precision;
+    p.overlap = overlap;
+    p.inject = fault.map(|s| s.parse().expect("valid fault spec"));
+    p
+}
+
+/// Run the full (grid x overlap x clean/fault) block for one scalar and
+/// precision, asserting the invariants above. Returns the serial clean
+/// reference eigenvalues for cross-scalar spot checks.
+fn run_block<T>(precision: PrecisionMode, label: &str) -> Vec<f64>
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    let (h, spec) = problem::<T>(N, 7);
+    // Serial clean reference: the cross-grid anchor.
+    let reference = expect_all_ok(
+        solve_on(
+            &h,
+            &case_params(precision, false, None),
+            GridShape::new(1, 1),
+        ),
+        label,
+    )
+    .remove(0);
+    assert!(reference.converged, "{label}: serial reference diverged");
+    for k in 0..NEV {
+        assert!(
+            (reference.eigenvalues[k].to_f64() - spec.values()[k]).abs() < 1e-7,
+            "{label}: serial lambda_{k} off the true spectrum"
+        );
+    }
+
+    for (p, q) in MATRIX_GRIDS {
+        let shape = GridShape::new(p, q);
+        let mut flat_eigs: Option<Vec<T::Real>> = None;
+        for overlap in [false, true] {
+            // --- clean leg ---
+            let case = format!("{label} {p}x{q} overlap={overlap}");
+            let clean = expect_all_ok(
+                solve_on(&h, &case_params(precision, overlap, None), shape),
+                &case,
+            );
+            check_ranks_agree(&clean, &case);
+            let r0 = &clean[0];
+            assert!(r0.converged, "{case}: clean run diverged");
+            for res in &r0.residuals {
+                assert!(
+                    res.to_f64() < TOL * r0.norm_h,
+                    "{case}: residual above tolerance"
+                );
+            }
+            assert!(
+                !r0.recovery
+                    .any(|k| matches!(k, RecoveryEventKind::Injected(_))),
+                "{case}: phantom injection on a clean run:\n{}",
+                r0.recovery
+            );
+            for k in 0..NEV {
+                assert!(
+                    (r0.eigenvalues[k].to_f64() - reference.eigenvalues[k].to_f64()).abs() < 1e-7,
+                    "{case}: lambda_{k} drifted across grids"
+                );
+            }
+            // Overlap is a pure reschedule: same grid, bitwise same answer.
+            match &flat_eigs {
+                None => flat_eigs = Some(r0.eigenvalues.clone()),
+                Some(flat) => assert_eq!(
+                    flat, &r0.eigenvalues,
+                    "{case}: overlap changed the numbers, not just the schedule"
+                ),
+            }
+
+            // --- fault leg: recovers to the same answer or fails typed ---
+            let case = format!("{case} faulted");
+            let results = solve_on(&h, &case_params(precision, overlap, Some(FAULT)), shape);
+            let oks = results.iter().filter(|r| r.is_ok()).count();
+            assert!(
+                oks == 0 || oks == results.len(),
+                "{case}: ranks disagree on the outcome"
+            );
+            let mut fired = 0usize;
+            for r in &results {
+                let log = match r {
+                    Ok(r) => {
+                        assert!(r.converged, "{case}: Ok but unconverged");
+                        for k in 0..NEV {
+                            assert!(
+                                (r.eigenvalues[k].to_f64() - reference.eigenvalues[k].to_f64())
+                                    .abs()
+                                    < 1e-7,
+                                "{case}: faulted lambda_{k} drifted"
+                            );
+                        }
+                        &r.recovery
+                    }
+                    Err(e) => &e.recovery,
+                };
+                fired += log
+                    .events
+                    .iter()
+                    .filter(|e| matches!(e.kind, RecoveryEventKind::Injected(_)))
+                    .count();
+            }
+            assert!(fired > 0, "{case}: campaign never fired — dead trigger");
+        }
+    }
+    reference.eigenvalues.iter().map(|v| v.to_f64()).collect()
+}
+
+/// All ranks of one SPMD run must agree bitwise on every world-replicated
+/// output.
+fn check_ranks_agree<T: Scalar>(results: &[ChaseResult<T>], case: &str) {
+    let r0 = &results[0];
+    for (rank, r) in results.iter().enumerate().skip(1) {
+        assert_eq!(r.eigenvalues, r0.eigenvalues, "{case}: rank {rank} eigs");
+        assert_eq!(r.residuals, r0.residuals, "{case}: rank {rank} residuals");
+        assert_eq!(r.iterations, r0.iterations, "{case}: rank {rank} iters");
+        assert_eq!(r.matvecs, r0.matvecs, "{case}: rank {rank} matvecs");
+        assert_eq!(r.recovery, r0.recovery, "{case}: rank {rank} recovery");
+    }
+}
+
+#[test]
+fn matrix_f64_full() {
+    run_block::<f64>(PrecisionMode::Full, "f64/full");
+}
+
+#[test]
+fn matrix_c64_full() {
+    run_block::<C64>(PrecisionMode::Full, "C64/full");
+}
+
+#[test]
+fn matrix_c64_mixed() {
+    let eigs = run_block::<C64>(PrecisionMode::Mixed, "C64/mixed");
+    // Spot-check the precision axis against the full-precision anchor: same
+    // problem, same spectrum, same tolerance.
+    let (h, _) = problem::<C64>(N, 7);
+    let full = expect_all_ok(
+        solve_on(
+            &h,
+            &case_params(PrecisionMode::Full, false, None),
+            GridShape::new(1, 1),
+        ),
+        "C64/full anchor",
+    )
+    .remove(0);
+    for (k, eig) in eigs.iter().enumerate().take(NEV) {
+        assert!(
+            (eig - full.eigenvalues[k]).abs() < 1e-7,
+            "lambda_{k}: mixed and full disagree beyond tolerance"
+        );
+    }
+}

@@ -6,14 +6,14 @@
 //! ledger must *witness* the overlap: a multi-panel schedule records kernel
 //! events inside in-flight collective spans.
 
+mod common;
+
 use chase_comm::{run_grid, GridShape, Reduce};
-use chase_core::{chebyshev_filter_with, DistHerm, FilterBounds, FilterExec};
+use chase_core::{chebyshev_filter_with, DistHerm, FilterExec};
 use chase_device::{Backend, Device};
 use chase_linalg::{Matrix, Scalar, C64};
-use chase_matgen::{dense_with_spectrum, Spectrum};
+use common::{degree_profile, filter_inputs};
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 const SHAPES: [(usize, usize); 3] = [(1, 1), (2, 2), (2, 3)];
 
@@ -31,15 +31,7 @@ fn assert_pipelined_matches_flat<T>(
     T::Real: Reduce,
 {
     let ne = degrees.len();
-    let spec = Spectrum::uniform(n, -1.0, 1.0);
-    let h = dense_with_spectrum::<T>(&spec, seed);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
-    let x = Matrix::<T>::random(n, ne, &mut rng);
-    let bounds = FilterBounds::from_spectrum(
-        <T::Real as Scalar>::from_f64(-1.0),
-        <T::Real as Scalar>::from_f64(0.0),
-        <T::Real as Scalar>::from_f64(1.0),
-    );
+    let (h, x, bounds) = filter_inputs::<T>(n, ne, seed);
     let (h, x, degrees) = (&h, &x, degrees);
     run_grid(shape, move |ctx| {
         let dev = Device::new(ctx, Backend::Nccl);
@@ -87,15 +79,6 @@ fn assert_pipelined_matches_flat<T>(
             "B blocks diverged (shape {shape:?}, panel {panel:?})"
         );
     });
-}
-
-/// Ascending, even, >= 2 degree profile from raw proptest draws. Mixing
-/// values exercises the filter's active-set narrowing: vectors retire at
-/// different steps, so panel boundaries shift as the block shrinks.
-fn degree_profile(raw: &[usize]) -> Vec<usize> {
-    let mut d: Vec<usize> = raw.iter().map(|r| 2 * (1 + r % 4)).collect();
-    d.sort_unstable();
-    d
 }
 
 proptest! {
@@ -152,11 +135,7 @@ fn nb_pool_high_water_mark_is_constant_across_panels() {
     let degrees: Vec<usize> = (0..ne).map(|i| 2 * (1 + i % 4)).collect();
     let mut degrees = degrees;
     degrees.sort_unstable();
-    let spec = Spectrum::uniform(n, -1.0, 1.0);
-    let h = dense_with_spectrum::<C64>(&spec, 29);
-    let mut rng = ChaCha8Rng::seed_from_u64(30);
-    let x = Matrix::<C64>::random(n, ne, &mut rng);
-    let bounds = FilterBounds::from_spectrum(-1.0, 0.0, 1.0);
+    let (h, x, bounds) = filter_inputs::<C64>(n, ne, 29);
     // Coarse-to-fine: panel count grows 1, 2, 4, 12 posts per degree step.
     let widths = [Some(ne), Some(7), Some(4), Some(1)];
     let (h, x, degrees) = (&h, &x, &degrees);
@@ -221,11 +200,7 @@ fn multi_panel_schedule_overlaps_comm_with_compute() {
     let n = 48;
     let ne = 8;
     let degrees = vec![6usize; ne];
-    let spec = Spectrum::uniform(n, -1.0, 1.0);
-    let h = dense_with_spectrum::<C64>(&spec, 11);
-    let mut rng = ChaCha8Rng::seed_from_u64(12);
-    let x = Matrix::<C64>::random(n, ne, &mut rng);
-    let bounds = FilterBounds::from_spectrum(-1.0, 0.0, 1.0);
+    let (h, x, bounds) = filter_inputs::<C64>(n, ne, 11);
     let (h, x, degrees) = (&h, &x, &degrees);
     let out = run_grid(GridShape::new(2, 2), move |ctx| {
         let dev = Device::new(ctx, Backend::Nccl);

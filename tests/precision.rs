@@ -7,42 +7,27 @@
 
 use std::sync::Arc;
 
-use chase_comm::{run_grid, GridShape, Reduce, TraceHook};
+mod common;
+
+use chase_comm::{run_grid, GridShape, TraceHook};
 use chase_core::{
-    try_solve_dist, ChaseError, ChaseErrorKind, ChaseResult, DistHerm, Params, PrecisionMode,
+    try_solve_dist, ChaseErrorKind, ChaseResult, DistHerm, Params, PrecisionMode,
     RecoveryEventKind, WarmStart,
 };
 use chase_device::Backend;
-use chase_linalg::{Matrix, Scalar, SpectralBounds, C64};
+use chase_linalg::{Matrix, SpectralBounds, C64};
 use chase_matgen::{dense_with_spectrum, Spectrum};
 use chase_trace::{chrome_trace, Trace, TraceRecorder};
+use common::{problem_on, solve_on};
 
 fn problem(n: usize, seed: u64) -> (Matrix<C64>, Spectrum) {
-    let spec = Spectrum::uniform(n, -2.0, 2.0);
-    (dense_with_spectrum::<C64>(&spec, seed), spec)
+    problem_on::<C64>(n, -2.0, 2.0, seed)
 }
 
 fn params(mode: PrecisionMode) -> Params {
-    let mut p = Params::new(6, 4);
-    p.tol = 1e-9;
+    let mut p = common::params(6, 4, 1e-9);
     p.precision = mode;
     p
-}
-
-fn solve_on<T>(
-    h: &Matrix<T>,
-    p: &Params,
-    shape: GridShape,
-) -> Vec<Result<ChaseResult<T>, ChaseError>>
-where
-    T: Scalar + Reduce,
-    T::Real: Reduce,
-    T::Lo: Reduce,
-{
-    run_grid(shape, move |ctx| {
-        try_solve_dist(ctx, Backend::Nccl, DistHerm::from_global(h, ctx), p, None)
-    })
-    .results
 }
 
 #[test]
