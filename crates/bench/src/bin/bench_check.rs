@@ -1,0 +1,102 @@
+//! Ablation: the `chase-check` schedule gate — what does pinning every
+//! collective's deposit order cost, and does it change anything?
+//!
+//! Three legs, ABBA-paired rep by rep on one case (2x2 grid, overlap on):
+//!
+//! 1. **free** — the production path: no `SchedulePolicy` installed, the
+//!    deposit gate compiled in but vacuous.
+//! 2. **gated/identity** — `MemberOrder` forces the order the engine
+//!    already uses; the full gating machinery (condvar waits per deposit)
+//!    runs on every collective.
+//! 3. **gated/seeded** — a `SeededSchedule` permutation, the fuzzer's
+//!    steady-state configuration.
+//!
+//! Claims: all three legs produce identical fingerprints (the gate is
+//! *transparent* — this is the harness's own gate-transparency invariant,
+//! here asserted at bench scale), and the gated legs stay within an order
+//! of magnitude of the free leg (the gate may serialize deposits, but must
+//! not deadlock-spiral or poll).
+//!
+//! Emits `BENCH_check.json`. Usage: `bench_check [--tiny]`
+
+use chase_bench::{median, write_bench_json, BenchRecord};
+use chase_check::{run_case, CheckCase, MemberOrder, ScalarKind, SeededSchedule};
+use chase_comm::SchedulePolicy;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (warmup, reps) = if tiny { (1, 3) } else { (2, 9) };
+    let case = CheckCase::new(ScalarKind::C64, (2, 2), true);
+
+    println!(
+        "chase-check gate overhead: case {case} ({warmup} warmup + {reps} ABBA reps{})\n",
+        if tiny { ", --tiny" } else { "" }
+    );
+
+    let legs: Vec<(&str, Option<Arc<dyn SchedulePolicy>>)> = vec![
+        ("free", None),
+        ("gated/identity", Some(Arc::new(MemberOrder))),
+        ("gated/seeded", Some(Arc::new(SeededSchedule::new(42)))),
+    ];
+
+    for _ in 0..warmup {
+        for (_, policy) in &legs {
+            run_case(&case, policy.clone(), false);
+        }
+    }
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); legs.len()];
+    let mut fingerprints = Vec::new();
+    for rep in 0..reps {
+        // ABBA: alternate leg order so drift cancels in the pairing.
+        let order: Vec<usize> = if rep % 2 == 0 {
+            (0..legs.len()).collect()
+        } else {
+            (0..legs.len()).rev().collect()
+        };
+        for i in order {
+            let t = Instant::now();
+            let fp = run_case(&case, legs[i].1.clone(), false);
+            samples[i].push(t.elapsed().as_secs_f64());
+            if rep == 0 {
+                fingerprints.push((i, fp));
+            }
+        }
+    }
+
+    // Claim 1: gate transparency at bench scale — every leg, same bits.
+    fingerprints.sort_by_key(|(i, _)| *i);
+    let free_fp = &fingerprints[0].1;
+    for (i, fp) in &fingerprints[1..] {
+        assert_eq!(
+            free_fp.first_divergence(fp),
+            None,
+            "{} diverged from the free-running solve",
+            legs[*i].0
+        );
+    }
+    println!("all legs bitwise identical to the free-running solve: ok");
+
+    // Claim 2: the gate costs, but does not spiral.
+    let free_median = median(&samples[0]);
+    let mut records = Vec::new();
+    println!("\n{:<16} {:>12} {:>10}", "leg", "median (s)", "vs free");
+    for ((name, _), s) in legs.iter().zip(&samples) {
+        let m = median(s);
+        println!("{name:<16} {m:>12.3e} {:>9.2}x", m / free_median);
+        records.push(BenchRecord::new(format!("check/{name}"), s.clone()));
+    }
+    for ((name, _), s) in legs.iter().zip(&samples).skip(1) {
+        let m = median(s);
+        assert!(
+            m < 10.0 * free_median,
+            "{name} gate overhead out of bounds: {m:.3e} s vs free {free_median:.3e} s"
+        );
+    }
+    println!("\ngated legs within 10x of the free leg: ok");
+
+    write_bench_json("BENCH_check.json", &records).expect("write BENCH_check.json");
+    println!("wrote BENCH_check.json ({} records)", records.len());
+}

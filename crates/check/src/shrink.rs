@@ -1,0 +1,158 @@
+//! Witness minimization: reduce a diverging recorded schedule to the
+//! smallest explicit schedule that still reproduces the divergence.
+//!
+//! A recorded fuzzer run pins hundreds of permutations (every collective
+//! of every iteration); almost all of them are irrelevant to the bug. The
+//! shrinker is delta-debugging specialized to this domain:
+//!
+//! 1. **Drop**: remove no-op (identity) entries outright, then greedily
+//!    try resetting each remaining point back to identity order,
+//!    re-running after each removal and keeping it only if the run still
+//!    diverges from the reference.
+//! 2. **Simplify**: for each surviving point, try replacing its
+//!    permutation with a single adjacent transposition — the atomic
+//!    reordering — adopting the first one that still reproduces.
+//!
+//! Every probe is a full deterministic re-solve under an
+//! [`ExplicitSchedule`], so the result is a witness whose replay is exact,
+//! not probabilistic. `ShrinkBudget` bounds the number of re-runs; on
+//! exhaustion the current (partially shrunk) witness is returned.
+
+use crate::config::CheckCase;
+use crate::harness::{run_case, Fingerprint};
+use crate::policy::{is_identity, ExplicitSchedule, PointId};
+use crate::replay::Witness;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Cap on shrinker re-solves. The greedy pass costs one run per recorded
+/// point and the simplify pass at most `members-1` per survivor, so the
+/// default comfortably covers the harness's small worlds.
+#[derive(Debug, Clone, Copy)]
+pub struct ShrinkBudget {
+    pub max_runs: usize,
+}
+
+impl Default for ShrinkBudget {
+    fn default() -> Self {
+        Self { max_runs: 300 }
+    }
+}
+
+fn is_adjacent_transposition(perm: &[usize]) -> bool {
+    let swapped: Vec<usize> = perm
+        .iter()
+        .enumerate()
+        .filter(|&(i, &m)| i != m)
+        .map(|(i, _)| i)
+        .collect();
+    matches!(swapped[..], [a, b] if b == a + 1)
+}
+
+/// Minimize `recorded` to a smallest-found witness for `case`. Returns the
+/// witness and the number of re-solves spent.
+pub fn shrink(
+    case: &CheckCase,
+    canary: bool,
+    reference: &Fingerprint,
+    recorded: BTreeMap<PointId, Vec<usize>>,
+    budget: ShrinkBudget,
+) -> (Witness, usize) {
+    let mut runs = 0usize;
+    let violates = |map: &BTreeMap<PointId, Vec<usize>>, runs: &mut usize| -> bool {
+        *runs += 1;
+        let fp = run_case(
+            case,
+            Some(Arc::new(ExplicitSchedule::new(map.clone())) as _),
+            canary,
+        );
+        reference.first_divergence(&fp).is_some()
+    };
+
+    // Identity entries gate in the order the engine uses anyway.
+    let mut current: BTreeMap<PointId, Vec<usize>> = recorded
+        .into_iter()
+        .filter(|(_, p)| !is_identity(p))
+        .collect();
+
+    // The recorded schedule must reproduce under explicit replay before
+    // shrinking means anything; if it does not (a divergence that needed
+    // free-running timing, which gating precludes for correct policies),
+    // hand back the unshrunk map as the best available evidence.
+    if !violates(&current, &mut runs) {
+        return (Witness::new(case.clone(), canary, current), runs);
+    }
+
+    // Chunked drop (delta-debugging): a recorded solve pins hundreds of
+    // points, so try removing halves, then quarters, ... before falling
+    // back to one-at-a-time. Each removal keeps only if the run still
+    // diverges; irrelevant chunks vanish in O(log n) rounds.
+    let mut chunk = current.len();
+    while chunk > 1 && runs < budget.max_runs {
+        chunk = chunk.div_ceil(2);
+        let keys: Vec<PointId> = current.keys().cloned().collect();
+        for seg in keys.chunks(chunk) {
+            if runs >= budget.max_runs {
+                break;
+            }
+            let saved: Vec<(PointId, Vec<usize>)> = seg
+                .iter()
+                .filter_map(|k| current.remove(k).map(|v| (k.clone(), v)))
+                .collect();
+            if saved.is_empty() {
+                continue;
+            }
+            if !violates(&current, &mut runs) {
+                current.extend(saved);
+            }
+        }
+    }
+    for key in current.keys().cloned().collect::<Vec<_>>() {
+        if runs >= budget.max_runs {
+            break;
+        }
+        let saved = current.remove(&key).expect("key came from the map");
+        if !violates(&current, &mut runs) {
+            current.insert(key, saved);
+        }
+    }
+
+    for key in current.keys().cloned().collect::<Vec<_>>() {
+        let perm = current[&key].clone();
+        if is_adjacent_transposition(&perm) {
+            continue;
+        }
+        let members = perm.len();
+        for i in 0..members.saturating_sub(1) {
+            if runs >= budget.max_runs {
+                break;
+            }
+            let mut cand: Vec<usize> = (0..members).collect();
+            cand.swap(i, i + 1);
+            if cand == perm {
+                break;
+            }
+            current.insert(key.clone(), cand);
+            if violates(&current, &mut runs) {
+                break;
+            }
+            current.insert(key.clone(), perm.clone());
+        }
+    }
+
+    (Witness::new(case.clone(), canary, current), runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_transposition_detector() {
+        assert!(is_adjacent_transposition(&[1, 0, 2, 3]));
+        assert!(is_adjacent_transposition(&[0, 2, 1]));
+        assert!(!is_adjacent_transposition(&[0, 1, 2]));
+        assert!(!is_adjacent_transposition(&[2, 1, 0]));
+        assert!(!is_adjacent_transposition(&[1, 2, 0]));
+    }
+}

@@ -8,10 +8,12 @@
 //! machine charges for it — those are recorded in the [`Ledger`] by callers
 //! and priced by `chase-perfmodel`.
 
+use crate::schedule::{slot_in_perm, SchedulePoint, SchedulePolicy, ScheduleStream};
 use crate::trace_hook::{CommScope, TraceHook};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,6 +47,21 @@ impl std::error::Error for WaitTimeout {}
 /// slow collectives never trip it, small enough that a wedged peer surfaces
 /// as an error rather than a stuck CI job.
 pub const DEFAULT_WAIT_TIMEOUT_MS: u64 = 30_000;
+
+/// Scale a base timeout by the `CHASE_TEST_TIMEOUT_SCALE` environment
+/// variable (a float multiplier; unset or unparsable = 1.0). The one knob
+/// every timeout-bearing test and harness watchdog routes through: CI jobs
+/// on oversubscribed runners set it above 1 so stall-detection tests,
+/// serve deadlines, tune trial budgets and schedule-gate watchdogs keep a
+/// real margin over scheduler jitter instead of flaking.
+pub fn scaled_timeout_ms(base_ms: u64) -> u64 {
+    let scale = std::env::var("CHASE_TEST_TIMEOUT_SCALE")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(1.0);
+    ((base_ms as f64 * scale).round() as u64).max(1)
+}
 
 /// What a fault hook decides to do with one nonblocking post.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +112,10 @@ struct SlotState {
     arrived: usize,
     taken: usize,
     payloads: Vec<Option<Payload>>,
+    /// Member indices in deposit order for the current epoch. Feeds the
+    /// schedule-exploration gate and the order-sensitive-fold canary; reset
+    /// when the epoch drains.
+    arrival: Vec<usize>,
     result: Option<Result_>,
 }
 
@@ -110,6 +131,8 @@ struct NbOp {
     arrived: usize,
     taken: usize,
     payloads: Vec<Option<Payload>>,
+    /// Member indices in deposit order (schedule gate + fold canary).
+    arrival: Vec<usize>,
     result: Option<Payload>,
 }
 
@@ -119,6 +142,7 @@ impl NbOp {
             arrived: 0,
             taken: 0,
             payloads: (0..members).map(|_| None).collect(),
+            arrival: Vec::new(),
             result: None,
         }
     }
@@ -201,6 +225,7 @@ impl NbShared {
         debug_assert!(op.payloads.iter().all(Option::is_none));
         op.arrived = 0;
         op.taken = 0;
+        op.arrival.clear();
         self.free_ops.push(op);
     }
 }
@@ -243,6 +268,7 @@ impl Slot {
                 arrived: 0,
                 taken: 0,
                 payloads: (0..members).map(|_| None).collect(),
+                arrival: Vec::new(),
                 result: None,
             }),
             cv: Condvar::new(),
@@ -281,6 +307,14 @@ pub struct Communicator {
     wait_timeout_ms: Cell<u64>,
     /// Fault-injection hook consulted at nonblocking posts (chaos testing).
     fault_hook: RefCell<Option<Arc<dyn CommFaultHook>>>,
+    /// Schedule-exploration policy gating deposit order, tagged with this
+    /// handle's grid scope. Installed by `chase-check`; production runs
+    /// carry no policy and pay one `RefCell` borrow per collective.
+    schedule: RefCell<Option<(Arc<dyn SchedulePolicy>, CommScope)>>,
+    /// Mutation canary: fold reductions in *arrival* order instead of
+    /// member-index order. Deliberately order-sensitive — exists only so
+    /// `chase-check` can prove its invariant checkers catch real bugs.
+    order_canary: Cell<bool>,
     /// Tracing hook notified at every collective issue (blocking call or
     /// nonblocking post), tagged with this handle's scope in the grid.
     trace_hook: RefCell<Option<(Arc<dyn TraceHook>, CommScope)>>,
@@ -310,6 +344,8 @@ impl Communicator {
             nb_seq: Cell::new(0),
             wait_timeout_ms: Cell::new(DEFAULT_WAIT_TIMEOUT_MS),
             fault_hook: RefCell::new(None),
+            schedule: RefCell::new(None),
+            order_canary: Cell::new(false),
             trace_hook: RefCell::new(None),
             trace_seq: Cell::new(0),
         }
@@ -336,6 +372,97 @@ impl Communicator {
         match &*self.fault_hook.borrow() {
             Some(h) => h.on_post(op, seq),
             None => PostAction::Deliver,
+        }
+    }
+
+    /// Install (or clear) the schedule-exploration policy gating deposit
+    /// order on this handle, tagging its decisions with `scope`. All
+    /// members of the communicator must install the same policy (SPMD).
+    pub fn set_schedule_policy(&self, policy: Option<Arc<dyn SchedulePolicy>>, scope: CommScope) {
+        *self.schedule.borrow_mut() = policy.map(|p| (p, scope));
+    }
+
+    /// Currently installed schedule policy and scope, if any. Used by the
+    /// topology-aware collectives (`chase-topo`) to consult the same policy
+    /// at hop granularity.
+    pub fn schedule_policy(&self) -> Option<(Arc<dyn SchedulePolicy>, CommScope)> {
+        self.schedule.borrow().clone()
+    }
+
+    /// Enable the order-sensitive-fold mutation canary on this handle:
+    /// reductions fold in arrival order instead of member-index order,
+    /// deliberately breaking the bitwise schedule-independence invariant.
+    /// Exists so `chase-check` can prove it catches the bug class; never
+    /// set outside the harness.
+    pub fn set_order_sensitive_fold(&self, on: bool) {
+        self.order_canary.set(on);
+    }
+
+    /// True when the mutation canary is armed on this handle.
+    pub fn order_sensitive_fold(&self) -> bool {
+        self.order_canary.get()
+    }
+
+    /// This rank's forced deposit slot for op (`stream`, `op`, `seq`), or
+    /// `None` when no policy is installed / the policy leaves the op
+    /// free-running.
+    fn schedule_slot(&self, stream: ScheduleStream, op: &'static str, seq: u64) -> Option<usize> {
+        let guard = self.schedule.borrow();
+        let (policy, scope) = guard.as_ref()?;
+        let point = SchedulePoint {
+            scope: *scope,
+            stream,
+            op,
+            seq,
+            members: self.slot.members,
+        };
+        let perm = policy.arrival_order(&point)?;
+        Some(slot_in_perm(
+            &perm,
+            self.slot.members,
+            self.my_index,
+            &point,
+        ))
+    }
+
+    /// Deadlock-watchdogged wait inside a deposit gate: block until
+    /// `arrived()` reaches `my_slot`, waking on `cv`. Panics with a
+    /// diagnostic when the slot never comes up (a dropped predecessor post
+    /// or an asymmetric policy install) — a wedged explorer must surface,
+    /// not hang CI.
+    fn gate_wait<S>(
+        &self,
+        guard: &mut MutexGuard<'_, S>,
+        cv: &Condvar,
+        my_slot: usize,
+        arrived: impl Fn(&S) -> usize,
+        op: &'static str,
+        seq: u64,
+    ) {
+        let timeout_ms = self.wait_timeout_ms.get();
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        loop {
+            match arrived(guard).cmp(&my_slot) {
+                Ordering::Equal => return,
+                Ordering::Greater => panic!(
+                    "schedule gate overrun: {op} op {seq}: member {} was assigned slot {} but {} deposits already arrived (policy not installed on every member?)",
+                    self.my_index,
+                    my_slot,
+                    arrived(guard)
+                ),
+                Ordering::Less => {
+                    let now = Instant::now();
+                    assert!(
+                        now < deadline,
+                        "schedule gate deadlock: {op} op {seq}: member {} waiting for slot {} but only {} deposits arrived after {} ms",
+                        self.my_index,
+                        my_slot,
+                        arrived(guard),
+                        timeout_ms
+                    );
+                    cv.wait_for(guard, deadline - now);
+                }
+            }
         }
     }
 
@@ -437,16 +564,18 @@ impl Communicator {
     }
 
     /// Generic rendezvous: every member contributes `input`; the last to
-    /// arrive runs `combine` over the payloads (ordered by member index) and
-    /// the result is shared with everyone.
-    fn collective<I, O, F>(&self, input: I, combine: F) -> Arc<O>
+    /// arrive runs `combine` over the payloads (ordered by member index,
+    /// with the deposit order passed alongside for the fold canary) and the
+    /// result is shared with everyone.
+    fn collective<I, O, F>(&self, op: &'static str, input: I, combine: F) -> Arc<O>
     where
         I: Send + 'static,
         O: Send + Sync + 'static,
-        F: FnOnce(Vec<I>) -> O,
+        F: FnOnce(Vec<I>, &[usize]) -> O,
     {
         let my_epoch = self.epoch.get();
         self.epoch.set(my_epoch + 1);
+        let gate = self.schedule_slot(ScheduleStream::Blocking, op, my_epoch);
         let slot = &*self.slot;
         let mut st = slot.state.lock();
 
@@ -455,9 +584,21 @@ impl Communicator {
             slot.cv.wait(&mut st);
         }
 
+        // Schedule exploration: hold the deposit until the forced arrival
+        // order reaches this member's slot.
+        if let Some(my_slot) = gate {
+            self.gate_wait(&mut st, &slot.cv, my_slot, |s| s.arrived, op, my_epoch);
+        }
+
         debug_assert!(st.payloads[self.my_index].is_none(), "double arrival");
         st.payloads[self.my_index] = Some(Box::new(input));
+        st.arrival.push(self.my_index);
         st.arrived += 1;
+        if gate.is_some() {
+            // Wake members gated on the next slot (SPMD: if this handle is
+            // gated, every member is).
+            slot.cv.notify_all();
+        }
 
         if st.arrived == slot.members {
             let inputs: Vec<I> = st
@@ -465,7 +606,8 @@ impl Communicator {
                 .iter_mut()
                 .map(|p| *p.take().expect("missing payload").downcast::<I>().unwrap())
                 .collect();
-            st.result = Some(Arc::new(combine(inputs)));
+            let arrival = std::mem::take(&mut st.arrival);
+            st.result = Some(Arc::new(combine(inputs, &arrival)));
             slot.cv.notify_all();
         } else {
             while st.result.is_none() {
@@ -499,9 +641,18 @@ impl Communicator {
             return;
         }
         let mine: Vec<T> = buf.to_vec();
-        let summed = self.collective(mine, |inputs| {
-            let mut acc = inputs[0].clone();
-            for contrib in &inputs[1..] {
+        let canary = self.order_canary.get();
+        let summed = self.collective("allreduce", mine, move |inputs, arrival| {
+            // Member-index fold order is the bitwise-determinism invariant;
+            // the canary deliberately folds in arrival order instead.
+            let order: Vec<usize> = if canary {
+                arrival.to_vec()
+            } else {
+                (0..inputs.len()).collect()
+            };
+            let mut acc = inputs[order[0]].clone();
+            for &m in &order[1..] {
+                let contrib = &inputs[m];
                 assert_eq!(contrib.len(), acc.len(), "allreduce length mismatch");
                 for (a, b) in acc.iter_mut().zip(contrib) {
                     a.reduce(b);
@@ -524,7 +675,7 @@ impl Communicator {
         } else {
             None
         };
-        let shared = self.collective(mine, move |mut inputs| {
+        let shared = self.collective("bcast", mine, move |mut inputs, _arrival| {
             inputs[root].take().expect("root did not contribute")
         });
         if self.my_index != root {
@@ -541,7 +692,7 @@ impl Communicator {
         if self.size() == 1 {
             return mine;
         }
-        let all = self.collective(mine, |inputs| {
+        let all = self.collective("allgather", mine, |inputs, _arrival| {
             let total: usize = inputs.iter().map(Vec::len).sum();
             let mut out = Vec::with_capacity(total);
             for v in inputs {
@@ -558,7 +709,7 @@ impl Communicator {
         if self.size() == 1 {
             return;
         }
-        let _ = self.collective((), |_| ());
+        let _ = self.collective("barrier", (), |_, _| ());
     }
 
     /// Sum-allreduce of a single value.
@@ -687,33 +838,60 @@ impl Communicator {
     /// all payloads in member-index order (into member 0's buffer, which
     /// becomes the result) and wakes the waiters.
     fn post_allreduce_payload<T: Reduce>(&self, op_id: u64, mine: Payload) {
+        let gate = self.schedule_slot(ScheduleStream::Nonblocking, "iallreduce", op_id);
         let slot = &*self.slot;
         let mut nb = slot.nb.lock();
+        if let Some(my_slot) = gate {
+            self.gate_wait(
+                &mut nb,
+                &slot.nb_cv,
+                my_slot,
+                |s| s.ops.get(&op_id).map_or(0, |o| o.arrived),
+                "iallreduce",
+                op_id,
+            );
+        }
         let mut op = nb.take_op(op_id, slot.members);
         debug_assert!(op.payloads[self.my_index].is_none(), "double post");
         op.payloads[self.my_index] = Some(mine);
+        op.arrival.push(self.my_index);
         op.arrived += 1;
         if op.arrived == slot.members {
-            // Fold in place into member 0's staging box — it becomes the
-            // result, so the reduction costs no extra buffer and no copy.
-            // Accumulation still runs in member-index order, so the bits
-            // match `allreduce_sum` exactly.
-            let mut result = op.payloads[0].take().unwrap();
+            // Fold in place into the first fold source's staging box — it
+            // becomes the result, so the reduction costs no extra buffer
+            // and no copy. Accumulation runs in member-index order, so the
+            // bits match `allreduce_sum` exactly; the canary deliberately
+            // folds in arrival order instead.
+            let order: Vec<usize> = if self.order_canary.get() {
+                op.arrival.clone()
+            } else {
+                (0..slot.members).collect()
+            };
+            let mut result = op.payloads[order[0]].take().unwrap();
             {
                 let out = result.downcast_mut::<Vec<T>>().unwrap();
-                for p in &op.payloads[1..] {
-                    let v = p.as_ref().unwrap().downcast_ref::<Vec<T>>().unwrap();
+                for &m in &order[1..] {
+                    let v = op.payloads[m]
+                        .as_ref()
+                        .unwrap()
+                        .downcast_ref::<Vec<T>>()
+                        .unwrap();
                     assert_eq!(v.len(), out.len(), "iallreduce length mismatch");
                     for (a, b) in out.iter_mut().zip(v) {
                         a.reduce(b);
                     }
                 }
             }
-            for p in op.payloads.iter_mut().skip(1) {
-                let b = p.take().unwrap();
-                nb.checkin(b);
+            for p in op.payloads.iter_mut() {
+                if let Some(b) = p.take() {
+                    nb.checkin(b);
+                }
             }
             op.result = Some(result);
+        }
+        // Completion wakes the waiters; a gated deposit additionally wakes
+        // the member holding the next slot.
+        if op.arrived == slot.members || gate.is_some() {
             slot.nb_cv.notify_all();
         }
         nb.ops.insert(op_id, op);
@@ -742,8 +920,19 @@ impl Communicator {
             PostAction::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
             PostAction::Deliver => {}
         }
+        let gate = self.schedule_slot(ScheduleStream::Nonblocking, "ibcast", op_id);
         let slot = &*self.slot;
         let mut nb = slot.nb.lock();
+        if let Some(my_slot) = gate {
+            self.gate_wait(
+                &mut nb,
+                &slot.nb_cv,
+                my_slot,
+                |s| s.ops.get(&op_id).map_or(0, |o| o.arrived),
+                "ibcast",
+                op_id,
+            );
+        }
         let mut op = nb.take_op(op_id, slot.members);
         if self.my_index == root {
             let mut mine = nb.checkout::<T>();
@@ -752,10 +941,13 @@ impl Communicator {
                 .extend_from_slice(buf);
             op.payloads[root] = Some(mine);
         }
+        op.arrival.push(self.my_index);
         op.arrived += 1;
         if op.arrived == slot.members {
             // The root's staging box *is* the result — no copy, no churn.
             op.result = Some(op.payloads[root].take().expect("root did not post"));
+        }
+        if op.arrived == slot.members || gate.is_some() {
             slot.nb_cv.notify_all();
         }
         nb.ops.insert(op_id, op);
@@ -787,8 +979,19 @@ impl Communicator {
             PostAction::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
             PostAction::Deliver => {}
         }
+        let gate = self.schedule_slot(ScheduleStream::Nonblocking, "iallgather", op_id);
         let slot = &*self.slot;
         let mut nb = slot.nb.lock();
+        if let Some(my_slot) = gate {
+            self.gate_wait(
+                &mut nb,
+                &slot.nb_cv,
+                my_slot,
+                |s| s.ops.get(&op_id).map_or(0, |o| o.arrived),
+                "iallgather",
+                op_id,
+            );
+        }
         let mut contrib = nb.checkout::<T>();
         contrib
             .downcast_mut::<Vec<T>>()
@@ -797,6 +1000,7 @@ impl Communicator {
         let mut op = nb.take_op(op_id, slot.members);
         debug_assert!(op.payloads[self.my_index].is_none(), "double post");
         op.payloads[self.my_index] = Some(contrib);
+        op.arrival.push(self.my_index);
         op.arrived += 1;
         if op.arrived == slot.members {
             // Member 0's staging box grows into the concatenation in place;
@@ -813,6 +1017,8 @@ impl Communicator {
                 nb.checkin(b);
             }
             op.result = Some(result);
+        }
+        if op.arrived == slot.members || gate.is_some() {
             slot.nb_cv.notify_all();
         }
         nb.ops.insert(op_id, op);
@@ -1423,6 +1629,120 @@ mod tests {
             req.wait(&mut v).unwrap_err().op_id
         });
         assert_eq!(out, vec![0, 0]);
+    }
+
+    /// Policy forcing reversed member order on every op.
+    struct Reversed;
+    impl SchedulePolicy for Reversed {
+        fn arrival_order(&self, p: &SchedulePoint) -> Option<Vec<usize>> {
+            Some((0..p.members).rev().collect())
+        }
+    }
+
+    /// Policy forcing plain member order (identity permutation) — gates
+    /// active, schedule equal to the fold order.
+    struct Identity;
+    impl SchedulePolicy for Identity {
+        fn arrival_order(&self, p: &SchedulePoint) -> Option<Vec<usize>> {
+            Some((0..p.members).collect())
+        }
+    }
+
+    #[test]
+    fn gated_schedules_leave_results_bitwise_identical() {
+        // The determinism invariant under test everywhere else, asserted at
+        // the engine level: forcing any deposit order must not change a
+        // single bit of any collective's result.
+        let free = run_spmd(3, |c| {
+            let mut b = vec![(c.rank() as f64 + 1.0) * 0.1; 2];
+            c.allreduce_sum(&mut b);
+            let req = c.iallreduce_sum(&[(c.rank() as f64 + 1.0) * 0.3]);
+            let mut nb = [0.0f64];
+            req.wait(&mut nb).unwrap();
+            let g = c.allgather(&[c.rank() as u64]);
+            (b, nb[0], g)
+        });
+        for policy in [
+            Arc::new(Identity) as Arc<dyn SchedulePolicy>,
+            Arc::new(Reversed) as Arc<dyn SchedulePolicy>,
+        ] {
+            let gated = run_spmd(3, move |c| {
+                c.set_schedule_policy(Some(policy.clone()), CommScope::World);
+                let mut b = vec![(c.rank() as f64 + 1.0) * 0.1; 2];
+                c.allreduce_sum(&mut b);
+                let req = c.iallreduce_sum(&[(c.rank() as f64 + 1.0) * 0.3]);
+                let mut nb = [0.0f64];
+                req.wait(&mut nb).unwrap();
+                let g = c.allgather(&[c.rank() as u64]);
+                (b, nb[0], g)
+            });
+            assert_eq!(free, gated, "a forced schedule changed the bits");
+        }
+    }
+
+    #[test]
+    fn canary_fold_is_schedule_sensitive() {
+        // (0.1 + 0.2) + 0.3 and (0.3 + 0.2) + 0.1 differ in the last ulp:
+        // with the order-sensitive-fold canary armed, reversing the forced
+        // arrival order must change the result — that observable difference
+        // is exactly what chase-check's invariant checkers look for.
+        let solve = |policy: Arc<dyn SchedulePolicy>, canary: bool| {
+            run_spmd(3, move |c| {
+                c.set_schedule_policy(Some(policy.clone()), CommScope::World);
+                c.set_order_sensitive_fold(canary);
+                let mut blocking = [(c.rank() as f64 + 1.0) * 0.1];
+                c.allreduce_sum(&mut blocking);
+                let req = c.iallreduce_sum(&[(c.rank() as f64 + 1.0) * 0.1]);
+                let mut nb = [0.0f64];
+                req.wait(&mut nb).unwrap();
+                (blocking[0], nb[0])
+            })
+        };
+        // Correct fold: schedule-independent.
+        let id = solve(Arc::new(Identity), false);
+        let rev = solve(Arc::new(Reversed), false);
+        assert_eq!(id, rev, "member-order fold must ignore the schedule");
+        // Canary fold: the reversed schedule flips the fold grouping.
+        let id = solve(Arc::new(Identity), true);
+        let rev = solve(Arc::new(Reversed), true);
+        assert_ne!(
+            id[0], rev[0],
+            "canary fold must expose the schedule in the bits"
+        );
+        // Identity-gated canary equals the correct fold (arrival == member
+        // order), so the canary is invisible until a schedule perturbs it.
+        let clean = solve(Arc::new(Identity), false);
+        assert_eq!(id, clean);
+    }
+
+    #[test]
+    fn gate_deadlock_panics_instead_of_hanging() {
+        // Rank 1 never posts (fault hook drops it); rank 0 is gated behind
+        // it. The watchdog must turn that into a panic with a diagnostic,
+        // not a hung test run.
+        let slot = Slot::new(2);
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let c = Communicator::new(slot.clone(), i);
+                std::thread::spawn(move || {
+                    c.set_wait_timeout_ms(50);
+                    c.set_schedule_policy(Some(Arc::new(Reversed)), CommScope::World);
+                    if i == 1 {
+                        // Member 1 holds slot 0 but never deposits.
+                        c.set_fault_hook(Some(Arc::new(DropOp(0))));
+                    }
+                    let req = c.iallreduce_sum(&[1.0f64]);
+                    let mut out = [0.0f64];
+                    let _ = req.wait(&mut out);
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        assert!(
+            outcomes[0].is_err(),
+            "gated rank must panic via the watchdog"
+        );
+        assert!(outcomes[1].is_ok(), "unblocked rank times out cleanly");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::collective::{Communicator, Slot};
 use crate::ledger::{EventKind, Ledger, Region};
+use crate::schedule::SchedulePolicy;
 use crate::trace_hook::{CommScope, TraceHook};
 use crate::tune_hook::CollectiveTuneHook;
 use parking_lot::Mutex;
@@ -168,6 +169,28 @@ impl RankCtx {
     /// The installed tracing hook, if any (cloned handle).
     pub fn trace_hook(&self) -> Option<Arc<dyn TraceHook>> {
         self.trace.borrow().clone()
+    }
+
+    /// Install (or clear) the schedule-exploration policy on this rank's
+    /// three communicators, each tagged with its grid scope. Every rank of
+    /// a grid must install the same policy (SPMD discipline) — the deposit
+    /// gates rely on each member computing the identical permutation.
+    pub fn set_schedule_policy(&self, policy: Option<Arc<dyn SchedulePolicy>>) {
+        self.world
+            .set_schedule_policy(policy.clone(), CommScope::World);
+        self.row_comm
+            .set_schedule_policy(policy.clone(), CommScope::Row);
+        self.col_comm.set_schedule_policy(policy, CommScope::Col);
+    }
+
+    /// Arm (or disarm) the order-sensitive-fold mutation canary on all
+    /// three communicators. Harness-only: deliberately breaks the bitwise
+    /// schedule-independence invariant so `chase-check` can prove its
+    /// checkers catch the bug class.
+    pub fn set_order_sensitive_fold(&self, on: bool) {
+        self.world.set_order_sensitive_fold(on);
+        self.row_comm.set_order_sensitive_fold(on);
+        self.col_comm.set_order_sensitive_fold(on);
     }
 
     /// Install (or clear) the measured collective plan on this rank. Every

@@ -16,12 +16,13 @@ pub mod collective;
 pub mod grid;
 pub mod ledger;
 pub mod partition;
+pub mod schedule;
 pub mod trace_hook;
 pub mod tune_hook;
 
 pub use collective::{
-    CommFaultHook, Communicator, GatherRequest, NbPoolStats, PostAction, Reduce, Request, SendBuf,
-    Slot, WaitTimeout, DEFAULT_WAIT_TIMEOUT_MS,
+    scaled_timeout_ms, CommFaultHook, Communicator, GatherRequest, NbPoolStats, PostAction, Reduce,
+    Request, SendBuf, Slot, WaitTimeout, DEFAULT_WAIT_TIMEOUT_MS,
 };
 pub use grid::{block_range, run_grid, solo_ctx, GridShape, RankCtx, SpmdOutput};
 pub use ledger::{
@@ -29,5 +30,6 @@ pub use ledger::{
     RegionGuard,
 };
 pub use partition::{Distribution, IndexSet};
+pub use schedule::{SchedulePoint, SchedulePolicy, ScheduleStream};
 pub use trace_hook::{CommScope, TraceHook};
 pub use tune_hook::{CollectiveTuneHook, TuneAlgo, TuneChoice, TuneOp};

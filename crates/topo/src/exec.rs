@@ -19,7 +19,7 @@
 //! each rank injects into the fabric).
 
 use crate::topology::Topology;
-use chase_comm::{block_range, Communicator, LinkClass, Reduce};
+use chase_comm::{block_range, Communicator, LinkClass, Reduce, SchedulePoint, ScheduleStream};
 use std::ops::Range;
 
 /// Concrete executable hop schedules.
@@ -52,10 +52,47 @@ pub type HopSink<'a> = &'a mut dyn FnMut(u64, LinkClass);
 /// Origin-tagged contributions: `(member index, values)`.
 type Parts<T> = Vec<(u32, Vec<T>)>;
 
+/// Reorder `parts` per the installed schedule policy's hop-granular
+/// decision for op `tag`: a stand-in for contributions arriving over the
+/// wire in a different interleaving. With the member-order sort below this
+/// is semantically invisible — which is exactly the invariant `chase-check`
+/// explores — while the order-sensitive-fold canary makes it observable.
+fn hop_permute<T>(comm: &Communicator, tag: u64, parts: &mut Parts<T>) {
+    let Some((policy, scope)) = comm.schedule_policy() else {
+        return;
+    };
+    let point = SchedulePoint {
+        scope,
+        stream: ScheduleStream::Hop,
+        op: "fold",
+        seq: tag,
+        members: parts.len(),
+    };
+    let Some(perm) = policy.arrival_order(&point) else {
+        return;
+    };
+    assert_eq!(
+        perm.len(),
+        parts.len(),
+        "hop permutation must cover every contribution"
+    );
+    let mut old: Vec<Option<(u32, Vec<T>)>> = std::mem::take(parts).into_iter().map(Some).collect();
+    *parts = perm
+        .iter()
+        .map(|&i| old[i].take().expect("malformed hop permutation"))
+        .collect();
+}
+
 /// Fold contributions in member-index order — the canonical reduction order
-/// shared with the flat collective, giving bitwise-identical results.
-fn fold_in_order<T: Reduce>(mut parts: Parts<T>) -> Vec<T> {
-    parts.sort_by_key(|p| p.0);
+/// shared with the flat collective, giving bitwise-identical results. The
+/// order-sensitive-fold canary skips the sort, folding in (schedulable)
+/// arrival order instead — the reproducibility bug class this repo's
+/// invariant rules out.
+fn fold_in_order<T: Reduce>(comm: &Communicator, tag: u64, mut parts: Parts<T>) -> Vec<T> {
+    hop_permute(comm, tag, &mut parts);
+    if !comm.order_sensitive_fold() {
+        parts.sort_by_key(|p| p.0);
+    }
     let mut it = parts.into_iter();
     let (_, mut acc) = it
         .next()
@@ -161,7 +198,7 @@ fn ring_allreduce<T: Reduce>(
     // This rank now owns the fully-reduced segment (r+1) mod k.
     let own = (r + 1) % k;
     let mut seg_data: Vec<Option<Vec<T>>> = vec![None; k];
-    seg_data[own] = Some(fold_in_order(std::mem::take(&mut parts[own])));
+    seg_data[own] = Some(fold_in_order(comm, tag, std::mem::take(&mut parts[own])));
 
     // Allgather: circulate the finished segments around the same ring.
     for step in 0..k - 1 {
@@ -211,7 +248,7 @@ fn tree_allreduce<T: Reduce>(
         m <<= 1;
     }
     if r == 0 {
-        buf.clone_from_slice(&fold_in_order(parts.take().unwrap()));
+        buf.clone_from_slice(&fold_in_order(comm, tag, parts.take().unwrap()));
     }
 
     // Broadcast phase: mirror of the reduce tree, mask descending.
@@ -273,7 +310,7 @@ fn doubling_allreduce<T: Reduce>(
         parts.extend(incoming);
         m <<= 1;
     }
-    buf.clone_from_slice(&fold_in_order(parts));
+    buf.clone_from_slice(&fold_in_order(comm, tag, parts));
     if r < rem {
         emit(sink, bytes, link(comm, topo, r, r + p2), chunk_bytes);
         comm.send(r + p2, tag, buf.to_vec());
@@ -710,6 +747,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Policy permuting every hop-granular fold to reversed order.
+    struct ReverseHops;
+    impl chase_comm::SchedulePolicy for ReverseHops {
+        fn arrival_order(&self, p: &SchedulePoint) -> Option<Vec<usize>> {
+            (p.stream == ScheduleStream::Hop).then(|| (0..p.members).rev().collect())
+        }
+    }
+
+    #[test]
+    fn hop_permutation_is_invisible_to_correct_folds() {
+        // Reordering hop delivery must not change a bit of any algorithm's
+        // result — the member-order sort restores canonical fold order.
+        let topo = Topology::juwels_booster();
+        for k in [3usize, 4, 5] {
+            let inputs: Vec<Vec<f64>> = (0..k).map(|r| input_for(r, 17)).collect();
+            let want = reference_sum(&inputs);
+            for algo in Algo::ALL {
+                let got = run_spmd((0..k).collect(), |comm| {
+                    comm.set_schedule_policy(
+                        Some(Arc::new(ReverseHops)),
+                        chase_comm::CommScope::World,
+                    );
+                    let mut buf = input_for(comm.rank(), 17);
+                    let mut sink = |_b: u64, _l: LinkClass| {};
+                    allreduce(comm, &topo, &mut buf, algo, 64, &mut sink);
+                    buf
+                });
+                for g in &got {
+                    assert_eq!(g, &want, "{} k={k}", algo.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canary_fold_exposes_hop_order_in_tree_allreduce() {
+        // With the order-sensitive-fold canary armed, a reversed hop
+        // delivery changes the fold grouping and therefore the bits —
+        // the observable the harness's invariant checkers key on.
+        let topo = Topology::juwels_booster();
+        let k = 4usize;
+        let run = |reversed: bool| {
+            run_spmd((0..k).collect(), |comm| {
+                if reversed {
+                    comm.set_schedule_policy(
+                        Some(Arc::new(ReverseHops)),
+                        chase_comm::CommScope::World,
+                    );
+                }
+                comm.set_order_sensitive_fold(true);
+                let mut buf = vec![0.1 * (comm.rank() as f64 + 1.0)];
+                let mut sink = |_b: u64, _l: LinkClass| {};
+                allreduce(comm, &topo, &mut buf, Algo::Tree, 64, &mut sink);
+                buf[0]
+            })
+        };
+        let plain = run(false);
+        let reversed = run(true);
+        assert_ne!(
+            plain[0], reversed[0],
+            "canary fold must expose hop delivery order"
+        );
     }
 
     #[test]

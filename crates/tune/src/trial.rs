@@ -40,6 +40,12 @@ use std::time::Instant;
 /// recurrence directions (C→B and B→C) and their collectives.
 const TRIAL_DEG: usize = 2;
 
+/// Base collective-wait watchdog during trials, before the
+/// `CHASE_TEST_TIMEOUT_SCALE` multiplier. Tighter than the production
+/// default: a single micro-benchmark trial finishing slower than this is a
+/// wedge, not a measurement.
+const TRIAL_WATCHDOG_MS: u64 = 10_000;
+
 /// How trials are clocked and priced.
 #[derive(Debug, Clone)]
 pub struct TuneOptions {
@@ -325,6 +331,16 @@ where
 {
     let ne = nev + nex;
     assert!(ne >= 1 && ne <= h.n, "trial subspace must fit the problem");
+    // Trial watchdog: a wedged candidate must fail the tune with a typed
+    // timeout, not hang it. Routed through `CHASE_TEST_TIMEOUT_SCALE`
+    // (`chase_comm::scaled_timeout_ms`) like every other timeout-bearing
+    // path, so oversubscribed CI keeps a real margin.
+    let watchdog = chase_comm::scaled_timeout_ms(TRIAL_WATCHDOG_MS);
+    let comms = [&ctx.world, &ctx.row_comm, &ctx.col_comm];
+    let prior_timeouts: Vec<u64> = comms.iter().map(|c| c.wait_timeout_ms()).collect();
+    for c in comms {
+        c.set_wait_timeout_ms(watchdog);
+    }
     let es = std::mem::size_of::<T>() as u64;
     let pctx = PriceCtx {
         scalar: scalar_kind::<T>(),
@@ -458,6 +474,10 @@ where
         "rank {} diverged from the world-agreed plan",
         ctx.world_rank()
     );
+
+    for (c, ms) in comms.iter().zip(prior_timeouts) {
+        c.set_wait_timeout_ms(ms);
+    }
 
     TuneOutcome {
         entry,

@@ -30,6 +30,18 @@ impl Default for ProptestConfig {
 pub struct TestRng(u64);
 
 impl TestRng {
+    /// Reconstruct a case RNG from a persisted regression seed (the
+    /// initial state recorded by [`persist_failure`]).
+    pub fn from_seed(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Current state, recorded *before* sampling so a failing case can be
+    /// persisted and replayed exactly.
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
     pub fn for_case(test_name: &str, case: u32) -> Self {
         // FNV-1a over the name, mixed with the case index.
         let mut h: u64 = 0xcbf29ce484222325;
@@ -141,6 +153,95 @@ pub mod collection {
     }
 }
 
+/// Fold a hex seed string of any length into a `u64` RNG state. Accepts
+/// both this shim's native 16-hex-digit seeds and upstream proptest's
+/// 64-hex-digit persisted seeds (folded down deterministically).
+pub fn fold_hex_seed(hex: &str) -> Option<u64> {
+    if hex.is_empty() || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+        return None;
+    }
+    let mut acc: u64 = 0;
+    for chunk in hex.as_bytes().chunks(16) {
+        let part = std::str::from_utf8(chunk).ok()?;
+        acc = acc.rotate_left(1) ^ u64::from_str_radix(part, 16).ok()?;
+    }
+    Some(acc)
+}
+
+/// Parse one regression-file line: `cc <hex-seed> [# comment]`. Returns
+/// `None` for comments, blanks and anything else.
+pub fn parse_seed_line(line: &str) -> Option<u64> {
+    let rest = line.trim().strip_prefix("cc ")?;
+    fold_hex_seed(rest.split_whitespace().next()?)
+}
+
+/// Candidate regression-file locations for `source_file` (a compile-time
+/// `file!()` path): the canonical `proptest-regressions/<stem>.txt` under
+/// the package root, plus the legacy `<dir>/<stem>.proptest-regressions`
+/// next to the source.
+pub fn regression_paths(source_file: &str) -> Vec<std::path::PathBuf> {
+    let root = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    let root = std::path::Path::new(&root);
+    let src = std::path::Path::new(source_file);
+    let stem = src
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut out = vec![root
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))];
+    if let Some(dir) = src.parent() {
+        out.push(root.join(dir).join(format!("{stem}.proptest-regressions")));
+    }
+    out
+}
+
+/// Seeds persisted for `source_file` from past failures. These replay
+/// *before* any fresh cases are generated, matching upstream proptest's
+/// regression-file contract.
+pub fn persisted_seeds(source_file: &str, _test_name: &str) -> Vec<u64> {
+    let mut seeds = Vec::new();
+    for path in regression_paths(source_file) {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            seeds.extend(text.lines().filter_map(parse_seed_line));
+        }
+    }
+    seeds
+}
+
+const REGRESSION_HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+/// Record a failing case's initial RNG state so future runs replay it
+/// first. Appends to the canonical regression file (creating it with the
+/// standard header); best-effort — persistence failures never mask the
+/// test failure itself.
+pub fn persist_failure(source_file: &str, test_name: &str, seed: u64) {
+    let Some(path) = regression_paths(source_file).into_iter().next() else {
+        return;
+    };
+    let line = format!("cc {seed:016x} # from {test_name}\n");
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    if existing.contains(&format!("cc {seed:016x}")) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let body = if existing.is_empty() {
+        format!("{REGRESSION_HEADER}{line}")
+    } else {
+        format!("{existing}{line}")
+    };
+    let _ = std::fs::write(&path, body);
+}
+
 /// Assert inside a property; on failure panics with the case's arguments
 /// already interpolated by the caller's format string.
 #[macro_export]
@@ -195,12 +296,26 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            for case in 0..config.cases {
-                let mut case_rng = $crate::TestRng::for_case(stringify!($name), case);
+            // Persisted regression seeds replay before any novel cases.
+            for seed in $crate::persisted_seeds(file!(), stringify!($name)) {
+                let mut case_rng = $crate::TestRng::from_seed(seed);
                 $(let $arg = $crate::Strategy::sample(&($strat), &mut case_rng);)*
                 #[allow(unused_mut)]
                 let mut one_case = move || $body;
                 one_case();
+            }
+            for case in 0..config.cases {
+                let mut case_rng = $crate::TestRng::for_case(stringify!($name), case);
+                let seed0 = case_rng.state();
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut case_rng);)*
+                #[allow(unused_mut)]
+                let mut one_case = move || $body;
+                if let Err(panic) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(&mut one_case),
+                ) {
+                    $crate::persist_failure(file!(), stringify!($name), seed0);
+                    ::std::panic::resume_unwind(panic);
+                }
             }
         }
     )*};
@@ -238,6 +353,44 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() < 6);
             prop_assert!(v.iter().all(|&x| (1..8).contains(&x)));
         }
+    }
+
+    #[test]
+    fn seed_lines_parse_and_fold() {
+        assert_eq!(crate::parse_seed_line("cc 00000000000000ff"), Some(0xff));
+        assert_eq!(
+            crate::parse_seed_line("cc 00000000000000ff # shrinks to n = 1"),
+            Some(0xff)
+        );
+        assert_eq!(crate::parse_seed_line("# comment"), None);
+        assert_eq!(crate::parse_seed_line(""), None);
+        assert_eq!(crate::parse_seed_line("cc nothex"), None);
+        // Upstream 64-hex seeds fold deterministically into a u64.
+        let long = "c2f0270885d192fa8a8aa143e2787b12b1a193f74b5c39c7cfad52beb91659c9";
+        let a = crate::fold_hex_seed(long).unwrap();
+        let b = crate::fold_hex_seed(long).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(crate::fold_hex_seed("01"), crate::fold_hex_seed("02"));
+    }
+
+    #[test]
+    fn replayed_seed_reproduces_sampling() {
+        let mut live = TestRng::for_case("some_property", 17);
+        let seed = live.state();
+        let drawn = (0usize..1000).sample(&mut live);
+        let mut replay = TestRng::from_seed(seed);
+        assert_eq!((0usize..1000).sample(&mut replay), drawn);
+    }
+
+    #[test]
+    fn regression_paths_cover_canonical_and_legacy() {
+        let paths = crate::regression_paths("tests/properties.rs");
+        let rendered: Vec<String> = paths
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect();
+        assert!(rendered[0].ends_with("proptest-regressions/properties.txt"));
+        assert!(rendered[1].ends_with("tests/properties.proptest-regressions"));
     }
 
     #[test]

@@ -40,7 +40,15 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         // Boolean flags take no value.
         if matches!(
             key,
-            "real" | "no-degopt" | "overlap" | "no-guards" | "deterministic" | "force"
+            "real"
+                | "no-degopt"
+                | "overlap"
+                | "no-guards"
+                | "deterministic"
+                | "force"
+                | "systematic"
+                | "canary"
+                | "no-oracle"
         ) {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -833,6 +841,111 @@ fn write_trace_outputs(
     Ok(())
 }
 
+fn parse_check_grids(s: &str) -> Result<Vec<(usize, usize)>, String> {
+    s.split(',')
+        .map(|g| parse_grid(g.trim()).map(|sh| (sh.p, sh.q)))
+        .collect()
+}
+
+fn parse_check_scalars(s: &str) -> Result<Vec<chase_check::ScalarKind>, String> {
+    s.split(',')
+        .map(|t| {
+            chase_check::ScalarKind::from_token(t.trim())
+                .ok_or_else(|| format!("unknown scalar '{t}' (f64|c64|c64-mixed)"))
+        })
+        .collect()
+}
+
+fn cmd_check(flags: HashMap<String, String>) -> Result<(), String> {
+    use chase_check::{check_case, cross_config_check, differential_check, replay, Witness};
+
+    if let Some(path) = flags.get("replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let witness: Witness = text.parse()?;
+        println!(
+            "replaying witness: case {} canary={} ({} pinned permutation(s))",
+            witness.case,
+            if witness.canary { "on" } else { "off" },
+            witness.perms.len()
+        );
+        return match replay(&witness) {
+            Some(diff) => Err(format!("witness reproduces: {diff}")),
+            None => {
+                println!("witness does not reproduce (divergence no longer present)");
+                Ok(())
+            }
+        };
+    }
+
+    let seeds: u64 = get(&flags, "seeds", Some(8))?;
+    let seeds: Vec<u64> = (0..seeds).collect();
+    let systematic = flags.contains_key("systematic");
+    let canary = flags.contains_key("canary");
+    let oracle = !flags.contains_key("no-oracle") && !canary;
+    let witness_out = flags
+        .get("witness-out")
+        .cloned()
+        .unwrap_or_else(|| "chase-check-witness.txt".to_string());
+    let grids = match flags.get("grids") {
+        Some(s) => parse_check_grids(s)?,
+        None => chase_check::config::DEFAULT_GRIDS.to_vec(),
+    };
+    let scalars = match flags.get("scalars") {
+        Some(s) => parse_check_scalars(s)?,
+        None => chase_check::ScalarKind::ALL.to_vec(),
+    };
+
+    let cases = chase_check::config::matrix(&grids, &scalars);
+    let mut schedules = 0usize;
+    for case in &cases {
+        let report = check_case(case, &seeds, systematic, canary);
+        schedules += report.schedules;
+        match report.violation {
+            None => println!("check {case}: ok ({} schedules)", report.schedules),
+            Some(v) => {
+                println!("check {case}: VIOLATION — {}", v.diff);
+                println!(
+                    "  shrunk to {} pinned permutation(s) in {} re-run(s)",
+                    v.witness.perms.len(),
+                    v.shrink_runs
+                );
+                std::fs::write(&witness_out, v.witness.to_string())
+                    .map_err(|e| format!("{witness_out}: {e}"))?;
+                println!("  witness written to {witness_out}");
+                println!("  reproduce with: chase check --replay {witness_out}");
+                if canary {
+                    println!("canary caught: the harness detects order-sensitive folds");
+                    return Ok(());
+                }
+                return Err(format!(
+                    "schedule-independence violation in case {case} (witness: {witness_out})"
+                ));
+            }
+        }
+        if oracle {
+            differential_check(case)?;
+        }
+    }
+    if canary {
+        return Err(
+            "mutation canary escaped: no explored schedule exposed the order-sensitive fold"
+                .to_string(),
+        );
+    }
+    if oracle {
+        for &scalar in &scalars {
+            cross_config_check(scalar)?;
+            println!("oracle {}: direct + cross-config agree", scalar.token());
+        }
+    }
+    println!(
+        "checked {} case(s), {} schedule(s): no violations",
+        cases.len(),
+        schedules
+    );
+    Ok(())
+}
+
 const USAGE: &str = "\
 chase — Chebyshev Accelerated Subspace iteration Eigensolver (SC'23 reproduction)
 
@@ -851,6 +964,9 @@ USAGE:
   chase serve    --workload FILE [--workers N] [--cache-mb M] [--max-queue Q]
                  [--backend nccl|std] [--plan-db FILE] [--metrics FILE] [--trace-dir DIR]
   chase submit   --workload FILE --line 'gen name=j0 n=96 spectrum=dft nev=8 ...'
+  chase check    [--seeds K] [--grids 1x1,2x2,1x4] [--scalars f64,c64,c64-mixed]
+                 [--systematic] [--no-oracle] [--canary]
+                 [--witness-out FILE] [--replay FILE]
 
 AUTOTUNING:
   chase tune measures the solver's hot paths — collective hop schedules
@@ -876,6 +992,23 @@ SERVING:
   (typed error, recovery log on stderr) never poisons its siblings; the
   exit code is nonzero if any job fails. chase submit validates a line
   (including its --inject spec) and appends it to the workload file.
+
+CHECKING:
+  chase check explores the runtime's schedule space: it pins the deposit
+  order of every collective (blocking, nonblocking, and per-hop inside
+  topology-aware collectives) to seeded permutations and asserts each
+  explored schedule reproduces the free-running run bit for bit —
+  eigenvalue/residual/eigenvector bits, ledger projection, trace bytes.
+  --systematic additionally sweeps every constant permutation (feasible
+  for the small default worlds); the differential oracle cross-checks
+  eigenvalues against the dense direct solver and across configurations
+  (skip with --no-oracle). On a violation the shrinker minimizes the
+  schedule to a witness file (--witness-out, default
+  chase-check-witness.txt) that 'chase check --replay FILE' re-runs
+  deterministically. --canary arms a deliberately order-sensitive
+  reduction fold to prove the harness catches this bug class: the run
+  succeeds only when the canary is caught and a reproducing witness is
+  written, and exits nonzero if the canary escapes.
 
 TRACING:
   --trace records every rank's structured timeline (spans, kernel shapes,
@@ -910,6 +1043,7 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(flags),
         "tune" => cmd_tune(flags),
         "serve" => cmd_serve(flags),
+        "check" => cmd_check(flags),
         "submit" => cmd_submit(flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -7,15 +7,20 @@
 //! different subset, so everything is `allow(dead_code)`.
 #![allow(dead_code)]
 
-use chase_comm::{run_grid, GridShape, Reduce};
+use chase_comm::{run_grid, GridShape, Reduce, TraceHook};
 use chase_core::{
-    try_solve_dist, ChaseError, ChaseResult, DistHerm, FilterBounds, Params, PrecisionMode,
+    chebyshev_filter_with, try_solve_dist, ChaseError, ChaseResult, DistHerm, FilterBounds,
+    FilterExec, Params, PrecisionMode,
 };
-use chase_device::Backend;
+use chase_device::{Backend, Device};
 use chase_linalg::{Matrix, Scalar};
 use chase_matgen::{dense_with_spectrum, Spectrum};
+use chase_perfmodel::Machine;
+use chase_trace::{Trace, TraceRecorder};
+use chase_tune::{plan_from_entry, tune_entry, MeasuredHook, TuneOptions};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Dense Hermitian test problem with a uniform spectrum on `[lo, hi]`,
 /// returned with the spectrum so tests can check eigenvalues against truth.
@@ -29,10 +34,24 @@ pub fn problem<T: Scalar>(n: usize, seed: u64) -> (Matrix<T>, Spectrum) {
     problem_on(n, -1.0, 1.0, seed)
 }
 
+/// The precision-suite problem: uniform spectrum on `[-2, 2]`, wide enough
+/// that the demoted filter's noise plateau is visible against `tol`.
+pub fn problem_wide<T: Scalar>(n: usize, seed: u64) -> (Matrix<T>, Spectrum) {
+    problem_on(n, -2.0, 2.0, seed)
+}
+
 /// Solver params at the suite's standard accuracy.
 pub fn params(nev: usize, nex: usize, tol: f64) -> Params {
     let mut p = Params::new(nev, nex);
     p.tol = tol;
+    p
+}
+
+/// Precision-suite params: the standard `(6, 4, 1e-9)` block with an
+/// explicit precision mode.
+pub fn params_prec(mode: PrecisionMode) -> Params {
+    let mut p = params(6, 4, 1e-9);
+    p.precision = mode;
     p
 }
 
@@ -52,6 +71,131 @@ where
         try_solve_dist(ctx, Backend::Nccl, DistHerm::from_global(h, ctx), p, None)
     })
     .results
+}
+
+/// Like [`solve_on`], but with the autotuner in the loop: each rank runs a
+/// deterministic model-backed tuning pass, applies the resulting plan to
+/// its params (filling only knobs left on `Auto`), installs the measured
+/// hook and then solves. The tuned-plan matrix axis asserts this is a pure
+/// reconfiguration — bitwise-identical spectra on the same grid.
+pub fn solve_tuned_on<T>(
+    h: &Matrix<T>,
+    p: &Params,
+    shape: GridShape,
+) -> Vec<Result<ChaseResult<T>, ChaseError>>
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    run_grid(shape, move |ctx| {
+        let mut p = p.clone();
+        let mut dh = DistHerm::from_global(h, ctx);
+        let opts = TuneOptions {
+            deterministic: true,
+            machine: Machine::juwels_booster(),
+            backend: Backend::Nccl,
+        };
+        let t = tune_entry(ctx, &mut dh, p.nev, p.nex, &opts);
+        p.apply_plan(&plan_from_entry(&t.entry));
+        ctx.set_tune_hook(Some(Arc::new(MeasuredHook::new(t.entry))));
+        let res = try_solve_dist(ctx, Backend::Nccl, dh, &p, None);
+        ctx.set_tune_hook(None);
+        res
+    })
+    .results
+}
+
+/// Like [`solve_on`], but with a [`TraceRecorder`] installed on every rank:
+/// returns the per-rank results alongside the assembled [`Trace`], for
+/// suites asserting byte-for-byte trace replay.
+pub fn traced_solve_on<T>(
+    h: &Matrix<T>,
+    p: &Params,
+    shape: GridShape,
+) -> (Vec<Result<ChaseResult<T>, ChaseError>>, Trace)
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    let out = run_grid(shape, move |ctx| {
+        let rec = Arc::new(TraceRecorder::new(ctx.world_rank()));
+        ctx.set_trace_hook(Some(rec.clone() as Arc<dyn TraceHook>));
+        let res = try_solve_dist(ctx, Backend::Nccl, DistHerm::from_global(h, ctx), p, None);
+        ctx.set_trace_hook(None);
+        (res, rec.finish())
+    });
+    let (results, ranks) = out.results.into_iter().unzip();
+    (results, Trace { ranks })
+}
+
+/// Grid axis for the standalone filter suites: serial, square, and a
+/// non-square grid whose row/col communicators have different sizes.
+pub const FILTER_SHAPES: [(usize, usize); 3] = [(1, 1), (2, 2), (2, 3)];
+
+/// Run the flat and the pipelined Chebyshev filter on the same inputs over
+/// `shape` and assert the outputs (both layouts) are bitwise identical on
+/// every rank. `degrees` must be ascending, even, >= 2.
+pub fn assert_pipelined_matches_flat<T>(
+    n: usize,
+    degrees: &[usize],
+    shape: GridShape,
+    panel: Option<usize>,
+    seed: u64,
+) where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+{
+    let ne = degrees.len();
+    let (h, x, bounds) = filter_inputs::<T>(n, ne, seed);
+    let (h, x, degrees) = (&h, &x, degrees);
+    run_grid(shape, move |ctx| {
+        let dev = Device::new(ctx, Backend::Nccl);
+        let mut dh = DistHerm::from_global(h, ctx);
+        let x_local = x.select_rows(dh.row_set.iter());
+
+        let mut c_flat = x_local.clone();
+        let mut b_flat = Matrix::<T>::zeros(dh.n_c(), ne);
+        chebyshev_filter_with(
+            &dev,
+            ctx,
+            &mut dh,
+            &mut c_flat,
+            &mut b_flat,
+            0,
+            degrees,
+            bounds,
+            FilterExec::Flat,
+        )
+        .unwrap();
+
+        let mut c_pipe = x_local.clone();
+        let mut b_pipe = Matrix::<T>::zeros(dh.n_c(), ne);
+        chebyshev_filter_with(
+            &dev,
+            ctx,
+            &mut dh,
+            &mut c_pipe,
+            &mut b_pipe,
+            0,
+            degrees,
+            bounds,
+            FilterExec::Pipelined { panel },
+        )
+        .unwrap();
+
+        assert_eq!(
+            c_flat.as_slice(),
+            c_pipe.as_slice(),
+            "C blocks diverged (shape {shape:?}, panel {panel:?})"
+        );
+        assert_eq!(
+            b_flat.as_slice(),
+            b_pipe.as_slice(),
+            "B blocks diverged (shape {shape:?}, panel {panel:?})"
+        );
+    });
 }
 
 /// Inputs for a standalone Chebyshev filter run: the matrix, a seeded
@@ -81,18 +225,12 @@ pub fn degree_profile(raw: &[usize]) -> Vec<usize> {
     d
 }
 
-/// Scale a base timeout by `CHASE_TEST_TIMEOUT_SCALE` (a float multiplier;
-/// unset or unparsable = 1.0). CI chaos jobs on oversubscribed runners set
-/// it above 1 so stall-detection tests keep a real margin between the
-/// injected stall and the watchdog instead of flaking on scheduler jitter.
-pub fn scaled_timeout_ms(base_ms: u64) -> u64 {
-    let scale = std::env::var("CHASE_TEST_TIMEOUT_SCALE")
-        .ok()
-        .and_then(|s| s.trim().parse::<f64>().ok())
-        .filter(|s| s.is_finite() && *s > 0.0)
-        .unwrap_or(1.0);
-    ((base_ms as f64 * scale).round() as u64).max(1)
-}
+/// Scale a base timeout by `CHASE_TEST_TIMEOUT_SCALE`. Canonical
+/// implementation lives in `chase-comm` so library-level watchdogs (serve
+/// deadlines, tune trial budgets, schedule gates) and tests share one knob;
+/// re-exported here for the test suites.
+#[allow(unused_imports)]
+pub use chase_comm::scaled_timeout_ms;
 
 /// Assert every rank of an SPMD run returned `Ok`, and hand back the
 /// unwrapped results.

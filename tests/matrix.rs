@@ -21,7 +21,10 @@ mod common;
 use chase_comm::{GridShape, Reduce};
 use chase_core::{ChaseResult, Params, PrecisionMode, RecoveryEventKind};
 use chase_linalg::{RealScalar, Scalar, C64};
-use common::{expect_all_ok, params, problem, solve_on, MATRIX_GRIDS};
+use chase_serve::{
+    GenSpec, JobSpec, MatrixSource, Scheduler, SchedulerConfig, SpectrumKind, WarmKind,
+};
+use common::{expect_all_ok, params, problem, solve_on, solve_tuned_on, MATRIX_GRIDS};
 
 const N: usize = 48;
 const NEV: usize = 6;
@@ -155,6 +158,116 @@ fn check_ranks_agree<T: Scalar>(results: &[ChaseResult<T>], case: &str) {
         assert_eq!(r.matvecs, r0.matvecs, "{case}: rank {rank} matvecs");
         assert_eq!(r.recovery, r0.recovery, "{case}: rank {rank} recovery");
     }
+}
+
+/// Tuned-plan axis: with the precision pinned explicitly (never `Auto`),
+/// a deterministic tuning pass may only fill scheduling knobs — so the
+/// tuned solve must land on bitwise the same spectrum as the untuned solve
+/// on the same grid, for every grid and precision of the matrix.
+fn run_tuned_axis<T>(precision: PrecisionMode, label: &str)
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    let (h, _) = problem::<T>(N, 7);
+    let p = case_params(precision, false, None);
+    for (rows, cols) in MATRIX_GRIDS {
+        let shape = GridShape::new(rows, cols);
+        let case = format!("{label} {rows}x{cols} tuned");
+        let plain = expect_all_ok(solve_on(&h, &p, shape), &case);
+        let tuned = expect_all_ok(solve_tuned_on(&h, &p, shape), &case);
+        check_ranks_agree(&tuned, &case);
+        let (r0, t0) = (&plain[0], &tuned[0]);
+        assert!(t0.converged, "{case}: tuned run diverged");
+        assert_eq!(
+            r0.eigenvalues, t0.eigenvalues,
+            "{case}: tuned plan changed the spectrum, not just the schedule"
+        );
+        assert_eq!(
+            r0.residuals, t0.residuals,
+            "{case}: tuned plan changed the residuals"
+        );
+    }
+}
+
+#[test]
+fn matrix_tuned_plan_axis() {
+    run_tuned_axis::<f64>(PrecisionMode::Full, "f64/full");
+    run_tuned_axis::<C64>(PrecisionMode::Full, "C64/full");
+    run_tuned_axis::<C64>(PrecisionMode::Mixed, "C64/mixed");
+}
+
+/// Serve warm-start column: the matrix problem scale, run as a two-step
+/// `chase-serve` session. Step 0 of the warm chain is bitwise identical to
+/// the cache-disabled ablation (no cache to draw on yet); step 1 warm-starts,
+/// lands on the same spectrum within tolerance, and spends strictly fewer
+/// MatVecs than its cold twin.
+#[test]
+fn matrix_serve_warm_start_column() {
+    let chain = || -> Vec<JobSpec<C64>> {
+        (0..2)
+            .map(|step| {
+                let mut p = params(NEV, NEX, 1e-8);
+                p.precision = PrecisionMode::Full;
+                JobSpec::new(
+                    format!("m{step}"),
+                    MatrixSource::Generated(GenSpec {
+                        n: N,
+                        spectrum: SpectrumKind::Uniform,
+                        seed: 7,
+                        perturb_steps: step,
+                        eps: 1e-3,
+                    }),
+                    p,
+                )
+                .in_session("matrix", step)
+            })
+            .collect()
+    };
+    let drain = |cache_bytes: Option<usize>| -> Vec<(usize, WarmKind, Vec<u64>, u64)> {
+        let mut cfg = SchedulerConfig::default();
+        if let Some(b) = cache_bytes {
+            cfg.cache_bytes = b;
+        }
+        let mut sched: Scheduler<C64> = Scheduler::new(cfg);
+        for j in chain() {
+            sched.submit(j).expect("admission");
+        }
+        let mut rows: Vec<_> = sched
+            .drain()
+            .iter()
+            .map(|r| {
+                let out = r.solve().expect("session step done");
+                let bits: Vec<u64> = out.eigenvalues.iter().map(|v| v.to_bits()).collect();
+                (r.session.as_ref().unwrap().step, r.warm, bits, out.matvecs)
+            })
+            .collect();
+        rows.sort_by_key(|(step, ..)| *step);
+        rows
+    };
+    let warm = drain(None);
+    let cold = drain(Some(0));
+    assert_eq!(warm[0].1, WarmKind::Cold, "step 0 has no cache to draw on");
+    assert_eq!(
+        warm[0].2, cold[0].2,
+        "step 0 must match the ablation bitwise"
+    );
+    assert_eq!(warm[1].1, WarmKind::Warm, "step 1 must warm-start");
+    assert_eq!(cold[1].1, WarmKind::Cold);
+    for (k, (w, c)) in warm[1].2.iter().zip(&cold[1].2).enumerate() {
+        let (w, c) = (f64::from_bits(*w), f64::from_bits(*c));
+        assert!(
+            (w - c).abs() < 1e-6,
+            "lambda_{k}: warm {w} vs cold {c} beyond tolerance"
+        );
+    }
+    assert!(
+        warm[1].3 < cold[1].3,
+        "warm step must spend strictly fewer MatVecs ({} vs {})",
+        warm[1].3,
+        cold[1].3
+    );
 }
 
 #[test]

@@ -8,78 +8,12 @@
 
 mod common;
 
-use chase_comm::{run_grid, GridShape, Reduce};
+use chase_comm::{run_grid, GridShape};
 use chase_core::{chebyshev_filter_with, DistHerm, FilterExec};
 use chase_device::{Backend, Device};
-use chase_linalg::{Matrix, Scalar, C64};
-use common::{degree_profile, filter_inputs};
+use chase_linalg::{Matrix, C64};
+use common::{assert_pipelined_matches_flat, degree_profile, filter_inputs, FILTER_SHAPES};
 use proptest::prelude::*;
-
-const SHAPES: [(usize, usize); 3] = [(1, 1), (2, 2), (2, 3)];
-
-/// Run the flat and the pipelined filter on the same inputs over `shape`
-/// and assert the outputs (both layouts) are bitwise identical on every
-/// rank. `degrees` must be ascending, even, >= 2.
-fn assert_pipelined_matches_flat<T>(
-    n: usize,
-    degrees: &[usize],
-    shape: GridShape,
-    panel: Option<usize>,
-    seed: u64,
-) where
-    T: Scalar + Reduce,
-    T::Real: Reduce,
-{
-    let ne = degrees.len();
-    let (h, x, bounds) = filter_inputs::<T>(n, ne, seed);
-    let (h, x, degrees) = (&h, &x, degrees);
-    run_grid(shape, move |ctx| {
-        let dev = Device::new(ctx, Backend::Nccl);
-        let mut dh = DistHerm::from_global(h, ctx);
-        let x_local = x.select_rows(dh.row_set.iter());
-
-        let mut c_flat = x_local.clone();
-        let mut b_flat = Matrix::<T>::zeros(dh.n_c(), ne);
-        chebyshev_filter_with(
-            &dev,
-            ctx,
-            &mut dh,
-            &mut c_flat,
-            &mut b_flat,
-            0,
-            degrees,
-            bounds,
-            FilterExec::Flat,
-        )
-        .unwrap();
-
-        let mut c_pipe = x_local.clone();
-        let mut b_pipe = Matrix::<T>::zeros(dh.n_c(), ne);
-        chebyshev_filter_with(
-            &dev,
-            ctx,
-            &mut dh,
-            &mut c_pipe,
-            &mut b_pipe,
-            0,
-            degrees,
-            bounds,
-            FilterExec::Pipelined { panel },
-        )
-        .unwrap();
-
-        assert_eq!(
-            c_flat.as_slice(),
-            c_pipe.as_slice(),
-            "C blocks diverged (shape {shape:?}, panel {panel:?})"
-        );
-        assert_eq!(
-            b_flat.as_slice(),
-            b_pipe.as_slice(),
-            "B blocks diverged (shape {shape:?}, panel {panel:?})"
-        );
-    });
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -99,7 +33,7 @@ proptest! {
         // panel sweep: 1 (finest), 7 (odd, straddles the block), full
         // block, and the topology tuner's choice.
         let panel = [Some(1), Some(7), Some(ne), None][panel_idx];
-        let (p, q) = SHAPES[shape_idx];
+        let (p, q) = FILTER_SHAPES[shape_idx];
         assert_pipelined_matches_flat::<C64>(n, &degrees, GridShape::new(p, q), panel, seed);
     }
 
@@ -116,7 +50,7 @@ proptest! {
         let degrees = degree_profile(&raw);
         let ne = degrees.len();
         let panel = [Some(1), Some(7), Some(ne), None][panel_idx];
-        let (p, q) = SHAPES[shape_idx];
+        let (p, q) = FILTER_SHAPES[shape_idx];
         assert_pipelined_matches_flat::<f64>(n, &degrees, GridShape::new(p, q), panel, seed);
     }
 }

@@ -5,29 +5,17 @@
 //! shapes), traces must replay byte-for-byte, and an injected f32 overflow
 //! must climb the precision rung of the recovery ladder and still converge.
 
-use std::sync::Arc;
-
 mod common;
 
-use chase_comm::{run_grid, GridShape, TraceHook};
-use chase_core::{
-    try_solve_dist, ChaseErrorKind, ChaseResult, DistHerm, Params, PrecisionMode,
-    RecoveryEventKind, WarmStart,
-};
-use chase_device::Backend;
+use chase_comm::GridShape;
+use chase_core::{ChaseErrorKind, Params, PrecisionMode, RecoveryEventKind, WarmStart};
 use chase_linalg::{Matrix, SpectralBounds, C64};
 use chase_matgen::{dense_with_spectrum, Spectrum};
-use chase_trace::{chrome_trace, Trace, TraceRecorder};
-use common::{problem_on, solve_on};
+use chase_trace::chrome_trace;
+use common::{expect_all_ok, params_prec as params, problem_wide, solve_on, traced_solve_on};
 
 fn problem(n: usize, seed: u64) -> (Matrix<C64>, Spectrum) {
-    problem_on::<C64>(n, -2.0, 2.0, seed)
-}
-
-fn params(mode: PrecisionMode) -> Params {
-    let mut p = common::params(6, 4, 1e-9);
-    p.precision = mode;
-    p
+    problem_wide::<C64>(n, seed)
 }
 
 #[test]
@@ -176,16 +164,9 @@ fn escalation_schedule_is_grid_shape_invariant() {
 fn mixed_trace_replays_bitwise() {
     let (h, _) = problem(56, 13);
     let p = params(PrecisionMode::Mixed);
-    let traced = |h: &Matrix<C64>, p: &Params| -> (Vec<ChaseResult<C64>>, Trace) {
-        let out = run_grid(GridShape::new(2, 2), move |ctx| {
-            let rec = Arc::new(TraceRecorder::new(ctx.world_rank()));
-            ctx.set_trace_hook(Some(rec.clone() as Arc<dyn TraceHook>));
-            let res = try_solve_dist(ctx, Backend::Nccl, DistHerm::from_global(h, ctx), p, None);
-            ctx.set_trace_hook(None);
-            (res.expect("traced mixed solve"), rec.finish())
-        });
-        let (results, ranks) = out.results.into_iter().unzip();
-        (results, Trace { ranks })
+    let traced = |h: &Matrix<C64>, p: &Params| {
+        let (results, trace) = traced_solve_on(h, p, GridShape::new(2, 2));
+        (expect_all_ok(results, "traced mixed solve"), trace)
     };
     let (ra, ta) = traced(&h, &p);
     let (rb, tb) = traced(&h, &p);

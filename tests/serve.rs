@@ -400,7 +400,10 @@ fn deadline_miss_is_deterministic_and_typed() {
     long.cost_hint = Some(10_000);
     sched.submit(long).unwrap();
     let mut tight = gen_job("tight", 32, SpectrumKind::Uniform, 2, None);
-    tight.deadline = Some(100); // the long job alone runs past this
+    // Virtual ticks, but routed through the one timeout knob anyway
+    // (CHASE_TEST_TIMEOUT_SCALE) so every timeout-bearing test scales
+    // together; the long job's 10k-tick cost dwarfs any sane scale.
+    tight.deadline = Some(chase_comm::scaled_timeout_ms(100));
     sched.submit(tight).unwrap();
     let reports = sched.drain();
     let tight_report = reports.iter().find(|r| r.name == "tight").unwrap();
