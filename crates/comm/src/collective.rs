@@ -43,6 +43,125 @@ impl std::fmt::Display for WaitTimeout {
 
 impl std::error::Error for WaitTimeout {}
 
+/// Typed failure of a nonblocking collective's `wait()`. Extends the plain
+/// [`WaitTimeout`] watchdog with the two outcomes the elastic-recovery layer
+/// needs to distinguish: a peer that is *known dead* (crash detected on the
+/// grid's dead-rank board — recoverable by shrink-and-resume) and an op the
+/// engine has no record of (never posted, dropped by a fault hook, or
+/// already drained — a harness bug surfaced gracefully instead of a panic
+/// poisoning the thread pool).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The watchdog expired with no evidence of a crash: some member never
+    /// posted in time.
+    Timeout(WaitTimeout),
+    /// One or more members of the grid are marked dead on the dead-rank
+    /// board; the op can never complete. Carries the dead world ranks
+    /// (sorted) so survivors can enter the agreement round.
+    RankDead {
+        /// Per-rank sequence number of the op that can never complete.
+        op_id: u64,
+        /// World ranks marked dead at detection time, sorted ascending.
+        dead: Vec<usize>,
+    },
+    /// The engine has no usable record of the op (never posted, dropped, or
+    /// payload of the wrong type).
+    UnknownOp { op_id: u64 },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout(t) => t.fmt(f),
+            CommError::RankDead { op_id, dead } => write!(
+                f,
+                "nonblocking collective op {op_id} aborted: rank(s) {dead:?} are dead"
+            ),
+            CommError::UnknownOp { op_id } => write!(
+                f,
+                "nonblocking collective op {op_id} is unknown to the engine (never posted, dropped, or already drained)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<WaitTimeout> for CommError {
+    fn from(t: WaitTimeout) -> Self {
+        CommError::Timeout(t)
+    }
+}
+
+/// Panic payload raised out of a *blocking* collective (or `recv`) when the
+/// grid's dead-rank board shows a crashed member. Blocking collectives
+/// return results by value and are called from deep inside the solver's
+/// numeric kernels, so the abort travels as a typed panic that the elastic
+/// driver catches with `catch_unwind` — the in-process analogue of the
+/// process-fatal error MPI delivers after a peer dies.
+#[derive(Debug, Clone)]
+pub struct RankDeadPanic {
+    /// World ranks marked dead at detection time, sorted ascending.
+    pub dead: Vec<usize>,
+}
+
+/// Shared dead-rank board of one grid: a bitmask of world ranks that have
+/// (cooperatively) crashed. One board is shared by the world, row and column
+/// communicators of every rank of a grid, so a death marked anywhere is
+/// visible to every wait loop. Capacity is 64 ranks — ample for the
+/// in-process simulation.
+pub struct DeadBoard {
+    mask: std::sync::atomic::AtomicU64,
+}
+
+impl Default for DeadBoard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeadBoard {
+    pub fn new() -> Self {
+        Self {
+            mask: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Mark world rank `wr` dead.
+    pub fn mark(&self, wr: usize) {
+        assert!(wr < 64, "dead board capacity is 64 ranks");
+        self.mask
+            .fetch_or(1u64 << wr, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Bitmask of dead world ranks.
+    pub fn mask(&self) -> u64 {
+        self.mask.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// True when any rank of the grid is dead.
+    pub fn any_dead(&self) -> bool {
+        self.mask() != 0
+    }
+
+    /// True when world rank `wr` is dead.
+    pub fn is_dead(&self, wr: usize) -> bool {
+        wr < 64 && self.mask() & (1u64 << wr) != 0
+    }
+
+    /// Dead world ranks, sorted ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let m = self.mask();
+        (0..64).filter(|r| m & (1u64 << r) != 0).collect()
+    }
+}
+
+/// How often death-aware wait loops re-check the dead-rank board. The
+/// marking rank notifies the condvars of its *own* slots, but waiters parked
+/// on unrelated slots (another grid row's communicator) only notice via this
+/// poll slice — it bounds crash-detection latency, not steady-state cost.
+const DEATH_POLL_MS: u64 = 25;
+
 /// Default watchdog on `Request::wait` — generous enough that legitimate
 /// slow collectives never trip it, small enough that a wedged peer surfaces
 /// as an error rather than a stuck CI job.
@@ -244,6 +363,35 @@ pub struct NbPoolStats {
     pub in_flight: usize,
 }
 
+/// State of the dead-rank agreement round running on one slot. Unlike the
+/// epoch machinery it tolerates members that never show up: completion is
+/// "every member has either joined or is on the dead board", so survivors
+/// converge even while the collectives they abandoned stay wedged.
+struct AgreeState {
+    /// Bitmask (member index) of members that joined the round.
+    joined: u64,
+    /// OR of every joiner's suspect mask (member index).
+    suspects: u64,
+    /// The agreed dead set (member index), fixed by the first member that
+    /// observes completion; all others read this single value.
+    result: Option<u64>,
+    /// Joiners that have read the result (round drains when all live
+    /// members have taken).
+    taken: u64,
+}
+
+/// The shared slots of one shrunk grid, built once (under the registry
+/// lock) by the first survivor to arrive and reused by the rest. Stored on
+/// the *old* world slot, keyed by the agreed dead mask, so every survivor
+/// resolves the same replacement rendezvous points without any collective
+/// on the wedged communicators.
+pub struct ShrunkSlots {
+    pub world: Arc<Slot>,
+    pub rows: Vec<Arc<Slot>>,
+    pub cols: Vec<Arc<Slot>>,
+    pub board: Arc<DeadBoard>,
+}
+
 /// Shared rendezvous point for one communicator.
 pub struct Slot {
     members: usize,
@@ -257,6 +405,12 @@ pub struct Slot {
     /// blocking and nonblocking traffic interleave freely.
     nb: Mutex<NbShared>,
     nb_cv: Condvar,
+    /// Dead-rank agreement round, independent of every other engine so it
+    /// completes while collectives are wedged on a crashed member.
+    agree: Mutex<AgreeState>,
+    agree_cv: Condvar,
+    /// Registry of shrunk-grid slot sets keyed by the agreed dead mask.
+    shrunk: Mutex<HashMap<u64, Arc<ShrunkSlots>>>,
 }
 
 impl Slot {
@@ -282,7 +436,71 @@ impl Slot {
                 pool_hits: 0,
             }),
             nb_cv: Condvar::new(),
+            agree: Mutex::new(AgreeState {
+                joined: 0,
+                suspects: 0,
+                result: None,
+                taken: 0,
+            }),
+            agree_cv: Condvar::new(),
+            shrunk: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Fetch the shrunk-slot set for `dead_mask`, building it with `make`
+    /// under the registry lock if this is the first survivor to arrive.
+    pub fn shrunk_slots(
+        &self,
+        dead_mask: u64,
+        make: impl FnOnce() -> ShrunkSlots,
+    ) -> Arc<ShrunkSlots> {
+        let mut reg = self.shrunk.lock();
+        reg.entry(dead_mask)
+            .or_insert_with(|| Arc::new(make()))
+            .clone()
+    }
+
+    /// Wake every wait loop parked on this slot (used when a death is
+    /// marked so detection does not wait out a full poll slice).
+    fn notify_all_engines(&self) {
+        self.cv.notify_all();
+        self.mail_cv.notify_all();
+        self.nb_cv.notify_all();
+        self.agree_cv.notify_all();
+    }
+}
+
+/// A handle that lets a (cooperatively) crashing rank announce its death:
+/// marks the rank on the grid's dead board and wakes the wait loops of the
+/// slots it participated in. `Send + Sync` so the fault plan can carry it
+/// across the solver's layers.
+pub struct DeathHandle {
+    board: Arc<DeadBoard>,
+    world_rank: usize,
+    wake: Vec<Arc<Slot>>,
+}
+
+impl DeathHandle {
+    pub fn new(board: Arc<DeadBoard>, world_rank: usize, wake: Vec<Arc<Slot>>) -> Self {
+        Self {
+            board,
+            world_rank,
+            wake,
+        }
+    }
+
+    /// The world rank this handle kills.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Mark the rank dead and wake every wait loop that might be blocked
+    /// on its participation.
+    pub fn mark_dead(&self) {
+        self.board.mark(self.world_rank);
+        for s in &self.wake {
+            s.notify_all_engines();
+        }
     }
 }
 
@@ -322,6 +540,10 @@ pub struct Communicator {
     /// (every member issues the same collectives in the same order) keeps it
     /// identical across ranks — the key the trace stitcher aligns streams on.
     trace_seq: Cell<u64>,
+    /// Grid-wide dead-rank board (world-rank bits). Standalone communicators
+    /// carry a private board; the three communicators of a grid rank share
+    /// one, installed by `run_grid` / `shrink_ctx`.
+    board: Arc<DeadBoard>,
 }
 
 impl Communicator {
@@ -333,6 +555,18 @@ impl Communicator {
     /// Communicator whose members carry explicit world-rank labels (the row
     /// and column communicators of a 2D grid are sub-sets of the world).
     pub fn with_labels(slot: Arc<Slot>, my_index: usize, labels: Arc<Vec<usize>>) -> Self {
+        Self::with_labels_board(slot, my_index, labels, Arc::new(DeadBoard::new()))
+    }
+
+    /// Communicator sharing an explicit grid-wide dead-rank board — the
+    /// constructor `run_grid` and the shrink path use so a death marked on
+    /// any of a rank's communicators aborts waits on all of them.
+    pub fn with_labels_board(
+        slot: Arc<Slot>,
+        my_index: usize,
+        labels: Arc<Vec<usize>>,
+        board: Arc<DeadBoard>,
+    ) -> Self {
         assert!(my_index < slot.members);
         assert_eq!(labels.len(), slot.members, "one label per member");
         Self {
@@ -348,6 +582,30 @@ impl Communicator {
             order_canary: Cell::new(false),
             trace_hook: RefCell::new(None),
             trace_seq: Cell::new(0),
+            board,
+        }
+    }
+
+    /// The grid-wide dead-rank board this handle consults.
+    pub fn dead_board(&self) -> Arc<DeadBoard> {
+        self.board.clone()
+    }
+
+    /// The shared rendezvous slot behind this handle (shrink registry and
+    /// death-handle wiring).
+    pub(crate) fn slot(&self) -> Arc<Slot> {
+        self.slot.clone()
+    }
+
+    /// Abort (via [`RankDeadPanic`]) if the dead board shows a crash. Called
+    /// from every blocking wait loop: once any rank of the grid is dead the
+    /// whole attempt is doomed — every survivor must unwind to the elastic
+    /// driver rather than wait out a collective that can never complete.
+    fn check_alive(&self) {
+        if self.board.any_dead() {
+            std::panic::panic_any(RankDeadPanic {
+                dead: self.board.dead_ranks(),
+            });
         }
     }
 
@@ -546,7 +804,10 @@ impl Communicator {
                     return *p.downcast::<Vec<T>>().expect("p2p payload type mismatch");
                 }
             }
-            self.slot.mail_cv.wait(&mut mail);
+            self.check_alive();
+            self.slot
+                .mail_cv
+                .wait_for(&mut mail, Duration::from_millis(DEATH_POLL_MS));
         }
     }
 
@@ -580,8 +841,12 @@ impl Communicator {
         let mut st = slot.state.lock();
 
         // Wait for the previous collective on this slot to fully drain.
+        // Death-aware: a crashed member wedges the epoch machinery forever,
+        // so every parked member re-checks the board and unwinds instead.
         while st.epoch != my_epoch {
-            slot.cv.wait(&mut st);
+            self.check_alive();
+            slot.cv
+                .wait_for(&mut st, Duration::from_millis(DEATH_POLL_MS));
         }
 
         // Schedule exploration: hold the deposit until the forced arrival
@@ -611,7 +876,9 @@ impl Communicator {
             slot.cv.notify_all();
         } else {
             while st.result.is_none() {
-                slot.cv.wait(&mut st);
+                self.check_alive();
+                slot.cv
+                    .wait_for(&mut st, Duration::from_millis(DEATH_POLL_MS));
             }
         }
 
@@ -1033,33 +1300,52 @@ impl Communicator {
 
     /// Block until op `op_id` has a result, hand it to `read` under the
     /// lock, and drain the op (last taker recycles every buffer). Gives up
-    /// with [`WaitTimeout`] once the handle's watchdog expires — the op (and
-    /// any partial payloads) stays parked in the map; after a timeout the
+    /// with a typed [`CommError`] instead of hanging or panicking: the
+    /// watchdog expiring yields `Timeout`, a crash on the dead-rank board
+    /// yields `RankDead` (the op can never complete), and an op the engine
+    /// has no usable record of — never posted, dropped by a fault hook, or
+    /// carrying a mismatched payload type — yields `UnknownOp`. After any
+    /// error the op (and partial payloads) stays parked in the map; the
     /// caller is expected to abort the computation, not retry the wait.
     fn nb_wait_with<T: Send + 'static>(
         &self,
         op_id: u64,
         read: impl FnOnce(&Vec<T>),
-    ) -> Result<(), WaitTimeout> {
+    ) -> Result<(), CommError> {
         let slot = &*self.slot;
         let timeout_ms = self.wait_timeout_ms.get();
         let deadline = Instant::now() + Duration::from_millis(timeout_ms);
         let mut nb = slot.nb.lock();
         while nb.ops.get(&op_id).is_none_or(|op| op.result.is_none()) {
+            if self.board.any_dead() {
+                return Err(CommError::RankDead {
+                    op_id,
+                    dead: self.board.dead_ranks(),
+                });
+            }
             let now = Instant::now();
             if now >= deadline {
-                return Err(WaitTimeout { op_id, timeout_ms });
+                return Err(CommError::Timeout(WaitTimeout { op_id, timeout_ms }));
             }
-            slot.nb_cv.wait_for(&mut nb, deadline - now);
+            let slice = (deadline - now).min(Duration::from_millis(DEATH_POLL_MS));
+            slot.nb_cv.wait_for(&mut nb, slice);
         }
-        let mut op = nb.ops.remove(&op_id).unwrap();
-        read(
-            op.result
-                .as_ref()
-                .unwrap()
-                .downcast_ref::<Vec<T>>()
-                .expect("nonblocking collective type mismatch across ranks"),
-        );
+        // The loop guarantees presence-with-result on the happy path, but a
+        // fault hook or a type-confused harness can still leave the engine
+        // without a readable payload — degrade to a typed error, never a
+        // panic that poisons the whole thread pool.
+        let Some(op) = nb.ops.get(&op_id) else {
+            return Err(CommError::UnknownOp { op_id });
+        };
+        if op
+            .result
+            .as_ref()
+            .is_none_or(|r| r.downcast_ref::<Vec<T>>().is_none())
+        {
+            return Err(CommError::UnknownOp { op_id });
+        }
+        let mut op = nb.ops.remove(&op_id).expect("op vanished under the lock");
+        read(op.result.as_ref().unwrap().downcast_ref::<Vec<T>>().unwrap());
         op.taken += 1;
         if op.taken == slot.members {
             nb.retire(op);
@@ -1067,6 +1353,88 @@ impl Communicator {
             nb.ops.insert(op_id, op);
         }
         Ok(())
+    }
+
+    // ---- dead-rank agreement -------------------------------------------
+
+    /// Deterministic agreement round on the dead-rank set, run by survivors
+    /// after a crash is detected. Each caller contributes the world ranks it
+    /// suspects (typically from a [`CommError::RankDead`] or
+    /// [`RankDeadPanic`]); the round completes when every member has either
+    /// joined or is on the dead board, and every joiner returns the *same*
+    /// agreed set: the union of all suspect sets and the board, fixed by the
+    /// first member to observe completion. Runs on machinery independent of
+    /// the (wedged) collective engines, so it converges while in-flight
+    /// collectives stay parked forever.
+    ///
+    /// Watchdogged by the handle's wait timeout: if live members never join
+    /// (asymmetric detection logic — a harness bug), the round errors out
+    /// with [`WaitTimeout`] rather than hanging.
+    pub fn agree_dead(&self, suspected: &[usize]) -> Result<Vec<usize>, WaitTimeout> {
+        let slot = &*self.slot;
+        assert!(slot.members <= 64, "agreement capacity is 64 ranks");
+        let all = if slot.members == 64 {
+            u64::MAX
+        } else {
+            (1u64 << slot.members) - 1
+        };
+        // Translate world-rank suspicions into member-index bits.
+        let to_member_mask = |world: u64| -> u64 {
+            let mut m = 0u64;
+            for (idx, &label) in self.labels.iter().enumerate() {
+                if label < 64 && world & (1u64 << label) != 0 {
+                    m |= 1u64 << idx;
+                }
+            }
+            m
+        };
+        let mut suspect_world = 0u64;
+        for &wr in suspected {
+            assert!(wr < 64);
+            suspect_world |= 1u64 << wr;
+        }
+        let timeout_ms = self.wait_timeout_ms.get();
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        let my_bit = 1u64 << self.my_index;
+        let mut st = slot.agree.lock();
+        st.suspects |= to_member_mask(suspect_world | self.board.mask());
+        st.joined |= my_bit;
+        let agreed = loop {
+            if let Some(r) = st.result {
+                break r;
+            }
+            let dead = to_member_mask(self.board.mask());
+            if (st.joined | dead) & all == all {
+                let r = st.suspects | dead;
+                st.result = Some(r);
+                slot.agree_cv.notify_all();
+                break r;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WaitTimeout {
+                    op_id: u64::MAX,
+                    timeout_ms,
+                });
+            }
+            let slice = (deadline - now).min(Duration::from_millis(DEATH_POLL_MS));
+            slot.agree_cv.wait_for(&mut st, slice);
+        };
+        // Drain the round: the last live taker resets the state so the slot
+        // could host another round (defensive — each crash agrees on fresh
+        // slots after the shrink).
+        st.taken |= my_bit;
+        let live = all & !agreed;
+        if st.taken & live == live {
+            st.joined = 0;
+            st.suspects = 0;
+            st.result = None;
+            st.taken = 0;
+        }
+        Ok((0..slot.members)
+            .filter(|i| agreed & (1u64 << i) != 0)
+            .map(|i| self.labels[i])
+            .collect())
     }
 }
 
@@ -1129,10 +1497,11 @@ pub struct Request<'c, T: Send + 'static> {
 
 impl<T: Send + 'static> Request<'_, T> {
     /// Block until the collective completes and copy the result into `out`
-    /// (length must match the posted buffer). Returns [`WaitTimeout`] if
-    /// some member never posts within the communicator's watchdog — `out`
-    /// is untouched in that case.
-    pub fn wait(mut self, out: &mut [T]) -> Result<(), WaitTimeout>
+    /// (length must match the posted buffer). Returns a typed [`CommError`]
+    /// if some member never posts within the communicator's watchdog, a
+    /// member is marked dead, or the engine has no record of the op — `out`
+    /// is untouched in every error case.
+    pub fn wait(mut self, out: &mut [T]) -> Result<(), CommError>
     where
         T: Clone,
     {
@@ -1168,9 +1537,10 @@ pub struct GatherRequest<'c, T: Send + 'static> {
 impl<T: Send + 'static> GatherRequest<'_, T> {
     /// Block until the gather completes and replace `out`'s contents with
     /// the member-order concatenation (capacity is reused across calls).
-    /// Returns [`WaitTimeout`] if some member never posts; `out` is
-    /// untouched in that case.
-    pub fn wait(mut self, out: &mut Vec<T>) -> Result<(), WaitTimeout>
+    /// Returns a typed [`CommError`] if some member never posts, a member
+    /// is marked dead, or the engine has no record of the op; `out` is
+    /// untouched in every error case.
+    pub fn wait(mut self, out: &mut Vec<T>) -> Result<(), CommError>
     where
         T: Clone,
     {
@@ -1577,10 +1947,10 @@ mod tests {
         for (err, untouched, ok) in out {
             assert_eq!(
                 err,
-                WaitTimeout {
+                CommError::Timeout(WaitTimeout {
                     op_id: 0,
                     timeout_ms: 50
-                }
+                })
             );
             assert_eq!(untouched, 0.0, "timeout must leave the out buffer alone");
             assert_eq!(ok, 3.0);
@@ -1595,7 +1965,10 @@ mod tests {
             let req = c.iallgather(&[c.rank() as u64]);
             let mut v = vec![99u64];
             let err = req.wait(&mut v).unwrap_err();
-            (err.timeout_ms, v)
+            let CommError::Timeout(t) = err else {
+                panic!("expected a timeout, got {err}");
+            };
+            (t.timeout_ms, v)
         });
         for (ms, v) in out {
             assert_eq!(ms, 40);
@@ -1626,9 +1999,92 @@ mod tests {
             c.set_fault_hook(Some(Arc::new(DropOp(0))));
             let req = c.ibcast(&[c.rank() as u64], 0);
             let mut v = [7u64];
-            req.wait(&mut v).unwrap_err().op_id
+            match req.wait(&mut v).unwrap_err() {
+                CommError::Timeout(t) => t.op_id,
+                other => panic!("expected a timeout, got {other}"),
+            }
         });
         assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn dead_rank_aborts_nonblocking_wait_typed() {
+        // Rank 1 "crashes" (marks itself dead) instead of posting; the
+        // survivor's wait must surface RankDead, not a generic timeout.
+        let slot = Slot::new(2);
+        let board = Arc::new(DeadBoard::new());
+        let mk = |i: usize| {
+            Communicator::with_labels_board(slot.clone(), i, Arc::new(vec![0, 1]), board.clone())
+        };
+        let (c0, c1) = (mk(0), mk(1));
+        let h = DeathHandle::new(board.clone(), 1, vec![slot.clone()]);
+        let t1 = thread::spawn(move || {
+            // Dying rank: never posts, announces its death.
+            drop(c1);
+            h.mark_dead();
+        });
+        c0.set_wait_timeout_ms(5_000);
+        let req = c0.iallreduce_sum(&[1.0f64]);
+        let mut out = [0.0f64];
+        let err = req.wait(&mut out).unwrap_err();
+        assert_eq!(
+            err,
+            CommError::RankDead {
+                op_id: 0,
+                dead: vec![1]
+            }
+        );
+        t1.join().unwrap();
+    }
+
+    #[test]
+    fn dead_rank_aborts_blocking_collective_via_panic() {
+        // A blocking allreduce wedged on a dead member must unwind with the
+        // typed RankDeadPanic payload instead of hanging forever.
+        let slot = Slot::new(2);
+        let board = Arc::new(DeadBoard::new());
+        let b0 = board.clone();
+        let s0 = slot.clone();
+        let t0 = thread::spawn(move || {
+            let c = Communicator::with_labels_board(s0, 0, Arc::new(vec![0, 1]), b0);
+            let mut v = [1.0f64];
+            c.allreduce_sum(&mut v);
+        });
+        DeathHandle::new(board, 1, vec![slot]).mark_dead();
+        let payload = t0.join().unwrap_err();
+        let p = payload
+            .downcast_ref::<RankDeadPanic>()
+            .expect("typed RankDeadPanic payload");
+        assert_eq!(p.dead, vec![1]);
+    }
+
+    #[test]
+    fn agree_dead_converges_on_the_union() {
+        // Three survivors of a 4-rank world, each suspecting a (possibly
+        // empty) subset; every one must return the same agreed set.
+        let slot = Slot::new(4);
+        let board = Arc::new(DeadBoard::new());
+        board.mark(2);
+        let handles: Vec<_> = [0usize, 1, 3]
+            .into_iter()
+            .map(|i| {
+                let slot = slot.clone();
+                let board = board.clone();
+                thread::spawn(move || {
+                    let c = Communicator::with_labels_board(
+                        slot,
+                        i,
+                        Arc::new(vec![0, 1, 2, 3]),
+                        board,
+                    );
+                    let suspected = if i == 0 { vec![2] } else { vec![] };
+                    c.agree_dead(&suspected).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![2]);
+        }
     }
 
     /// Policy forcing reversed member order on every op.

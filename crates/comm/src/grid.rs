@@ -8,7 +8,7 @@
 //! allreduces). Here each rank is an OS thread; the communicators exchange
 //! data through shared-memory rendezvous slots.
 
-use crate::collective::{Communicator, Slot};
+use crate::collective::{Communicator, DeadBoard, DeathHandle, RankDeadPanic, ShrunkSlots, Slot};
 use crate::ledger::{EventKind, Ledger, Region};
 use crate::schedule::SchedulePolicy;
 use crate::trace_hook::{CommScope, TraceHook};
@@ -257,6 +257,101 @@ impl RankCtx {
     pub fn ledger_snapshot(&self) -> Ledger {
         self.ledger.lock().clone()
     }
+
+    /// A handle that marks this rank dead on the grid's dead board and
+    /// wakes the wait loops of every slot it participates in — the
+    /// cooperative "crash switch" the fault plan pulls for `RankCrash`.
+    pub fn death_handle(&self) -> DeathHandle {
+        DeathHandle::new(
+            self.world.dead_board(),
+            self.world_rank(),
+            vec![
+                self.world.slot(),
+                self.row_comm.slot(),
+                self.col_comm.slot(),
+            ],
+        )
+    }
+
+    /// World ranks currently marked dead on the grid's board, sorted.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.world.dead_board().dead_ranks()
+    }
+}
+
+/// Build the shrunk-grid context for a survivor of `dead` (old world-rank
+/// numbering, any order). Deterministic: survivors keep their relative
+/// order, the new shape is [`GridShape::squarest`] over the survivor count,
+/// and survivors beyond the new shape's rank count idle out (`None` — only
+/// possible for awkward survivor counts, never for the 4→3 shrink the test
+/// matrix exercises). Returns `None` also for a caller that is itself dead.
+///
+/// The replacement rendezvous slots are shared through a registry on the
+/// *old* world slot keyed by the agreed dead set, so every survivor resolves
+/// the same slots without any collective on the wedged communicators. The
+/// new context carries the old rank's ledger (recovery costs accrue to the
+/// same profile) and re-installs its trace/tune hooks; the dead board starts
+/// clean.
+pub fn shrink_ctx(old: &RankCtx, dead: &[usize]) -> Option<RankCtx> {
+    let old_n = old.shape.ranks();
+    let mut dead_mask = 0u64;
+    for &d in dead {
+        assert!(d < old_n, "dead rank out of range");
+        dead_mask |= 1u64 << d;
+    }
+    let me = old.world_rank();
+    if dead_mask & (1u64 << me) != 0 {
+        return None;
+    }
+    let survivors: Vec<usize> = (0..old_n).filter(|r| dead_mask & (1u64 << r) == 0).collect();
+    let shape = GridShape::squarest(survivors.len());
+    let active = shape.ranks();
+    let my_new = survivors.iter().position(|&r| r == me).unwrap();
+    if my_new >= active {
+        return None;
+    }
+    let set = old.world.slot().shrunk_slots(dead_mask, || ShrunkSlots {
+        world: Slot::new(active),
+        rows: (0..shape.p).map(|_| Slot::new(shape.q)).collect(),
+        cols: (0..shape.q).map(|_| Slot::new(shape.p)).collect(),
+        board: Arc::new(DeadBoard::new()),
+    });
+    let (i, j) = (my_new / shape.q, my_new % shape.q);
+    let row_labels = Arc::new((0..shape.q).map(|jj| i * shape.q + jj).collect::<Vec<_>>());
+    let col_labels = Arc::new((0..shape.p).map(|ii| ii * shape.q + j).collect::<Vec<_>>());
+    let world_labels = Arc::new((0..active).collect::<Vec<_>>());
+    let ctx = RankCtx {
+        shape,
+        row: i,
+        col: j,
+        world: Communicator::with_labels_board(
+            set.world.clone(),
+            my_new,
+            world_labels,
+            set.board.clone(),
+        ),
+        row_comm: Communicator::with_labels_board(
+            set.rows[i].clone(),
+            j,
+            row_labels,
+            set.board.clone(),
+        ),
+        col_comm: Communicator::with_labels_board(
+            set.cols[j].clone(),
+            i,
+            col_labels,
+            set.board.clone(),
+        ),
+        ledger: old.ledger.clone(),
+        trace: RefCell::new(None),
+        tune: RefCell::new(None),
+    };
+    for c in [&ctx.world, &ctx.row_comm, &ctx.col_comm] {
+        c.set_wait_timeout_ms(old.world.wait_timeout_ms());
+    }
+    ctx.set_trace_hook(old.trace_hook());
+    ctx.set_tune_hook(old.tune_hook());
+    Some(ctx)
 }
 
 /// Output of an SPMD run: per-rank results and ledgers, in world-rank order.
@@ -289,6 +384,10 @@ where
     let ledgers: Vec<Arc<Mutex<Ledger>>> = (0..n)
         .map(|_| Arc::new(Mutex::new(Ledger::new())))
         .collect();
+    // One dead-rank board per grid, shared by every rank's three
+    // communicators: a death marked anywhere aborts waits everywhere.
+    let board = Arc::new(DeadBoard::new());
+    let world_labels: Arc<Vec<usize>> = Arc::new((0..n).collect());
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
 
@@ -301,9 +400,24 @@ where
                 shape,
                 row: i,
                 col: j,
-                world: Communicator::new(world_slot.clone(), wr),
-                row_comm: Communicator::with_labels(row_slots[i].clone(), j, row_labels[i].clone()),
-                col_comm: Communicator::with_labels(col_slots[j].clone(), i, col_labels[j].clone()),
+                world: Communicator::with_labels_board(
+                    world_slot.clone(),
+                    wr,
+                    world_labels.clone(),
+                    board.clone(),
+                ),
+                row_comm: Communicator::with_labels_board(
+                    row_slots[i].clone(),
+                    j,
+                    row_labels[i].clone(),
+                    board.clone(),
+                ),
+                col_comm: Communicator::with_labels_board(
+                    col_slots[j].clone(),
+                    i,
+                    col_labels[j].clone(),
+                    board.clone(),
+                ),
                 ledger: ledgers[wr].clone(),
                 trace: RefCell::new(None),
                 tune: RefCell::new(None),
@@ -322,7 +436,12 @@ where
                     .downcast_ref::<String>()
                     .map(String::as_str)
                     .or_else(|| e.downcast_ref::<&str>().copied())
-                    .unwrap_or("unknown panic");
+                    .map(str::to_owned)
+                    .or_else(|| {
+                        e.downcast_ref::<RankDeadPanic>()
+                            .map(|p| format!("aborted waiting on dead rank(s) {:?}", p.dead))
+                    })
+                    .unwrap_or_else(|| "unknown panic".to_owned());
                 panic!("rank {wr} panicked: {msg}");
             }
         }
@@ -484,6 +603,40 @@ mod tests {
         assert_eq!(diag_count, 3);
         for (i, j, d) in out.results {
             assert_eq!(d, i == j);
+        }
+    }
+
+    #[test]
+    fn shrink_rebuilds_a_working_grid() {
+        // 2x2 grid loses rank 1: survivors {0, 2, 3} agree, shrink to 1x3
+        // (squarest(3)), and run a world + row collective on the new grid.
+        let out = run_grid(GridShape::new(2, 2), |ctx| {
+            if ctx.world_rank() == 1 {
+                ctx.death_handle().mark_dead();
+                return None;
+            }
+            // Survivors wait until the death is visible, then agree.
+            while ctx.dead_ranks().is_empty() {
+                std::thread::yield_now();
+            }
+            let dead = ctx.world.agree_dead(&ctx.dead_ranks()).unwrap();
+            assert_eq!(dead, vec![1]);
+            let new_ctx = shrink_ctx(ctx, &dead).expect("4 -> 3 never idles a survivor");
+            assert_eq!(new_ctx.shape, GridShape::new(1, 3));
+            let sum = new_ctx
+                .world
+                .allreduce_scalar(new_ctx.world_rank() as u64 + 1);
+            let row = new_ctx.row_comm.allgather(&[new_ctx.world_rank() as u64]);
+            Some((new_ctx.world_rank(), sum, row))
+        });
+        let got: Vec<_> = out.results.into_iter().flatten().collect();
+        // Old ranks 0, 2, 3 become new ranks 0, 1, 2 in order.
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[1].0, 1);
+        assert_eq!(got[2].0, 2);
+        for (_, sum, row) in got {
+            assert_eq!(sum, 6, "1+2+3 over the shrunk world");
+            assert_eq!(row, vec![0, 1, 2]);
         }
     }
 

@@ -126,6 +126,13 @@ pub enum EventKind {
     /// collective runs as an explicit ring/tree/doubling hop sequence
     /// instead of a flat formula.
     P2p { bytes: u64, link: LinkClass },
+    /// Elastic recovery: the grid was rebuilt over the survivors after a
+    /// rank death (agreement round + communicator reconstruction).
+    GridShrink { from_ranks: u64, to_ranks: u64 },
+    /// Elastic recovery: block-cyclic panels of `H` and the iterate
+    /// re-materialized on the shrunk grid (lost panels rebuilt from the
+    /// deterministic generator, survivors' blocks re-sliced).
+    Redistribute { bytes: u64 },
 }
 
 impl EventKind {
@@ -143,7 +150,9 @@ impl EventKind {
             | EventKind::Bcast { .. }
             | EventKind::AllGather { .. }
             | EventKind::Barrier { .. }
-            | EventKind::P2p { .. } => Category::Comm,
+            | EventKind::P2p { .. }
+            | EventKind::GridShrink { .. }
+            | EventKind::Redistribute { .. } => Category::Comm,
         }
     }
 
@@ -173,6 +182,7 @@ impl EventKind {
                 members,
             } => bytes_per_rank * members,
             EventKind::P2p { bytes, .. } => bytes,
+            EventKind::Redistribute { bytes } => bytes,
             _ => 0,
         }
     }
@@ -525,6 +535,15 @@ pub fn kind_to_json(kind: &EventKind) -> String {
                 link.name()
             )
         }
+        EventKind::GridShrink {
+            from_ranks,
+            to_ranks,
+        } => {
+            format!("\"kind\":\"GridShrink\",\"from_ranks\":{from_ranks},\"to_ranks\":{to_ranks}")
+        }
+        EventKind::Redistribute { bytes } => {
+            format!("\"kind\":\"Redistribute\",\"bytes\":{bytes}")
+        }
     }
 }
 
@@ -631,6 +650,13 @@ pub fn kind_from_json(obj: &str) -> Result<EventKind, String> {
                 link: LinkClass::parse_name(&link).ok_or_else(|| format!("unknown link {link}"))?,
             }
         }
+        "GridShrink" => EventKind::GridShrink {
+            from_ranks: json_u64_field(obj, "from_ranks")?,
+            to_ranks: json_u64_field(obj, "to_ranks")?,
+        },
+        "Redistribute" => EventKind::Redistribute {
+            bytes: json_u64_field(obj, "bytes")?,
+        },
         other => return Err(format!("unknown event kind {other}")),
     };
     Ok(kind)

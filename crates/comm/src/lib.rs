@@ -21,10 +21,11 @@ pub mod trace_hook;
 pub mod tune_hook;
 
 pub use collective::{
-    scaled_timeout_ms, CommFaultHook, Communicator, GatherRequest, NbPoolStats, PostAction, Reduce,
-    Request, SendBuf, Slot, WaitTimeout, DEFAULT_WAIT_TIMEOUT_MS,
+    scaled_timeout_ms, CommError, CommFaultHook, Communicator, DeadBoard, DeathHandle,
+    GatherRequest, NbPoolStats, PostAction, RankDeadPanic, Reduce, Request, SendBuf, ShrunkSlots,
+    Slot, WaitTimeout, DEFAULT_WAIT_TIMEOUT_MS,
 };
-pub use grid::{block_range, run_grid, solo_ctx, GridShape, RankCtx, SpmdOutput};
+pub use grid::{block_range, run_grid, shrink_ctx, solo_ctx, GridShape, RankCtx, SpmdOutput};
 pub use ledger::{
     kind_from_json, kind_to_json, now_us, Category, Event, EventKind, Ledger, LinkClass, Region,
     RegionGuard,

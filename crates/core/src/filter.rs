@@ -20,7 +20,7 @@
 
 use crate::hemm::{hemm_b_to_c, hemm_b_to_c_pipelined, hemm_c_to_b, hemm_c_to_b_pipelined};
 use crate::layout::DistHerm;
-use chase_comm::{RankCtx, Reduce, Region, WaitTimeout};
+use chase_comm::{CommError, RankCtx, Reduce, Region};
 use chase_device::Device;
 use chase_linalg::{Matrix, RealScalar, Scalar};
 
@@ -85,16 +85,17 @@ impl<R: RealScalar> FilterBounds<R> {
 /// Typed rejection of filter inputs. `BadSpectrum`/`BadDegrees` are
 /// reachable from user-supplied workloads (bad bounds in a warm start, a
 /// corrupt degree table), so they surface as errors through `try_solve_*`
-/// instead of aborting the process; `Timeout` propagates a nonblocking
-/// collective that never completed.
+/// instead of aborting the process; `Comm` propagates a nonblocking
+/// collective that never completed (timeout, dead peer, dropped post).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FilterError {
     /// Degenerate or non-finite damping interval (`e <= 0`).
     BadSpectrum(String),
     /// Degrees not ascending or not even `>= 2`.
     BadDegrees(String),
-    /// A nonblocking collective inside the pipelined path timed out.
-    Timeout(WaitTimeout),
+    /// A nonblocking collective inside the pipelined path failed: timed
+    /// out, aborted on a dead rank, or was dropped before posting.
+    Comm(CommError),
 }
 
 impl std::fmt::Display for FilterError {
@@ -102,16 +103,16 @@ impl std::fmt::Display for FilterError {
         match self {
             FilterError::BadSpectrum(d) => write!(f, "bad spectrum: {d}"),
             FilterError::BadDegrees(d) => write!(f, "bad degrees: {d}"),
-            FilterError::Timeout(t) => write!(f, "{t}"),
+            FilterError::Comm(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for FilterError {}
 
-impl From<WaitTimeout> for FilterError {
-    fn from(t: WaitTimeout) -> Self {
-        FilterError::Timeout(t)
+impl From<CommError> for FilterError {
+    fn from(e: CommError) -> Self {
+        FilterError::Comm(e)
     }
 }
 
@@ -191,7 +192,7 @@ fn filter_step<T: Scalar + Reduce>(
     alpha: T,
     beta: T,
     exec: FilterExec,
-) -> Result<(), WaitTimeout> {
+) -> Result<(), CommError> {
     match (c_to_b, exec) {
         (true, FilterExec::Flat) => {
             hemm_c_to_b(dev, ctx, h, c_buf, b_buf, col0, ncols, alpha, beta);
@@ -216,8 +217,8 @@ fn filter_step<T: Scalar + Reduce>(
 ///
 /// Errors: [`FilterError::BadSpectrum`]/[`FilterError::BadDegrees`] reject
 /// invalid caller inputs before any work (reachable from user-supplied
-/// workloads); [`FilterError::Timeout`] propagates a nonblocking collective
-/// timeout from the pipelined schedule. The flat path on validated inputs
+/// workloads); [`FilterError::Comm`] propagates a nonblocking collective
+/// failure from the pipelined schedule. The flat path on validated inputs
 /// never fails.
 #[allow(clippy::too_many_arguments)]
 pub fn chebyshev_filter_with<T: Scalar + Reduce>(

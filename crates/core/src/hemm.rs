@@ -8,7 +8,7 @@
 //! is ever re-distributed.
 
 use crate::layout::DistHerm;
-use chase_comm::{Communicator, RankCtx, Reduce, WaitTimeout};
+use chase_comm::{CommError, Communicator, RankCtx, Reduce};
 use chase_device::{DevAllreduce, Device};
 use chase_linalg::matrix::ColsMut;
 use chase_linalg::{Matrix, Op, Scalar};
@@ -107,7 +107,7 @@ fn hemm_pipelined<T: Scalar + Reduce>(
     alpha: T,
     beta: T,
     panel: usize,
-) -> Result<(), WaitTimeout> {
+) -> Result<(), CommError> {
     let on_root = comm.rank() == 0;
     let eff_beta = if on_root { beta } else { T::zero() };
     let panel = panel.max(1);
@@ -176,7 +176,7 @@ pub fn hemm_c_to_b_pipelined<T: Scalar + Reduce>(
     alpha: T,
     beta: T,
     panel: Option<usize>,
-) -> Result<(), WaitTimeout> {
+) -> Result<(), CommError> {
     debug_assert_eq!(c_buf.rows(), h.n_r());
     debug_assert_eq!(b_buf.rows(), h.n_c());
     let panel = panel
@@ -210,7 +210,7 @@ pub fn hemm_b_to_c_pipelined<T: Scalar + Reduce>(
     alpha: T,
     beta: T,
     panel: Option<usize>,
-) -> Result<(), WaitTimeout> {
+) -> Result<(), CommError> {
     debug_assert_eq!(c_buf.rows(), h.n_r());
     debug_assert_eq!(b_buf.rows(), h.n_c());
     let panel = panel

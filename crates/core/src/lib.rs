@@ -12,7 +12,9 @@
 //! * [`lms::solve_lms`] — the legacy v1.2 layout (redundant QR/RR/residuals),
 //!   kept as the ChASE(LMS) baseline of the paper's evaluation.
 
+pub mod ckpt;
 pub mod condest;
+pub mod elastic;
 pub mod degrees;
 pub mod filter;
 pub mod hemm;
@@ -25,6 +27,8 @@ pub mod result;
 pub mod solver;
 pub mod warm;
 
+pub use ckpt::{load_latest, CkptError, Snapshot, CKPT_FORMAT, CKPT_VERSION};
+pub use elastic::{try_solve_elastic, ElasticOutcome};
 pub use condest::{cond_est, growth_factor};
 pub use degrees::{degree_sort_permutation, optimal_degree, optimize_degrees};
 pub use filter::{
@@ -44,7 +48,7 @@ pub use result::{
     RecoveryLog,
 };
 pub use solver::{
-    estimate_bounds_dist, solve_dist, solve_serial, try_solve_dist, try_solve_dist_warm,
-    try_solve_serial, try_solve_serial_warm, Chase,
+    estimate_bounds_dist, solve_dist, solve_serial, try_solve_dist, try_solve_dist_resumed,
+    try_solve_dist_warm, try_solve_serial, try_solve_serial_warm, Chase,
 };
 pub use warm::WarmStart;

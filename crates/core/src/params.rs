@@ -123,6 +123,11 @@ pub struct Params {
     pub wait_timeout_ms: Option<u64>,
     /// Filter arithmetic precision (see [`PrecisionMode`]).
     pub precision: PrecisionMode,
+    /// Directory for periodic solver checkpoints; `None` disables them.
+    pub checkpoint_dir: Option<String>,
+    /// Write a checkpoint every this many outer iterations (0 means only
+    /// when a crash-recovery driver requests one on demand).
+    pub checkpoint_every: usize,
     /// Resolved solve plan, set by [`Params::apply_plan`]. Pure provenance:
     /// the knobs above are already merged; the solver copies it onto
     /// [`crate::ChaseResult::plan`].
@@ -153,6 +158,8 @@ impl Params {
             max_refilter: 2,
             wait_timeout_ms: None,
             precision: PrecisionMode::Full,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
             plan: None,
         }
     }

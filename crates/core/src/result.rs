@@ -1,7 +1,7 @@
 //! Solver output, per-iteration statistics, and the fault-recovery record.
 
 use crate::qr::QrVariant;
-use chase_comm::{IndexSet, WaitTimeout};
+use chase_comm::{GridShape, IndexSet, WaitTimeout};
 use chase_faults::InjectionRecord;
 use chase_linalg::{Matrix, Scalar, SpectralBounds};
 use std::fmt;
@@ -78,6 +78,17 @@ pub enum RecoveryEventKind {
     /// — the precision rung sits *before* the degree-bump rung and does not
     /// consume a re-filter attempt.
     PrecisionEscalated { cols: usize },
+    /// Survivors agreed (via the deterministic agreement round) that these
+    /// world ranks stopped depositing into collectives. Ranks are numbered
+    /// in the world the crash happened in.
+    RankDead { dead: Vec<usize> },
+    /// The grid was rebuilt over the survivors with a remapped shape.
+    GridShrunk { from: GridShape, to: GridShape },
+    /// A periodic/on-demand checkpoint snapshot was written.
+    CheckpointSaved { iter: usize, locked: usize },
+    /// The solve resumed from a checkpoint (on the shrunk grid after a
+    /// crash, or cold-started at iteration 0 when none was found).
+    CheckpointRestored { iter: usize, locked: usize },
 }
 
 impl fmt::Display for RecoveryEventKind {
@@ -125,6 +136,22 @@ impl fmt::Display for RecoveryEventKind {
                     f,
                     "escalated {cols} column(s) from demoted to full precision"
                 )
+            }
+            RecoveryEventKind::RankDead { dead } => {
+                write!(f, "agreed dead rank(s): {dead:?}")
+            }
+            RecoveryEventKind::GridShrunk { from, to } => {
+                write!(
+                    f,
+                    "grid shrunk {}x{} -> {}x{}",
+                    from.p, from.q, to.p, to.q
+                )
+            }
+            RecoveryEventKind::CheckpointSaved { iter, locked } => {
+                write!(f, "checkpoint saved at iter {iter} ({locked} locked)")
+            }
+            RecoveryEventKind::CheckpointRestored { iter, locked } => {
+                write!(f, "checkpoint restored at iter {iter} ({locked} locked)")
             }
         }
     }
@@ -189,6 +216,14 @@ pub struct ChaseError {
 pub enum ChaseErrorKind {
     /// A collective never completed (wedged peer / dropped post).
     CollectiveTimeout(WaitTimeout),
+    /// One or more peer ranks died mid-collective (the agreed dead set, in
+    /// the world numbering of the grid the solve ran on). The elastic
+    /// driver catches this kind, shrinks the grid and resumes from the
+    /// latest checkpoint.
+    RankDead { dead: Vec<usize> },
+    /// A nonblocking wait named an operation that was never posted (or was
+    /// dropped by a fault hook before posting).
+    UnknownCollective { op_id: u64 },
     /// Corruption persisted through every re-filter retry.
     UnrecoverableNonFinite,
     /// The final cross-rank verification of the returned eigenpairs failed.
@@ -201,6 +236,9 @@ pub enum ChaseErrorKind {
     /// historic `Params::validate` panics, so one bad job cannot abort a
     /// whole serve run).
     InvalidParams { detail: String },
+    /// A checkpoint restore was requested but the snapshot was corrupt or
+    /// belongs to a different problem.
+    BadCheckpoint { detail: String },
 }
 
 impl fmt::Display for ChaseError {
@@ -208,6 +246,12 @@ impl fmt::Display for ChaseError {
         match &self.kind {
             ChaseErrorKind::CollectiveTimeout(t) => {
                 write!(f, "iter {}: {t}", self.iter)
+            }
+            ChaseErrorKind::RankDead { dead } => {
+                write!(f, "iter {}: peer rank(s) {dead:?} died", self.iter)
+            }
+            ChaseErrorKind::UnknownCollective { op_id } => {
+                write!(f, "iter {}: unknown collective op {op_id}", self.iter)
             }
             ChaseErrorKind::UnrecoverableNonFinite => write!(
                 f,
@@ -226,6 +270,9 @@ impl fmt::Display for ChaseError {
             }
             ChaseErrorKind::InvalidParams { detail } => {
                 write!(f, "invalid parameters: {detail}")
+            }
+            ChaseErrorKind::BadCheckpoint { detail } => {
+                write!(f, "checkpoint restore failed: {detail}")
             }
         }
     }

@@ -9,6 +9,7 @@
 //! lock converged columns. The only replicated object is the `ne x ne`
 //! quotient `A` — the `O(N ne)` redundancy of v1.2 is gone (Section 3.1).
 
+use crate::ckpt::{CkptError, Snapshot};
 use crate::condest::cond_est;
 use crate::degrees::{degree_sort_permutation, optimize_degrees};
 use crate::filter::{
@@ -156,6 +157,19 @@ where
     /// Consecutive decision points without meaningful residual improvement
     /// while running demoted.
     low_stall: usize,
+    /// Outer iteration to resume *after* (0 for a fresh solve); set by
+    /// [`Chase::apply_snapshot`]. The loop starts at `start_iter + 1`.
+    start_iter: usize,
+    /// MatVecs accumulated before the restored checkpoint was taken; folded
+    /// into the result so elastic runs report true total work.
+    base_matvecs: u64,
+    /// Demoted-precision MatVecs accumulated before the checkpoint.
+    base_lowprec_matvecs: u64,
+    /// Recovery events that happened before this solve attempt (the
+    /// crash→shrink→restore trail from the elastic driver); prepended to
+    /// the attempt's own log so `ChaseResult::recovery` tells the whole
+    /// story.
+    prelude_recovery: RecoveryLog,
 }
 
 impl<'d, 'c, T: Scalar + Reduce> Chase<'d, 'c, T>
@@ -248,7 +262,52 @@ where
             prev_est_cond: 0.0,
             prev_low_max_res: f64::INFINITY,
             low_stall: 0,
+            start_iter: 0,
+            base_matvecs: 0,
+            base_lowprec_matvecs: 0,
+            prelude_recovery: RecoveryLog::default(),
         }
+    }
+
+    /// Restore solver state from a checkpoint [`Snapshot`], typically onto
+    /// a *different* (shrunk) grid than the one that wrote it: the global
+    /// iterate is re-sliced into this rank's C-layout row set, and the
+    /// Lanczos phase is skipped via the snapshot's spectral bounds. The
+    /// subsequent [`Chase::try_solve`] resumes at `snapshot.iter + 1` with
+    /// Ritz values, residuals, degrees, and the locked prefix intact.
+    pub fn apply_snapshot(&mut self, snap: &Snapshot) -> Result<(), CkptError> {
+        let ne = self.params.ne();
+        snap.check_problem::<T>(self.h.n, self.params.nev, ne, self.params.seed)?;
+        if snap.locked > ne {
+            return Err(CkptError::Field {
+                field: "locked",
+                detail: format!("{} exceeds ne={ne}", snap.locked),
+            });
+        }
+        let c_global = snap.c_global::<T>()?;
+        self.c = c_global.select_rows(self.h.row_set.iter());
+        self.c2 = self.c.clone();
+        for (dst, &bits) in self.ritzv.iter_mut().zip(&snap.ritzv_bits) {
+            *dst = T::Real::from_f64_r(f64::from_bits(bits));
+        }
+        for (dst, &bits) in self.resd.iter_mut().zip(&snap.resd_bits) {
+            *dst = T::Real::from_f64_r(f64::from_bits(bits));
+        }
+        for (dst, &d) in self.degs.iter_mut().zip(&snap.degs) {
+            *dst = d as usize;
+        }
+        self.locked = snap.locked;
+        self.warm_bounds = Some(snap.bounds::<T::Real>());
+        self.start_iter = snap.iter;
+        self.base_matvecs = snap.matvecs;
+        self.base_lowprec_matvecs = snap.lowprec_matvecs;
+        Ok(())
+    }
+
+    /// Prepend recovery events recorded before this solve attempt (the
+    /// elastic driver's crash→shrink→restore trail).
+    pub fn set_prelude_recovery(&mut self, prelude: RecoveryLog) {
+        self.prelude_recovery = prelude;
     }
 
     /// Eq. (2) audit: bytes actually allocated by this rank.
@@ -280,6 +339,50 @@ where
             let full = self.c_dist.assemble(&gathered, ne);
             self.b2 = full.select_rows(self.h.col_set.iter());
         }
+    }
+
+    /// Assemble the global iterate over the column communicator (every rank
+    /// joins the collective) and persist a [`Snapshot`] from world rank 0
+    /// via tmp+rename, so readers never observe a torn file. Write errors
+    /// are swallowed deliberately: a full disk on rank 0 must not diverge
+    /// its control flow from the other ranks' (recovery logs are compared
+    /// bitwise across ranks).
+    fn write_checkpoint(
+        &self,
+        iter: usize,
+        matvecs: u64,
+        lowprec_matvecs: u64,
+        bounds: SpectralBounds<T::Real>,
+    ) {
+        let ctx = self.dev.ctx();
+        let ne = self.params.ne();
+        self.dev.set_region(Region::Other);
+        let gathered = self.dev.allgather(&ctx.col_comm, self.c.as_slice());
+        let full = self.c_dist.assemble(&gathered, ne);
+        if ctx.world_rank() == 0 {
+            if let Some(dir) = &self.params.checkpoint_dir {
+                let snap = Snapshot::capture::<T>(
+                    iter,
+                    self.locked,
+                    self.params.nev,
+                    self.params.seed,
+                    &bounds,
+                    &self.ritzv,
+                    &self.resd,
+                    &self.degs,
+                    matvecs,
+                    lowprec_matvecs,
+                    &full,
+                );
+                let _ = snap.save(dir);
+            }
+        }
+        // Commit barrier: no rank may advance past this iteration until the
+        // snapshot is durable. Without it a fast rank could crash in the
+        // *next* iteration while rank 0 is still writing, making checkpoint
+        // availability on recovery a wall-clock race instead of an
+        // invariant ("a crash at iter N always finds the iter N-k file").
+        let _ = ctx.world.allreduce_scalar(0.0);
     }
 
     /// One Rayleigh–Ritz projection over the active columns
@@ -578,28 +681,34 @@ where
             * <<T::Lo as Scalar>::Real as RealScalar>::EPS.to_f64()
             * norm_h.to_f64();
         let mixed = self.params.precision == PrecisionMode::Mixed && T::HAS_LO;
-        let mut lowprec_matvecs = 0u64;
+        let mut lowprec_matvecs = self.base_lowprec_matvecs;
 
-        // Initialize Ritz values at the lower estimate (used by the first
-        // condition estimate; see Section 4.2's first-iteration caveat).
-        self.ritzv.fill(mu_1);
+        let resumed = self.start_iter > 0;
         let init_deg = self.params.deg + self.params.deg % 2;
-        self.degs.fill(init_deg);
+        if !resumed {
+            // Initialize Ritz values at the lower estimate (used by the first
+            // condition estimate; see Section 4.2's first-iteration caveat).
+            // A checkpoint resume keeps the restored values instead.
+            self.ritzv.fill(mu_1);
+            self.degs.fill(init_deg);
+        }
 
         let mut stats: Vec<IterStats> = Vec::new();
-        let mut total_matvecs = 0u64;
+        let mut total_matvecs = self.base_matvecs;
         let mut converged = false;
-        let mut iterations = 0;
-        let mut recovery = RecoveryLog::default();
+        let mut iterations = self.start_iter;
+        let mut recovery = std::mem::take(&mut self.prelude_recovery);
         let mut restarts = 0usize;
+        // The rollback target: on resume the restored locked prefix already
+        // is a known-good state, so seed it from there.
         let mut ckpt = Checkpoint {
-            locked: 0,
-            c: Matrix::<T>::zeros(self.h.n_r(), 0),
-            ritzv: Vec::new(),
-            resd: Vec::new(),
+            locked: self.locked,
+            c: self.c.copy_cols(0..self.locked),
+            ritzv: self.ritzv[..self.locked].to_vec(),
+            resd: self.resd[..self.locked].to_vec(),
         };
 
-        for iter in 1..=self.params.max_iter {
+        for iter in (self.start_iter + 1)..=self.params.max_iter {
             iterations = iter;
             // Re-opening "iteration" auto-closes the previous iteration span,
             // so the recovery `continue` paths need no explicit span end.
@@ -999,6 +1108,30 @@ where
                 .copied()
                 .fold(self.ritzv[0], |m, v| m.max_r(v));
 
+            // --- Periodic checkpoint (elastic recovery substrate) ---
+            // Every rank joins the assembly collective; rank 0 writes. The
+            // saved event is pushed on every rank so cross-rank recovery
+            // logs stay bitwise-identical.
+            if self.params.checkpoint_every > 0
+                && self.params.checkpoint_dir.is_some()
+                && iter % self.params.checkpoint_every == 0
+                && self.locked < nev
+            {
+                self.write_checkpoint(
+                    iter,
+                    total_matvecs,
+                    lowprec_matvecs,
+                    SpectralBounds { mu_1, mu_ne, b_sup },
+                );
+                recovery.push(
+                    iter,
+                    RecoveryEventKind::CheckpointSaved {
+                        iter,
+                        locked: self.locked,
+                    },
+                );
+            }
+
             self.drain_faults(iter, &mut recovery);
             if self.locked >= nev {
                 converged = true;
@@ -1105,7 +1238,7 @@ where
 /// warm bounds — no recovery event, just the typed error).
 fn filter_abort(e: FilterError, iter: usize, mut recovery: RecoveryLog) -> ChaseError {
     let kind = match e {
-        FilterError::Timeout(t) => {
+        FilterError::Comm(chase_comm::CommError::Timeout(t)) => {
             recovery.push(
                 iter,
                 RecoveryEventKind::Timeout {
@@ -1114,6 +1247,13 @@ fn filter_abort(e: FilterError, iter: usize, mut recovery: RecoveryLog) -> Chase
                 },
             );
             ChaseErrorKind::CollectiveTimeout(t)
+        }
+        FilterError::Comm(chase_comm::CommError::RankDead { dead, .. }) => {
+            recovery.push(iter, RecoveryEventKind::RankDead { dead: dead.clone() });
+            ChaseErrorKind::RankDead { dead }
+        }
+        FilterError::Comm(chase_comm::CommError::UnknownOp { op_id }) => {
+            ChaseErrorKind::UnknownCollective { op_id }
         }
         FilterError::BadSpectrum(detail) | FilterError::BadDegrees(detail) => {
             ChaseErrorKind::BadSpectrum { detail }
@@ -1165,6 +1305,43 @@ where
     T::Real: Reduce,
     T::Lo: Reduce,
 {
+    try_solve_dist_inner(ctx, backend, h, params, warm, None, RecoveryLog::default())
+}
+
+/// Resume a solve from a checkpoint [`Snapshot`] — typically on a *shrunk*
+/// grid after a rank crash. The snapshot's global iterate is re-sliced into
+/// this grid's block-cyclic C-layout, the Lanczos phase is skipped via the
+/// snapshot's bounds, and the loop continues at `snapshot.iter + 1`.
+/// `prelude` carries the crash→shrink→restore trail recorded by the
+/// elastic driver; it is prepended to the attempt's recovery log.
+pub fn try_solve_dist_resumed<T: Scalar + Reduce>(
+    ctx: &chase_comm::RankCtx,
+    backend: Backend,
+    h: DistHerm<T>,
+    params: &Params,
+    snapshot: &Snapshot,
+    prelude: RecoveryLog,
+) -> Result<ChaseResult<T>, ChaseError>
+where
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    try_solve_dist_inner(ctx, backend, h, params, None, Some(snapshot), prelude)
+}
+
+pub(crate) fn try_solve_dist_inner<T: Scalar + Reduce>(
+    ctx: &chase_comm::RankCtx,
+    backend: Backend,
+    h: DistHerm<T>,
+    params: &Params,
+    warm: Option<&WarmStart<T>>,
+    resume: Option<&Snapshot>,
+    prelude: RecoveryLog,
+) -> Result<ChaseResult<T>, ChaseError>
+where
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
     // Reject malformed parameters as a typed error before any collective
     // work: one bad workload entry must not abort a whole serve run.
     if let Err(detail) = params.try_validate(h.n) {
@@ -1192,6 +1369,9 @@ where
         // Mirror injections into the trace stream when a recorder is
         // installed on this rank.
         p.set_trace_hook(ctx.trace_hook());
+        // Arm rank-crash injections: without a death handle a `rank-crash`
+        // site is inert, so plain solves never crash by accident.
+        p.set_death_handle(Some(ctx.death_handle()));
     }
     let dev = Device::with_collectives(
         ctx,
@@ -1200,12 +1380,26 @@ where
         chase_device::Topology::juwels_booster(),
     )
     .with_faults(plan.clone());
-    let out = Chase::with_warm_start(&dev, h, params.clone(), warm).try_solve();
+    let out = (|| {
+        let mut chase = Chase::with_warm_start(&dev, h, params.clone(), warm);
+        if let Some(snap) = resume {
+            chase.apply_snapshot(snap).map_err(|e| ChaseError {
+                kind: ChaseErrorKind::BadCheckpoint {
+                    detail: e.to_string(),
+                },
+                iter: snap.iter,
+                recovery: RecoveryLog::default(),
+            })?;
+        }
+        chase.set_prelude_recovery(prelude);
+        chase.try_solve()
+    })();
     if let Some(p) = &plan {
         for c in comms {
             c.set_fault_hook(None);
         }
         p.set_trace_hook(None);
+        p.set_death_handle(None);
     }
     out
 }

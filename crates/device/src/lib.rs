@@ -16,8 +16,8 @@
 //! * `Nccl` collectives record only the collective itself.
 
 use chase_comm::{
-    now_us, Communicator, EventKind, LinkClass, RankCtx, Reduce, Region, Request, TuneAlgo, TuneOp,
-    WaitTimeout,
+    now_us, CommError, Communicator, EventKind, LinkClass, RankCtx, Reduce, Region, Request,
+    TuneAlgo, TuneOp,
 };
 use chase_faults::FaultPlan;
 use chase_linalg::matrix::{ColsMut, ColsRef};
@@ -565,9 +565,9 @@ pub struct DevAllreduce<'a, 'c, T: Reduce> {
 impl<T: Scalar + Reduce> DevAllreduce<'_, '_, T> {
     /// Block until the collective completes, copy the sum into `out`
     /// (length must match the posted buffer) and record the spanned event.
-    /// A [`WaitTimeout`] (peer never posted) is propagated without touching
-    /// `out` or recording completion events.
-    pub fn wait(self, out: &mut [T]) -> Result<(), WaitTimeout> {
+    /// A [`CommError`] (peer never posted, or a rank died mid-collective) is
+    /// propagated without touching `out` or recording completion events.
+    pub fn wait(self, out: &mut [T]) -> Result<(), CommError> {
         self.req.wait(out)?;
         self.ctx.record_spanned(
             EventKind::AllReduce {

@@ -20,7 +20,7 @@
 //! [`chase_comm::CommFaultHook`]), and the solver applies block-level
 //! corruption between pipeline stages ([`FaultPlan::apply_block_faults`]).
 
-use chase_comm::{CommFaultHook, PostAction, Region, TraceHook};
+use chase_comm::{CommFaultHook, DeathHandle, PostAction, Region, TraceHook};
 use chase_linalg::{Matrix, RealScalar, Scalar};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -56,6 +56,12 @@ pub enum FaultKind {
     Stall,
     /// Sleep before posting nonblocking collectives (a straggler link).
     Delay,
+    /// Kill one rank: at the armed `(iter, region)` site the target rank
+    /// marks itself dead on the grid's dead-rank board and unwinds, never
+    /// depositing into another collective. Survivors detect the death
+    /// (`RankDead` / `RankDeadPanic`), agree on the dead set, and the
+    /// elastic driver shrinks the grid and resumes from checkpoint.
+    RankCrash,
 }
 
 impl FaultKind {
@@ -70,6 +76,7 @@ impl FaultKind {
             FaultKind::Overflow => "overflow",
             FaultKind::Stall => "stall",
             FaultKind::Delay => "delay",
+            FaultKind::RankCrash => "rank-crash",
         }
     }
 
@@ -84,6 +91,7 @@ impl FaultKind {
             "overflow" => FaultKind::Overflow,
             "stall" => FaultKind::Stall,
             "delay" => FaultKind::Delay,
+            "rank-crash" => FaultKind::RankCrash,
             other => return Err(SpecError(format!("unknown fault kind '{other}'"))),
         })
     }
@@ -160,6 +168,14 @@ impl Injection {
             ms: 5,
         }
     }
+
+    /// Spec-vocabulary name of this injection's region gate ("any" when
+    /// ungated). Used by the elastic driver to synthesize the crashed
+    /// rank's injection record deterministically (the victim's own log
+    /// dies with it).
+    pub fn region_name(&self) -> &'static str {
+        self.region.map(region_name).unwrap_or("any")
+    }
 }
 
 impl fmt::Display for Injection {
@@ -186,6 +202,7 @@ impl fmt::Display for Injection {
             }
             FaultKind::Breakdown => write!(f, ",cols={}", self.cols)?,
             FaultKind::Delay => write!(f, ",ms={}", self.ms)?,
+            FaultKind::RankCrash => write!(f, ",rank={}", self.rank)?,
             FaultKind::Stall => {}
         }
         Ok(())
@@ -279,6 +296,40 @@ impl FaultSpec {
     }
 }
 
+impl FaultSpec {
+    /// The planned `rank-crash` injections (the elastic driver synthesizes
+    /// their deterministic crash records from the spec, since the crashed
+    /// rank's own log dies with it).
+    pub fn crash_sites(&self) -> Vec<Injection> {
+        self.injections
+            .iter()
+            .filter(|i| i.kind == FaultKind::RankCrash)
+            .copied()
+            .collect()
+    }
+
+    /// This campaign minus every `rank-crash` injection — what the resumed
+    /// attempt on the shrunk grid runs under (world ranks renumber after the
+    /// shrink, so re-arming the crash would be ill-defined), or `None` when
+    /// nothing else remains.
+    pub fn without_rank_crash(&self) -> Option<FaultSpec> {
+        let injections: Vec<Injection> = self
+            .injections
+            .iter()
+            .filter(|i| i.kind != FaultKind::RankCrash)
+            .copied()
+            .collect();
+        if injections.is_empty() {
+            None
+        } else {
+            Some(FaultSpec {
+                seed: self.seed,
+                injections,
+            })
+        }
+    }
+}
+
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "seed={}", self.seed)?;
@@ -320,6 +371,15 @@ impl fmt::Display for InjectionRecord {
     }
 }
 
+/// Panic payload of a cooperatively crashing rank: [`FaultPlan::check_crash`]
+/// raises it after marking the rank dead, and the elastic driver's
+/// `catch_unwind` recognizes it as "this rank is the victim" (as opposed to
+/// a survivor unwinding on `RankDeadPanic`).
+#[derive(Debug, Clone)]
+pub struct RankCrashPanic {
+    pub world_rank: usize,
+}
+
 /// splitmix64: the cheap, high-quality mixer every pseudo-random injector
 /// choice flows through (element index, corrupted value). Keyed only by the
 /// spec seed and SPMD-deterministic counters.
@@ -351,6 +411,11 @@ pub struct FaultPlan {
     /// stream (`faults_fired`, `posts_dropped`, `posts_delayed`), so a
     /// recorded timeline shows *where* the chaos harness struck.
     trace: Mutex<Option<std::sync::Arc<dyn TraceHook>>>,
+    /// Crash switch for `rank-crash` injections: marks this rank dead on
+    /// the grid's board and wakes parked waiters. Installed by the solver's
+    /// distributed wiring; absent on serial runs (where a crash would be
+    /// the whole job dying — nothing to recover onto).
+    death: Mutex<Option<DeathHandle>>,
 }
 
 impl FaultPlan {
@@ -370,7 +435,14 @@ impl FaultPlan {
             site: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
             trace: Mutex::new(None),
+            death: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) the crash switch consulted by `rank-crash`
+    /// injections.
+    pub fn set_death_handle(&self, h: Option<DeathHandle>) {
+        *self.death.lock().unwrap() = h;
     }
 
     /// Mirror injections into a trace recorder (cleared with `None`).
@@ -446,11 +518,47 @@ impl FaultPlan {
         self.fired.iter().any(|f| f.load(Ordering::Relaxed))
     }
 
+    /// Execute an armed `rank-crash` injection targeting this rank: record
+    /// it, mark the rank dead on the grid's board (waking every parked wait
+    /// loop) and unwind with the typed [`RankCrashPanic`] payload — from
+    /// this point the rank never deposits into another collective. A no-op
+    /// unless a death handle is installed (serial runs have no grid to
+    /// shrink) — the injection then stays armed and inert.
+    ///
+    /// Consulted at every device-layer collective call site, which makes the
+    /// crash site deterministic: the first collective the victim issues in
+    /// the armed `(iter, region)` window.
+    pub fn check_crash(&self) {
+        for idx in 0..self.spec.injections.len() {
+            let inj = self.spec.injections[idx];
+            if inj.kind != FaultKind::RankCrash || inj.rank != self.world_rank {
+                continue;
+            }
+            if !self.armed(idx) {
+                continue;
+            }
+            let death = self.death.lock().unwrap();
+            let Some(h) = &*death else { continue };
+            if !self.claim(idx) {
+                continue;
+            }
+            self.record("rank crashed (stops depositing into collectives)".into());
+            self.trace_counter("rank_crashes");
+            h.mark_dead();
+            drop(death);
+            std::panic::panic_any(RankCrashPanic {
+                world_rank: self.world_rank,
+            });
+        }
+    }
+
     /// Corrupt one element of a collective payload if a payload fault
     /// (`nan`, `inf`, `bitflip`) is armed for this rank. Called by the
-    /// device layer on the local contribution before it is posted. Returns
-    /// `true` if the buffer was modified.
+    /// device layer on the local contribution before it is posted — which
+    /// also makes it the crash site for `rank-crash` injections.
+    /// Returns `true` if the buffer was modified.
     pub fn corrupt_payload<T: Scalar>(&self, op: &'static str, buf: &mut [T]) -> bool {
+        self.check_crash();
         if buf.is_empty() {
             return false;
         }
@@ -614,10 +722,10 @@ mod tests {
     fn spec_round_trips_through_display() {
         let s = "seed=42;bitflip@iter=2,region=filter,rank=1,bit=7;stall@iter=3,region=rr;\
                  breakdown@iter=1,cols=2;nan-block@iter=4,row=1,cols=3;delay@iter=5,ms=12;\
-                 overflow@iter=2,region=filter,rank=0";
+                 overflow@iter=2,region=filter,rank=0;rank-crash@iter=3,region=filter,rank=1";
         let spec = FaultSpec::parse(s).unwrap();
         assert_eq!(spec.seed, 42);
-        assert_eq!(spec.injections.len(), 6);
+        assert_eq!(spec.injections.len(), 7);
         let printed = spec.to_string();
         let reparsed = FaultSpec::parse(&printed).unwrap();
         assert_eq!(spec, reparsed, "parse(display(spec)) must round-trip");
@@ -758,6 +866,68 @@ mod tests {
         let rec = p.take_records();
         assert_eq!(rec.len(), 1);
         assert!(rec[0].what.contains("stalled"));
+    }
+
+    #[test]
+    fn rank_crash_requires_a_death_handle_and_fires_once() {
+        use chase_comm::{DeadBoard, Slot};
+        use std::sync::Arc;
+
+        let spec = FaultSpec::parse("seed=3;rank-crash@iter=2,region=filter,rank=1").unwrap();
+        // Without a death handle (serial run): armed but inert.
+        let inert = FaultPlan::new(spec.clone(), 1, 0);
+        inert.set_iter(2);
+        inert.set_region(Region::Filter);
+        inert.check_crash();
+        assert!(!inert.any_fired(), "no grid to shrink, no crash");
+
+        // Wrong rank: never fires even with a handle.
+        let board = Arc::new(DeadBoard::new());
+        let other = FaultPlan::new(spec.clone(), 0, 0);
+        other.set_death_handle(Some(DeathHandle::new(board.clone(), 0, vec![Slot::new(1)])));
+        other.set_iter(2);
+        other.set_region(Region::Filter);
+        other.check_crash();
+        assert!(!other.any_fired());
+
+        // The victim with a handle: marks the board, panics typed, one-shot.
+        let victim = Arc::new(FaultPlan::new(spec, 1, 0));
+        victim.set_death_handle(Some(DeathHandle::new(board.clone(), 1, vec![Slot::new(1)])));
+        victim.set_iter(1);
+        victim.set_region(Region::Filter);
+        victim.check_crash();
+        assert!(!victim.any_fired(), "iter gate holds");
+        victim.set_iter(2);
+        let v = victim.clone();
+        let payload = std::thread::spawn(move || v.check_crash())
+            .join()
+            .unwrap_err();
+        let p = payload
+            .downcast_ref::<RankCrashPanic>()
+            .expect("typed RankCrashPanic payload");
+        assert_eq!(p.world_rank, 1);
+        assert!(board.is_dead(1), "board marked before the unwind");
+        assert!(victim.any_fired());
+        let rec = victim.take_records();
+        assert_eq!(rec.len(), 1);
+        assert!(rec[0].what.contains("crashed"));
+        victim.check_crash(); // one-shot: a second call is a no-op
+    }
+
+    #[test]
+    fn crash_site_helpers_split_the_campaign() {
+        let spec =
+            FaultSpec::parse("seed=9;rank-crash@iter=2,region=filter,rank=3;nan@iter=1,rank=0")
+                .unwrap();
+        let sites = spec.crash_sites();
+        assert_eq!(sites.len(), 1);
+        assert_eq!((sites[0].iter, sites[0].rank), (2, 3));
+        let rest = spec.without_rank_crash().unwrap();
+        assert_eq!(rest.injections.len(), 1);
+        assert_eq!(rest.injections[0].kind, FaultKind::NanPayload);
+        assert_eq!(rest.seed, 9);
+        let only_crash = FaultSpec::parse("seed=9;rank-crash@iter=2,rank=1").unwrap();
+        assert!(only_crash.without_rank_crash().is_none());
     }
 
     #[test]

@@ -87,6 +87,9 @@ pub trait Scalar:
     fn one() -> Self;
     /// Embed a real value.
     fn from_real(r: Self::Real) -> Self;
+    /// Rebuild from real and imaginary parts (checkpoint decode); real
+    /// types ignore the imaginary part, which callers store as zero.
+    fn from_re_im(re: Self::Real, im: Self::Real) -> Self;
     /// Complex conjugate (identity for real types).
     fn conj(self) -> Self;
     /// Real part.
@@ -207,6 +210,10 @@ macro_rules! impl_real {
                 r
             }
             #[inline]
+            fn from_re_im(re: Self::Real, _im: Self::Real) -> Self {
+                re
+            }
+            #[inline]
             fn conj(self) -> Self {
                 self
             }
@@ -280,6 +287,10 @@ macro_rules! impl_complex {
             #[inline]
             fn from_real(r: Self::Real) -> Self {
                 Complex::new(r, 0.0)
+            }
+            #[inline]
+            fn from_re_im(re: Self::Real, im: Self::Real) -> Self {
+                Complex::new(re, im)
             }
             #[inline]
             fn conj(self) -> Self {

@@ -200,6 +200,27 @@ impl Machine {
                     CommFlavor::NcclDeviceDirect => self.nccl_latency,
                 };
             }
+            EventKind::GridShrink { to_ranks, .. } => {
+                // Agreement round over the survivors plus communicator
+                // reconstruction: two latency-bound tree sweeps (ULFM's
+                // shrink is latency-, not bandwidth-, dominated).
+                let k = (*to_ranks as f64).max(1.0);
+                let steps = k.log2().ceil().max(1.0);
+                return match flavor {
+                    CommFlavor::MpiHostStaged => 2.0 * steps * self.mpi_latency,
+                    CommFlavor::NcclDeviceDirect => 2.0 * steps * self.nccl_latency,
+                };
+            }
+            EventKind::Redistribute { bytes } => {
+                // Panel re-materialization streams the replacement block
+                // over the network once (lost panels regenerate locally at
+                // memory bandwidth, which the dominant network term hides).
+                let b = *bytes as f64;
+                return match flavor {
+                    CommFlavor::MpiHostStaged => self.mpi_latency + b / self.mpi_bw,
+                    CommFlavor::NcclDeviceDirect => self.nccl_latency + b / self.nccl_bw,
+                };
+            }
             _ => return 0.0,
         };
         if members <= 1 {

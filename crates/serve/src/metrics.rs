@@ -24,6 +24,10 @@ pub struct ServeMetrics {
     pub warm_misses: u64,
     pub cold_starts: u64,
     pub warm_fallbacks: u64,
+    /// Jobs that lost a rank mid-solve and completed on the shrunk pool
+    /// via checkpoint resume (the rung below `warm_fallbacks` on the
+    /// degradation ladder).
+    pub rank_crash_retries: u64,
     pub lanczos_skipped: u64,
     pub cache_evictions: u64,
     pub cache_insert_rejects: u64,
@@ -81,6 +85,7 @@ impl ServeMetrics {
         field("warm_misses", self.warm_misses);
         field("cold_starts", self.cold_starts);
         field("warm_fallbacks", self.warm_fallbacks);
+        field("rank_crash_retries", self.rank_crash_retries);
         field("lanczos_skipped", self.lanczos_skipped);
         field("cache_evictions", self.cache_evictions);
         field("cache_insert_rejects", self.cache_insert_rejects);

@@ -16,9 +16,12 @@ use crate::job::{JobId, JobOutcome, JobReport, JobSpec, SolveOutput, WarmKind};
 use crate::metrics::ServeMetrics;
 use crate::plan::{build_plan, Plan};
 use chase_comm::Reduce;
-use chase_core::{try_solve_dist_warm, ChaseResult, DistHerm, WarmStart};
+use chase_core::{
+    try_solve_dist_warm, try_solve_elastic, ChaseError, ChaseErrorKind, ChaseResult, DistHerm,
+    RecoveryEventKind, RecoveryLog, WarmStart,
+};
 use chase_device::Backend;
-use chase_linalg::Scalar;
+use chase_linalg::{Matrix, Scalar};
 use chase_trace::{Trace, TraceRecorder};
 use chase_tune::{plan_from_entry, plan_key, tune_entry, MeasuredHook, PlanDb, TuneOptions};
 use parking_lot::{Condvar, Mutex};
@@ -257,6 +260,13 @@ where
                     if !s.converged {
                         self.metrics.unconverged += 1;
                     }
+                    if s.recovery
+                        .any(|k| matches!(k, RecoveryEventKind::GridShrunk { .. }))
+                    {
+                        // The job lost a rank mid-solve and still completed:
+                        // the elastic retry on the shrunk pool paid off.
+                        self.metrics.rank_crash_retries += 1;
+                    }
                     self.metrics.total_matvecs += s.matvecs;
                     match r.warm {
                         WarmKind::Warm => {
@@ -390,7 +400,24 @@ where
                             }
                             cv.wait(&mut g);
                         };
-                        let (payload, kind) = if plan.warm[claimed] {
+                        let crashy = specs[claimed]
+                            .params
+                            .inject
+                            .as_ref()
+                            .is_some_and(|s| !s.crash_sites().is_empty());
+                        let (payload, kind) = if crashy {
+                            // A crash-spec'd job runs the elastic path and
+                            // resumes from its own checkpoints, not the
+                            // session cache: the warm payload would be laid
+                            // out for the pre-crash grid. Degrade planned
+                            // warm starts down the ladder.
+                            if plan.warm[claimed] {
+                                g.warm_fallbacks += 1;
+                                (None, WarmKind::FallbackCold)
+                            } else {
+                                (None, WarmKind::Cold)
+                            }
+                        } else if plan.warm[claimed] {
                             let tag = specs[claimed].session.as_ref().unwrap();
                             match g.store.get(&tag.id) {
                                 Some(e) if e.step < tag.step => {
@@ -488,6 +515,18 @@ where
 {
     let h = spec.matrix.materialize();
     let params = spec.params.clone();
+    if params
+        .inject
+        .as_ref()
+        .is_some_and(|s| !s.crash_sites().is_empty())
+    {
+        // The job's fault spec plans a rank crash: route through the
+        // elastic driver so the crash is survived by a shrink + checkpoint
+        // resume instead of wedging the grid. Tuning is skipped — a
+        // measured plan keyed to the original grid would be wrong for the
+        // shrunk one.
+        return run_job_elastic(spec, &h, backend, record_traces);
+    }
     // Plan phase: decide hit-vs-tune once, before the SPMD region, so every
     // rank of the grid agrees (a per-rank DB lookup could straddle another
     // worker's insert and deadlock the grid's collectives).
@@ -574,6 +613,85 @@ where
                 }),
                 trace,
                 tuned,
+            )
+        }
+    }
+}
+
+/// The elastic leg of [`run_job`]: a crash-spec'd job runs under
+/// [`try_solve_elastic`], so a planned rank death mid-solve shrinks the
+/// grid and resumes from the job's checkpoint directory (cold from
+/// iteration 0 when none is configured). Ranks that leave the computation
+/// (the victim, idled-out survivors) return `None` and contribute nothing;
+/// the survivors' results assemble exactly like a normal solve because
+/// together they still cover every row of the shrunk layout.
+fn run_job_elastic<T: Scalar + Reduce>(
+    spec: &JobSpec<T>,
+    h: &Matrix<T>,
+    backend: Backend,
+    record_traces: bool,
+) -> (JobOutcome<T>, Option<Trace>, Option<bool>)
+where
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    let params = spec.params.clone();
+    let out = chase_comm::run_grid(spec.grid, |ctx| {
+        let rec = record_traces.then(|| Arc::new(TraceRecorder::new(ctx.world_rank())));
+        if let Some(r) = &rec {
+            ctx.set_trace_hook(Some(r.clone() as Arc<dyn chase_comm::TraceHook>));
+        }
+        let outcome = try_solve_elastic(ctx, backend, |c| DistHerm::from_global(h, c), &params);
+        ctx.set_trace_hook(None);
+        (outcome, rec.map(|r| r.finish()))
+    });
+    let mut oks: Vec<ChaseResult<T>> = Vec::new();
+    let mut err = None;
+    let mut rank_traces = Vec::new();
+    for (res, tr) in out.results {
+        if let Some(o) = res {
+            match o.result {
+                Ok(r) => oks.push(r),
+                Err(e) if err.is_none() => err = Some(e),
+                Err(_) => {}
+            }
+        }
+        rank_traces.extend(tr);
+    }
+    let trace = record_traces.then_some(Trace { ranks: rank_traces });
+    match err {
+        Some(e) => (JobOutcome::Failed(e), trace, None),
+        None if oks.is_empty() => {
+            // Every rank left the computation — e.g. the victim of a 1x1
+            // grid, which leaves no survivors to shrink onto.
+            (
+                JobOutcome::Failed(ChaseError {
+                    kind: ChaseErrorKind::RankDead { dead: Vec::new() },
+                    iter: 0,
+                    recovery: RecoveryLog::default(),
+                }),
+                trace,
+                None,
+            )
+        }
+        None => {
+            let eigenvectors = ChaseResult::assemble_eigenvectors(&oks);
+            let r0 = oks.into_iter().next().expect("at least one rank");
+            (
+                JobOutcome::Done(SolveOutput {
+                    eigenvalues: r0.eigenvalues,
+                    residuals: r0.residuals,
+                    eigenvectors,
+                    bounds: r0.bounds,
+                    matvecs: r0.matvecs,
+                    lowprec_matvecs: r0.lowprec_matvecs,
+                    iterations: r0.iterations,
+                    converged: r0.converged,
+                    recovery: r0.recovery,
+                    plan: r0.plan,
+                }),
+                trace,
+                None,
             )
         }
     }

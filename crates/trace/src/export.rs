@@ -26,6 +26,8 @@ fn kind_name(kind: &EventKind) -> &'static str {
         EventKind::AllGather { .. } => "AllGather",
         EventKind::Barrier { .. } => "Barrier",
         EventKind::P2p { .. } => "P2p",
+        EventKind::GridShrink { .. } => "GridShrink",
+        EventKind::Redistribute { .. } => "Redistribute",
     }
 }
 

@@ -9,8 +9,18 @@
 //! typed errors — it never panics on malformed input and never silently
 //! reorders.
 
+//! Elastic-recovery traces add one wrinkle: a `GridShrink` op marks the
+//! point where the surviving ranks rebuilt their communicators, whose
+//! sequence counters restart at zero. The stitcher therefore segments each
+//! stream into *grid incarnations* at those marks and applies the
+//! validation per incarnation. A non-final incarnation ends in a crash
+//! unwind, where ranks legitimately stop at different collectives (the
+//! victim stops first; survivors park at nearby issue points), so there the
+//! signatures need only be prefix-consistent; the final incarnation keeps
+//! the strict contract.
+
 use crate::model::{Trace, TraceEvent};
-use chase_comm::CommScope;
+use chase_comm::{CommScope, EventKind};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -126,6 +136,36 @@ fn world_signature(events: &[TraceEvent]) -> WorldSignature {
     (sig, cuts)
 }
 
+/// True for the op the elastic driver records on the *shrunk* grid's
+/// context right after rebuilding the communicators — the incarnation
+/// boundary marker.
+fn is_shrink_mark(e: &TraceEvent) -> bool {
+    matches!(
+        e,
+        TraceEvent::Op {
+            kind: EventKind::GridShrink { .. },
+            ..
+        }
+    )
+}
+
+/// Split one rank's stream into grid incarnations: each `GridShrink` op
+/// opens a new incarnation (and belongs to it — it was recorded on the new
+/// grid). Returns `(offset_in_stream, slice)` pairs; a stream with no
+/// shrink marks is one incarnation.
+fn incarnations(events: &[TraceEvent]) -> Vec<(usize, &[TraceEvent])> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, e) in events.iter().enumerate() {
+        if i > start && is_shrink_mark(e) {
+            out.push((start, &events[start..i]));
+            start = i;
+        }
+    }
+    out.push((start, &events[start..]));
+    out
+}
+
 /// Merge the per-rank streams of `trace` into one global [`Timeline`].
 pub fn stitch(trace: &Trace) -> Result<Timeline, StitchError> {
     if trace.ranks.is_empty() {
@@ -139,93 +179,130 @@ pub fn stitch(trace: &Trace) -> Result<Timeline, StitchError> {
         }
     }
 
-    // Per-(rank, scope) sequence numbers must be strictly increasing.
-    for r in &trace.ranks {
-        let mut last: BTreeMap<&'static str, u64> = BTreeMap::new();
-        for e in &r.events {
-            if let TraceEvent::Collective { scope, seq, .. } = e {
-                if let Some(&prev) = last.get(scope.name()) {
-                    if *seq <= prev {
-                        return Err(StitchError::OutOfOrderSeq {
-                            rank: r.rank,
-                            scope: *scope,
-                            prev,
-                            next: *seq,
-                        });
-                    }
-                }
-                last.insert(scope.name(), *seq);
-            }
-        }
-    }
-
-    // Every rank must have passed the same world collectives in the same
-    // order. The longest signature is the reference; a shorter stream is a
-    // truncation, a differing one a misalignment.
-    let sigs: Vec<WorldSignature> = trace
+    // Segment every stream into grid incarnations; ranks that left the
+    // computation (the crash victim, idled-out survivors) simply have fewer
+    // incarnations than the ranks that carried on.
+    let segs: Vec<Vec<(usize, &[TraceEvent])>> = trace
         .ranks
         .iter()
-        .map(|r| world_signature(&r.events))
+        .map(|r| incarnations(&r.events))
         .collect();
-    // First stream of maximal length is the reference (first, so that a
-    // single tampered stream is the one reported, not the one trusted).
-    let mut ref_idx = 0;
-    for i in 1..sigs.len() {
-        if sigs[i].0.len() > sigs[ref_idx].0.len() {
-            ref_idx = i;
-        }
-    }
-    let reference = &sigs[ref_idx].0;
-    for (r, (sig, _)) in trace.ranks.iter().zip(&sigs) {
-        for (i, got) in sig.iter().enumerate() {
-            let expected = &reference[i];
-            if got != expected {
-                return Err(StitchError::MisalignedWorldOp {
-                    rank: r.rank,
-                    index: i,
-                    expected: format!("{}#{}", expected.0, expected.1),
-                    got: format!("{}#{}", got.0, got.1),
-                });
+    let max_inc = segs.iter().map(|s| s.len()).max().unwrap_or(1);
+
+    // Per-(rank, incarnation, scope) sequence numbers must be strictly
+    // increasing; a shrink rebuilds the communicators, so the counters
+    // legitimately restart at each incarnation boundary.
+    for (r, rsegs) in trace.ranks.iter().zip(&segs) {
+        for (_, seg) in rsegs {
+            let mut last: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for e in *seg {
+                if let TraceEvent::Collective { scope, seq, .. } = e {
+                    if let Some(&prev) = last.get(scope.name()) {
+                        if *seq <= prev {
+                            return Err(StitchError::OutOfOrderSeq {
+                                rank: r.rank,
+                                scope: *scope,
+                                prev,
+                                next: *seq,
+                            });
+                        }
+                    }
+                    last.insert(scope.name(), *seq);
+                }
             }
-        }
-        if sig.len() < reference.len() {
-            return Err(StitchError::RankTruncated {
-                rank: r.rank,
-                expected: reference.len(),
-                got: sig.len(),
-            });
         }
     }
 
-    // Epoch k of a rank is its events up to and including the k-th world
-    // collective; the final epoch is the tail. Within an epoch, the merge
-    // keeps per-rank program order and orders ranks by id.
-    let epochs = reference.len() + 1;
     let mut order: Vec<usize> = (0..trace.ranks.len()).collect();
     order.sort_by_key(|&i| trace.ranks[i].rank);
 
     let mut events = Vec::new();
-    for epoch in 0..epochs {
-        for &i in &order {
-            let r = &trace.ranks[i];
-            let cuts = &sigs[i].1;
-            let lo = if epoch == 0 { 0 } else { cuts[epoch - 1] };
-            let hi = if epoch < cuts.len() {
-                cuts[epoch]
-            } else {
-                r.events.len()
-            };
-            for tick in lo..hi {
-                events.push(GlobalEvent {
-                    rank: r.rank,
-                    tick,
-                    event: r.events[tick].clone(),
+    let mut total_epochs = 0;
+    for inc in 0..max_inc {
+        // Ranks alive in this incarnation.
+        let parts: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| segs[i].len() > inc)
+            .collect();
+        let final_inc = inc + 1 == max_inc;
+        let sigs: Vec<WorldSignature> = parts
+            .iter()
+            .map(|&i| world_signature(segs[i][inc].1))
+            .collect();
+
+        // Every participant must have passed the same world collectives in
+        // the same order. The longest signature is the reference (first
+        // maximal, so that a single tampered stream is the one reported,
+        // not the one trusted). In the final incarnation a shorter stream
+        // is a truncation; in a crashed one it is the unwind racing the
+        // last issue, and only prefix consistency is required.
+        let mut ref_idx = 0;
+        for i in 1..sigs.len() {
+            if sigs[i].0.len() > sigs[ref_idx].0.len() {
+                ref_idx = i;
+            }
+        }
+        let reference = &sigs[ref_idx].0;
+        for (&ri, (sig, _)) in parts.iter().zip(&sigs) {
+            let rank = trace.ranks[ri].rank;
+            for (i, got) in sig.iter().enumerate() {
+                let expected = &reference[i];
+                if got != expected {
+                    return Err(StitchError::MisalignedWorldOp {
+                        rank,
+                        index: i,
+                        expected: format!("{}#{}", expected.0, expected.1),
+                        got: format!("{}#{}", got.0, got.1),
+                    });
+                }
+            }
+            if final_inc && sig.len() < reference.len() {
+                return Err(StitchError::RankTruncated {
+                    rank,
+                    expected: reference.len(),
+                    got: sig.len(),
                 });
+            }
+        }
+
+        // Epoch k of a rank is its events up to and including the k-th
+        // world collective; the final epoch is the tail. Within an epoch,
+        // the merge keeps per-rank program order and orders ranks by id. A
+        // rank that stopped short (crash unwind) contributes its tail to
+        // its own last epoch and nothing after.
+        let epochs = reference.len() + 1;
+        total_epochs += epochs;
+        for epoch in 0..epochs {
+            for (&ri, (_, cuts)) in parts.iter().zip(&sigs) {
+                let (off, seg) = segs[ri][inc];
+                let lo = if epoch == 0 {
+                    0
+                } else if epoch - 1 < cuts.len() {
+                    cuts[epoch - 1]
+                } else {
+                    seg.len()
+                };
+                let hi = if epoch < cuts.len() {
+                    cuts[epoch]
+                } else {
+                    seg.len()
+                };
+                for (tick, ev) in seg.iter().enumerate().take(hi).skip(lo) {
+                    events.push(GlobalEvent {
+                        rank: trace.ranks[ri].rank,
+                        tick: off + tick,
+                        event: ev.clone(),
+                    });
+                }
             }
         }
     }
 
-    Ok(Timeline { events, epochs })
+    Ok(Timeline {
+        events,
+        epochs: total_epochs,
+    })
 }
 
 #[cfg(test)]
@@ -367,6 +444,71 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("world collective #1"));
+    }
+
+    #[test]
+    fn grid_shrink_segments_incarnations() {
+        // An elastic-recovery trace: rank 1 (the victim) dies one world
+        // collective early; ranks 0 and 2 shrink and carry on with fresh
+        // communicators whose seq counters restart at zero. The old
+        // single-incarnation contract would reject this stream three ways
+        // (truncation, seq reset, misalignment); segmented at the
+        // GridShrink mark it stitches cleanly.
+        let shrink = TraceEvent::Op {
+            region: Region::Other,
+            kind: EventKind::GridShrink {
+                from_ranks: 3,
+                to_ranks: 2,
+            },
+        };
+        let survivor = |rank| RankTrace {
+            rank,
+            events: vec![
+                coll(CommScope::World, "allreduce", 0),
+                coll(CommScope::World, "allreduce", 1),
+                shrink.clone(),
+                coll(CommScope::World, "allreduce", 0),
+                op(),
+            ],
+        };
+        let t = Trace {
+            ranks: vec![
+                survivor(0),
+                RankTrace {
+                    rank: 1,
+                    events: vec![coll(CommScope::World, "allreduce", 0)],
+                },
+                survivor(2),
+            ],
+        };
+        let tl = stitch(&t).unwrap();
+        // Incarnation 0 has 2 reference world collectives (3 epochs),
+        // incarnation 1 has 1 (2 epochs).
+        assert_eq!(tl.epochs, 5);
+        assert_eq!(tl.events.len(), 5 + 1 + 5);
+        // The victim's lone event lands in incarnation 0; everything after
+        // each survivor's shrink mark comes later in the global order.
+        let last_victim = tl.events.iter().rposition(|e| e.rank == 1).unwrap();
+        let first_shrunk = tl
+            .events
+            .iter()
+            .position(|e| is_shrink_mark(&e.event))
+            .unwrap();
+        assert!(last_victim < first_shrunk);
+        // A seq reset *without* a shrink mark is still a typed error.
+        let bad = Trace {
+            ranks: vec![RankTrace {
+                rank: 0,
+                events: vec![
+                    coll(CommScope::World, "allreduce", 1),
+                    coll(CommScope::World, "allreduce", 0),
+                ],
+            }],
+        };
+        assert!(matches!(
+            stitch(&bad),
+            Err(StitchError::OutOfOrderSeq { .. })
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!                [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
 //!                [--overlap] [--panel 16] [--precision full|mixed]
 //!                [--inject 'seed=7;bitflip@iter=2,region=filter,rank=0'] [--wait-timeout-ms 500]
-//!                [--no-guards]
+//!                [--no-guards] [--checkpoint DIR] [--checkpoint-every K]
 //!                [--trace out.json] [--trace-format chrome|summary] [--metrics m.json]
 //! ```
 
@@ -153,6 +153,15 @@ where
     T::Real: chase_comm::Reduce,
     T::Lo: chase_comm::Reduce,
 {
+    // A crash-spec'd solve runs the elastic driver: the planned rank death
+    // shrinks the grid and the solve resumes from --checkpoint (cold from
+    // iteration 0 without one). Elastic attempts rebuild the layout per
+    // grid, so the measured-plan path (keyed to the original grid) is
+    // rejected up front in cmd_solve.
+    let crashy = params
+        .inject
+        .as_ref()
+        .is_some_and(|s| !s.crash_sites().is_empty());
     let out = run_grid(shape, move |ctx| {
         // One recorder per rank, installed before any collective so the
         // trace covers the bounds estimate too; always uninstalled before
@@ -161,28 +170,39 @@ where
         if let Some(r) = &rec {
             ctx.set_trace_hook(Some(r.clone() as std::sync::Arc<dyn chase_comm::TraceHook>));
         }
-        let mut dh = DistHerm::from_global_dist(h, ctx, dist);
         let mut params = params.clone();
-        let tuned = match plan {
-            Some(PlanChoice::Hit(e)) => Some(TuneOutcome {
-                entry: e.clone(),
-                residuals: Vec::new(),
-            }),
-            Some(PlanChoice::Miss(opts)) => {
-                Some(tune_entry(ctx, &mut dh, params.nev, params.nex, opts))
-            }
-            None => None,
-        };
-        if let Some(t) = &tuned {
-            params.apply_plan(&plan_from_entry(&t.entry));
-            ctx.set_tune_hook(Some(std::sync::Arc::new(MeasuredHook::new(
-                t.entry.clone(),
-            ))));
-        }
-        let result = if matches!(backend, Backend::Lms) {
-            Ok(solve_lms(ctx, dh, &params, None))
+        let (result, tuned) = if crashy {
+            let outcome = chase_core::try_solve_elastic(
+                ctx,
+                backend,
+                |c| DistHerm::from_global_dist(h, c, dist),
+                &params,
+            );
+            (outcome.map(|o| o.result), None)
         } else {
-            try_solve_dist(ctx, backend, dh, &params, None)
+            let mut dh = DistHerm::from_global_dist(h, ctx, dist);
+            let tuned = match plan {
+                Some(PlanChoice::Hit(e)) => Some(TuneOutcome {
+                    entry: e.clone(),
+                    residuals: Vec::new(),
+                }),
+                Some(PlanChoice::Miss(opts)) => {
+                    Some(tune_entry(ctx, &mut dh, params.nev, params.nex, opts))
+                }
+                None => None,
+            };
+            if let Some(t) = &tuned {
+                params.apply_plan(&plan_from_entry(&t.entry));
+                ctx.set_tune_hook(Some(std::sync::Arc::new(MeasuredHook::new(
+                    t.entry.clone(),
+                ))));
+            }
+            let result = if matches!(backend, Backend::Lms) {
+                Ok(solve_lms(ctx, dh, &params, None))
+            } else {
+                try_solve_dist(ctx, backend, dh, &params, None)
+            };
+            (Some(result), tuned)
         };
         ctx.set_tune_hook(None);
         if rec.is_some() {
@@ -190,18 +210,29 @@ where
         }
         (result, rec.map(|r| r.finish()), tuned)
     });
-    // Results arrive in world-rank order; rank 0's result speaks for the
-    // SPMD run, the traces are stitched across all ranks.
+    // Results arrive in world-rank order; the lowest-ranked rank that saw
+    // the solve through speaks for the SPMD run (the crash victim and
+    // idled-out survivors return None), the traces are stitched across all
+    // ranks.
     let mut results = Vec::new();
     let mut rank_traces = Vec::new();
     let mut tuned_out = None;
     for (res, trace, tuned) in out.results {
-        results.push(res);
+        results.extend(res);
         rank_traces.extend(trace);
         tuned_out = tuned_out.or(tuned);
     }
     let trace = tracing.then_some(Trace { ranks: rank_traces });
-    (results.into_iter().next().unwrap(), trace, tuned_out)
+    let first = results.into_iter().next().unwrap_or_else(|| {
+        // Every rank left the computation — e.g. the victim of a 1x1 grid,
+        // which leaves no survivors to shrink onto.
+        Err(ChaseError {
+            kind: chase_core::ChaseErrorKind::RankDead { dead: Vec::new() },
+            iter: 0,
+            recovery: chase_core::RecoveryLog::default(),
+        })
+    });
+    (first, trace, tuned_out)
 }
 
 /// Look up this solve's key in the plan DB: hit = apply with zero trials,
@@ -314,6 +345,23 @@ fn print_result<T: Scalar>(r: &ChaseResult<T>, wall: std::time::Duration) {
     print_recovery(&r.recovery);
 }
 
+/// Silence the default panic printout for the *typed* unwinds the elastic
+/// driver throws and catches by design (the crash victim's own death, and
+/// survivors' death-aware blocking waits). Every other panic still reports
+/// through the previous hook.
+fn silence_expected_crash_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let p = info.payload();
+        if p.downcast_ref::<chase_faults::RankCrashPanic>().is_some()
+            || p.downcast_ref::<chase_comm::RankDeadPanic>().is_some()
+        {
+            return;
+        }
+        previous(info);
+    }));
+}
+
 fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let path: String = get(&flags, "matrix", None)?;
     let nev: usize = get(&flags, "nev", None)?;
@@ -407,6 +455,13 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
         ),
         None => None,
     };
+    if params
+        .inject
+        .as_ref()
+        .is_some_and(|s| !s.crash_sites().is_empty())
+    {
+        silence_expected_crash_panics();
+    }
     params.wait_timeout_ms = match flags.get("wait-timeout-ms") {
         Some(ms) => Some(
             ms.parse()
@@ -415,6 +470,20 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
         None => None,
     };
     params.guards = !flags.contains_key("no-guards");
+    // `--checkpoint DIR` snapshots the solver state every `--checkpoint-every`
+    // iterations (default 1 when a directory is given): the restart point
+    // for elastic recovery from a `rank-crash` fault, and a durable record
+    // either way.
+    params.checkpoint_dir = flags.get("checkpoint").cloned();
+    params.checkpoint_every = match flags.get("checkpoint-every") {
+        Some(k) => k
+            .parse()
+            .map_err(|_| "--checkpoint-every needs an iteration count")?,
+        None => usize::from(params.checkpoint_dir.is_some()),
+    };
+    if params.checkpoint_every > 0 && params.checkpoint_dir.is_none() {
+        return Err("--checkpoint-every needs --checkpoint DIR".into());
+    }
     // `--precision mixed` runs the Chebyshev filter in demoted arithmetic
     // (f64 -> f32) until the adaptive policy escalates; `full` (default)
     // keeps the historic behavior.
@@ -447,6 +516,18 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let plan_db_path = flags.get("plan-db").cloned();
     if plan_db_path.is_some() && matches!(backend, Backend::Lms) {
         return Err("--plan-db is not supported with the lms baseline backend".into());
+    }
+    if plan_db_path.is_some()
+        && params
+            .inject
+            .as_ref()
+            .is_some_and(|s| !s.crash_sites().is_empty())
+    {
+        return Err(
+            "--plan-db is not supported with a rank-crash fault plan \
+             (the measured plan is keyed to the pre-crash grid)"
+                .into(),
+        );
     }
     let tune_opts = plan_db_path.as_ref().map(|_| TuneOptions {
         deterministic: flags.contains_key("deterministic"),
@@ -658,10 +739,41 @@ fn cmd_serve(flags: HashMap<String, String>) -> Result<(), String> {
     // jobs inherit the DB simply by running through this scheduler.
     let plan_db_path = flags.get("plan-db").cloned();
 
+    // `--checkpoint DIR` gives every job a private snapshot directory
+    // (DIR/<job-name>) written every `--checkpoint-every` iterations
+    // (default 1 when a directory is given): the restart point for jobs
+    // whose fault spec plans a rank crash, which the scheduler retries on
+    // the shrunk pool.
+    let ckpt_dir = flags.get("checkpoint").cloned();
+    let ckpt_every: usize = match flags.get("checkpoint-every") {
+        Some(k) => k
+            .parse()
+            .map_err(|_| "--checkpoint-every needs an iteration count")?,
+        None => usize::from(ckpt_dir.is_some()),
+    };
+    if ckpt_every > 0 && ckpt_dir.is_none() {
+        return Err("--checkpoint-every needs --checkpoint DIR".into());
+    }
+
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    let jobs = chase_serve::parse_workload(&text)?;
+    let mut jobs = chase_serve::parse_workload(&text)?;
     if jobs.is_empty() {
         return Err(format!("{path}: workload has no jobs"));
+    }
+    if let Some(dir) = &ckpt_dir {
+        for j in &mut jobs {
+            let sub = std::path::Path::new(dir).join(&j.name);
+            j.params.checkpoint_dir = Some(sub.to_string_lossy().into_owned());
+            j.params.checkpoint_every = ckpt_every;
+        }
+    }
+    if jobs.iter().any(|j| {
+        j.params
+            .inject
+            .as_ref()
+            .is_some_and(|s| !s.crash_sites().is_empty())
+    }) {
+        silence_expected_crash_panics();
     }
 
     let mut sched: Scheduler<C64> = Scheduler::new(SchedulerConfig {
@@ -957,12 +1069,14 @@ USAGE:
                  [--collective flat|ring|tree|doubling|auto] [--cyclic BLOCK] [--no-degopt]
                  [--overlap] [--panel W] [--precision full|mixed]
                  [--inject SPEC] [--wait-timeout-ms MS] [--no-guards]
+                 [--checkpoint DIR] [--checkpoint-every K]
                  [--plan-db FILE] [--deterministic]
                  [--trace FILE] [--trace-format chrome|summary] [--metrics FILE]
   chase tune     --matrix FILE --nev K --db FILE [--nex X] [--grid PxQ]
                  [--backend nccl|std] [--deterministic] [--force]
   chase serve    --workload FILE [--workers N] [--cache-mb M] [--max-queue Q]
                  [--backend nccl|std] [--plan-db FILE] [--metrics FILE] [--trace-dir DIR]
+                 [--checkpoint DIR] [--checkpoint-every K]
   chase submit   --workload FILE --line 'gen name=j0 n=96 spectrum=dft nev=8 ...'
   chase check    [--seeds K] [--grids 1x1,2x2,1x4] [--scalars f64,c64,c64-mixed]
                  [--systematic] [--no-oracle] [--canary]
@@ -1025,10 +1139,23 @@ FAULT INJECTION:
     'seed=1;stall@iter=2,region=filter'                  wedge a nonblocking op
     'seed=5;breakdown@iter=1'                 zero columns; break CholeskyQR
     'seed=4;nan-block@iter=2,cols=3'          poison filtered-block columns
+    'seed=11;rank-crash@iter=2,region=filter,rank=1'   kill one rank mid-solve
   Kinds: nan|inf|bitflip (payload), nan-block|inf-block|breakdown (block),
-  stall|delay (nonblocking post). The run either converges to verified
-  eigenpairs (recovery log printed) or exits nonzero with a typed error —
-  never silently-wrong results.
+  stall|delay (nonblocking post), rank-crash (rank death). The run either
+  converges to verified eigenpairs (recovery log printed) or exits nonzero
+  with a typed error — never silently-wrong results.
+
+ELASTIC RECOVERY:
+  A rank-crash fault routes the solve through the elastic driver: the
+  survivors agree on the dead set, shrink to the squarest grid over the
+  survivor count, repartition H from the deterministic generator seed, and
+  resume from the newest valid snapshot under --checkpoint (cold from
+  iteration 0 without one). --checkpoint-every K (default 1 when a
+  directory is given) bounds the recomputed work to under K iterations.
+  The crash -> shrink -> restore trail lands on the recovery log, bitwise
+  replayable. chase serve --checkpoint DIR gives each job DIR/<name> and
+  retries crash-spec'd jobs on the shrunk pool (the rank_crash_retries
+  metric); a crashed 1x1 solve has no survivors and fails typed.
 ";
 
 fn main() -> ExitCode {

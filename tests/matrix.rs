@@ -18,8 +18,12 @@
 
 mod common;
 
-use chase_comm::{GridShape, Reduce};
-use chase_core::{ChaseResult, Params, PrecisionMode, RecoveryEventKind};
+use chase_comm::{run_grid, GridShape, Reduce};
+use chase_core::{
+    try_solve_elastic, ChaseResult, DistHerm, ElasticOutcome, Params, PrecisionMode,
+    RecoveryEventKind,
+};
+use chase_device::Backend;
 use chase_linalg::{RealScalar, Scalar, C64};
 use chase_serve::{
     GenSpec, JobSpec, MatrixSource, Scheduler, SchedulerConfig, SpectrumKind, WarmKind,
@@ -268,6 +272,215 @@ fn matrix_serve_warm_start_column() {
         warm[1].3,
         cold[1].3
     );
+}
+
+/// The rank-crash column: world rank 1 crashes mid-filter at iteration 2;
+/// the survivors agree on the death, shrink 4 -> 3 ranks, restore the
+/// latest checkpoint and converge to the clean run's eigenpairs — at
+/// strictly fewer surviving-rank communication events than a from-scratch
+/// restart on the shrunk grid, with the crash→shrink→restore trail on the
+/// recovery log, bitwise identical across survivors and across reruns.
+const CRASH_FAULT: &str = "seed=11;rank-crash@iter=2,region=filter,rank=1";
+const VICTIM: usize = 1;
+
+fn elastic_on<T>(
+    h: &chase_linalg::Matrix<T>,
+    p: &Params,
+    shape: GridShape,
+) -> Vec<Option<ElasticOutcome<T>>>
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    run_grid(shape, move |ctx| {
+        try_solve_elastic(ctx, Backend::Nccl, |c| DistHerm::from_global(h, c), p)
+    })
+    .results
+}
+
+fn crash_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "chase-crash-{}-{}",
+        tag.replace(['/', ' '], "_"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn run_crash_block<T>(precision: PrecisionMode, label: &str)
+where
+    T: Scalar + Reduce,
+    T::Real: Reduce,
+    T::Lo: Reduce,
+{
+    let (h, _) = problem::<T>(N, 7);
+    for (p, q) in [(2, 2), (1, 4)] {
+        let shape = GridShape::new(p, q);
+        let case = format!("{label} {p}x{q} crash");
+
+        // Clean comparator on the original grid.
+        let clean = expect_all_ok(
+            solve_on(&h, &case_params(precision, false, None), shape),
+            &case,
+        )
+        .remove(0);
+        assert!(clean.converged, "{case}: clean comparator diverged");
+
+        let crash_params = |dir: Option<&std::path::Path>| -> Params {
+            let mut cp = case_params(precision, false, Some(CRASH_FAULT));
+            cp.checkpoint_dir = dir.map(|d| d.display().to_string());
+            cp.checkpoint_every = if dir.is_some() { 1 } else { 0 };
+            cp
+        };
+
+        // Checkpointed elastic run (plus an identical rerun for replay).
+        let mut runs = Vec::new();
+        for rerun in 0..2 {
+            let dir = crash_dir(&format!("{case}-{rerun}"));
+            let out = elastic_on(&h, &crash_params(Some(&dir)), shape);
+            let _ = std::fs::remove_dir_all(&dir);
+            runs.push(out);
+        }
+        // From-scratch comparator: same crash, no checkpoints to restore.
+        let scratch = elastic_on(&h, &crash_params(None), shape);
+
+        for (out, what) in [(&runs[0], "ckpt"), (&scratch, "scratch")] {
+            assert!(
+                out[VICTIM].is_none(),
+                "{case} [{what}]: the victim must leave the computation"
+            );
+            let survivors: Vec<&ElasticOutcome<T>> = out
+                .iter()
+                .enumerate()
+                .filter(|(r, _)| *r != VICTIM)
+                .map(|(_, o)| o.as_ref().expect("survivor must finish"))
+                .collect();
+            assert_eq!(survivors.len(), p * q - 1, "{case} [{what}]: survivors");
+            let results: Vec<ChaseResult<T>> = survivors
+                .iter()
+                .map(|o| {
+                    assert_eq!(o.attempts, 2, "{case} [{what}]: one crash, one resume");
+                    assert_eq!(
+                        o.shape,
+                        GridShape::squarest(p * q - 1),
+                        "{case} [{what}]: shrunk shape"
+                    );
+                    o.result.clone().unwrap_or_else(|e| {
+                        panic!("{case} [{what}]: survivor failed: {e}\n{}", e.recovery)
+                    })
+                })
+                .collect();
+            check_ranks_agree(&results, &format!("{case} [{what}]"));
+            let r0 = &results[0];
+            assert!(r0.converged, "{case} [{what}]: resumed solve diverged");
+            for res in &r0.residuals {
+                assert!(
+                    res.to_f64() < TOL * r0.norm_h,
+                    "{case} [{what}]: residual above tolerance after resume"
+                );
+            }
+            for k in 0..NEV {
+                assert!(
+                    (r0.eigenvalues[k].to_f64() - clean.eigenvalues[k].to_f64()).abs() < 1e-7,
+                    "{case} [{what}]: lambda_{k} drifted after crash recovery"
+                );
+            }
+            // The full crash→shrink→restore trail, in order.
+            let trail: Vec<usize> = r0
+                .recovery
+                .events
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| match &e.kind {
+                    RecoveryEventKind::Injected(rec) if rec.rank == VICTIM => Some(i),
+                    RecoveryEventKind::RankDead { dead } => {
+                        assert_eq!(dead, &vec![VICTIM], "{case} [{what}]: agreed dead set");
+                        Some(i)
+                    }
+                    RecoveryEventKind::GridShrunk { from, to } => {
+                        assert_eq!((from.p, from.q), (p, q));
+                        assert_eq!(to.ranks(), p * q - 1);
+                        Some(i)
+                    }
+                    RecoveryEventKind::CheckpointRestored { iter, .. } => {
+                        if what == "ckpt" {
+                            assert!(*iter > 0, "{case}: must restore a real snapshot");
+                        } else {
+                            assert_eq!(*iter, 0, "{case}: scratch restarts cold");
+                        }
+                        Some(i)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                trail.len(),
+                4,
+                "{case} [{what}]: crash→shrink→restore trail incomplete:\n{}",
+                r0.recovery
+            );
+            assert!(
+                trail.windows(2).all(|w| w[0] < w[1]),
+                "{case} [{what}]: trail out of order"
+            );
+        }
+
+        // Bitwise replay: two identical elastic runs, identical everything.
+        for (a, b) in runs[0].iter().zip(&runs[1]) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+                    assert_eq!(ra.eigenvalues, rb.eigenvalues, "{case}: replay eigs");
+                    assert_eq!(ra.residuals, rb.residuals, "{case}: replay residuals");
+                    assert_eq!(ra.recovery, rb.recovery, "{case}: replay recovery log");
+                    assert_eq!(a.attempts, b.attempts, "{case}: replay attempts");
+                    // Note: `comm_events` is deliberately NOT compared —
+                    // whether a survivor's ledger recorded the collective it
+                    // was parked in when the crash unwound it is a wall-clock
+                    // race (+-1). The algorithmic outputs above are bitwise.
+                }
+                _ => panic!("{case}: replay changed who survived"),
+            }
+        }
+
+        // Checkpoint restore must beat the from-scratch restart on
+        // surviving-rank communication volume (it skips the re-run
+        // iterations and the Lanczos re-estimation).
+        for (rank, (c, s)) in runs[0].iter().zip(&scratch).enumerate() {
+            if let (Some(c), Some(s)) = (c, s) {
+                assert!(
+                    c.comm_events < s.comm_events,
+                    "{case}: rank {rank}: checkpointed resume ({}) must use strictly fewer \
+                     comm events than a from-scratch restart ({})",
+                    c.comm_events,
+                    s.comm_events
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_rank_crash_f64_full() {
+    run_crash_block::<f64>(PrecisionMode::Full, "f64/full");
+}
+
+#[test]
+fn matrix_rank_crash_f64_mixed() {
+    run_crash_block::<f64>(PrecisionMode::Mixed, "f64/mixed");
+}
+
+#[test]
+fn matrix_rank_crash_c64_full() {
+    run_crash_block::<C64>(PrecisionMode::Full, "C64/full");
+}
+
+#[test]
+fn matrix_rank_crash_c64_mixed() {
+    run_crash_block::<C64>(PrecisionMode::Mixed, "C64/mixed");
 }
 
 #[test]

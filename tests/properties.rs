@@ -191,3 +191,96 @@ fn cond_estimate_on_synthetic_filter() {
     let truth = (rho3 / rho2).powi(d as i32);
     assert!(est >= truth, "est {est:.3e} < truth {truth:.3e}");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rank-crash siting mirrors the other fault kinds' one-shot contract:
+    /// the spec round-trips through Display, the crash helpers partition
+    /// the campaign exactly, and the plan fires only at the spec'd
+    /// (iter, region, rank) site — at most once, marking the dead board
+    /// before the typed unwind — while every other rank's plan stays inert.
+    #[test]
+    fn rank_crash_siting_is_deterministic_and_one_shot(
+        seed in 0u64..1000,
+        iter in 1u64..6,
+        rank in 0usize..4,
+        region_idx in 0usize..4,
+        other_iter in 1u64..6,
+    ) {
+        use chase_comm::{DeadBoard, DeathHandle, Region, Slot};
+        use chase_faults::{FaultPlan, FaultSpec, RankCrashPanic};
+        use std::sync::Arc;
+
+        let regions = [
+            (Region::Filter, "filter"),
+            (Region::Qr, "qr"),
+            (Region::RayleighRitz, "rr"),
+            (Region::Residuals, "resid"),
+        ];
+        let (region, rname) = regions[region_idx];
+        let (wrong_region, _) = regions[(region_idx + 1) % regions.len()];
+        let s = format!(
+            "seed={seed};rank-crash@iter={iter},region={rname},rank={rank};\
+             nan@iter={other_iter},rank=0"
+        );
+        let spec: FaultSpec = s.parse().unwrap();
+
+        // Display/parse round-trip.
+        let reparsed: FaultSpec = spec.to_string().parse().unwrap();
+        prop_assert_eq!(&spec, &reparsed);
+
+        // The crash helpers split the campaign exactly: one crash site with
+        // the spec'd coordinates; stripping it keeps the nan fault; a
+        // crash-only campaign strips to nothing.
+        let sites = spec.crash_sites();
+        prop_assert_eq!(sites.len(), 1);
+        prop_assert_eq!((sites[0].iter, sites[0].rank), (iter, rank));
+        let rest = spec.without_rank_crash().expect("the nan fault remains");
+        prop_assert!(rest.crash_sites().is_empty());
+        prop_assert_eq!(rest.injections.len(), spec.injections.len() - 1);
+        let crash_only: FaultSpec =
+            format!("seed={seed};rank-crash@iter={iter},region={rname},rank={rank}")
+                .parse()
+                .unwrap();
+        prop_assert!(crash_only.without_rank_crash().is_none());
+
+        // Firing: sweep every rank of a pretend 4-rank world through the
+        // sited iteration. Wrong region holds the gate everywhere; at the
+        // right site only the victim dies — typed payload, board marked
+        // before the unwind, exactly one record, strictly one-shot.
+        let board = Arc::new(DeadBoard::new());
+        for r in 0..4usize {
+            let p = Arc::new(FaultPlan::new(spec.clone(), r, 0));
+            p.set_death_handle(Some(DeathHandle::new(
+                board.clone(),
+                r,
+                vec![Slot::new(1)],
+            )));
+            p.set_iter(iter);
+            p.set_region(wrong_region);
+            p.check_crash();
+            prop_assert!(!p.any_fired(), "region gate must hold");
+            p.set_region(region);
+            if r == rank {
+                let v = p.clone();
+                let payload = std::thread::spawn(move || v.check_crash())
+                    .join()
+                    .expect_err("the victim must unwind");
+                let c = payload
+                    .downcast_ref::<RankCrashPanic>()
+                    .expect("typed RankCrashPanic payload");
+                prop_assert_eq!(c.world_rank, rank);
+                prop_assert!(board.is_dead(rank), "board marked before unwind");
+                p.check_crash(); // one-shot: a second call is a no-op
+                let rec = p.take_records();
+                prop_assert_eq!(rec.len(), 1);
+                prop_assert_eq!(rec[0].rank, rank);
+                prop_assert_eq!(rec[0].iter, iter);
+            } else {
+                p.check_crash();
+                prop_assert!(!p.any_fired(), "only the victim crashes");
+            }
+        }
+    }
+}

@@ -470,3 +470,87 @@ fn workload_parses_precision_key() {
         .expect_err("bogus precision must be rejected");
     assert!(err.contains("bad") && err.contains("precision"), "{err}");
 }
+
+/// A job whose fault spec plans a rank crash is routed through the elastic
+/// driver: the crash shrinks its grid, the solve resumes from the job's own
+/// checkpoints, the scheduler counts the retry, and — because the session
+/// cache holds a payload laid out for the pre-crash grid — its planned warm
+/// start degrades to `FallbackCold`. Siblings stay bitwise identical.
+#[test]
+fn rank_crash_job_retries_on_shrunk_pool() {
+    use chase_core::RecoveryEventKind;
+
+    let siblings = || {
+        vec![
+            gen_job("a0", 64, SpectrumKind::Dft, 7, Some(("alpha", 0))),
+            gen_job("lone", 40, SpectrumKind::Uniform, 3, None),
+        ]
+    };
+    let (clean, _) = run_batch(siblings(), 2);
+
+    let dir = std::env::temp_dir().join(format!("chase-serve-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A two-step session: a clean first step primes the warm cache, then a
+    // crash-spec'd second step on a 2x2 grid.
+    let boot = gen_job("c0", 48, SpectrumKind::Uniform, 11, Some(("boom", 0)));
+    let mut crashy = gen_job("c1", 48, SpectrumKind::Uniform, 11, Some(("boom", 1)));
+    crashy.grid = chase_comm::GridShape::new(2, 2);
+    crashy.params.inject = Some(
+        "seed=11;rank-crash@iter=2,region=filter,rank=1"
+            .parse()
+            .unwrap(),
+    );
+    crashy.params.checkpoint_dir = Some(dir.to_string_lossy().into_owned());
+    crashy.params.checkpoint_every = 1;
+
+    let mut sched: Scheduler<C64> = Scheduler::new(SchedulerConfig {
+        workers: 2,
+        ..SchedulerConfig::default()
+    });
+    let mut jobs = siblings();
+    jobs.push(boot);
+    jobs.push(crashy);
+    for j in jobs {
+        sched.submit(j).unwrap();
+    }
+    let reports: BTreeMap<String, _> = sched
+        .drain()
+        .into_iter()
+        .map(|r| (r.name.clone(), r))
+        .collect();
+
+    // The crashed job completed on the shrunk pool, resumed from a real
+    // snapshot, and its report carries the full recovery trail.
+    let c1 = &reports["c1"];
+    let out = c1.solve().expect("crash-spec'd job must complete");
+    assert!(out.converged, "elastic retry must converge");
+    assert!(
+        out.recovery
+            .any(|k| matches!(k, RecoveryEventKind::GridShrunk { .. })),
+        "recovery log must show the shrink"
+    );
+    assert!(
+        out.recovery.any(
+            |k| matches!(k, RecoveryEventKind::CheckpointRestored { iter, .. } if *iter > 0)
+        ),
+        "with checkpoint_every=1 the resume must restore a real snapshot"
+    );
+    assert_eq!(c1.warm, WarmKind::FallbackCold, "warm start must degrade");
+    assert_eq!(sched.metrics.rank_crash_retries, 1);
+    assert_eq!(sched.metrics.failed, 0);
+    assert_eq!(sched.metrics.warm_fallbacks, 1);
+
+    // Every sibling is bitwise identical to the crash-free run.
+    for (name, (bits, kind)) in &clean {
+        let r = &reports[name];
+        assert_eq!(r.warm, *kind, "{name}: warm kind changed");
+        assert_eq!(
+            &fingerprint(r.solve().unwrap()),
+            bits,
+            "{name}: sibling bits perturbed by an unrelated crash"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
